@@ -1,0 +1,61 @@
+"""Benchmark configuration.
+
+Each ``test_bench_figXX.py`` regenerates one table/figure from the paper's
+section 5: the benchmarked callable runs the experiment, and the rendered
+rows are printed after the timing so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction report.
+
+Scale: benchmarks default to the ``small`` experiment scale so the whole
+suite finishes in a few minutes.  Set ``REPRO_BENCH_SCALE=default`` (or
+``full`` for the paper's 585-machine / 10,000-leaf sizes) to rescale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.scales import get_scale
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure: paper figure reproduction benchmark")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "small"))
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def shared_sweep(bench_scale, bench_seed):
+    """The threshold sweep shared by the Fig. 7/9/10/11/12 benchmarks."""
+    from repro.experiments.threshold_sweep import run_threshold_sweep
+
+    return run_threshold_sweep(bench_scale, seed=bench_seed)
+
+
+@pytest.fixture(scope="session")
+def shared_growth(bench_scale, bench_seed):
+    """The growth suite shared by the Fig. 14/15 benchmarks."""
+    from repro.experiments.growth import growth_sample_points, run_growth_suite
+    from repro.experiments.scales import PAPER_LAMBDAS
+
+    sample_sizes = sorted(
+        set(growth_sample_points(bench_scale.growth_max_leaves))
+        | {bench_scale.fig15_small, bench_scale.fig15_large}
+    )
+    return run_growth_suite(
+        PAPER_LAMBDAS, bench_scale.growth_max_leaves, sample_sizes, seed=bench_seed
+    )
+
+
+def report(title: str, body: str) -> None:
+    """Print a figure's rendered rows under a visible banner."""
+    print(f"\n{'-' * 72}\n{title}\n{body}\n{'-' * 72}")

@@ -1,0 +1,57 @@
+"""Ablation benchmarks: block granularity and SALAD dimensionality.
+
+Extensions beyond the paper's figures; see DESIGN.md.  The block ablation
+quantifies the whole-file granularity choice against its LBFS-style
+alternative; the dimensionality ablation measures the section 4.3/4.7
+trade-off the paper states qualitatively.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import ablation_blocks, ablation_dimensionality
+
+
+@pytest.mark.figure
+def test_bench_ablation_blocks(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        ablation_blocks.run,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    report("Ablation: whole-file vs. block-level coalescing", result.render())
+
+    # Whole-file coalescing reclaims nothing across edited versions...
+    assert result.reclaimed_fraction("whole-file") < 0.05
+    # ...fixed blocks reclaim a majority...
+    assert result.reclaimed_fraction("fixed-block") > 0.4
+    # ...and content-defined chunking beats fixed blocks (insertions).
+    assert (
+        result.reclaimed_fraction("content-defined")
+        > result.reclaimed_fraction("fixed-block")
+    )
+
+
+@pytest.mark.figure
+def test_bench_ablation_dimensionality(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        ablation_dimensionality.run,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    report("Ablation: SALAD dimensionality trade-off", result.render())
+
+    dims = result.dimensions
+    # Leaf tables shrink with D (the reason to raise D)...
+    tables = [result.mean_leaf_table[d] for d in dims]
+    assert tables == sorted(tables, reverse=True)
+    # ...while per-record routing traffic grows with D (part of the cost).
+    messages = [result.record_messages[d] for d in dims]
+    assert messages == sorted(messages)
+    # Eq. 14's loss prediction grows with D.
+    losses = [result.predicted_loss[d] for d in dims]
+    assert losses == sorted(losses)

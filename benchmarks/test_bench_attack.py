@@ -1,0 +1,25 @@
+"""Section 4.7 sybil-attack bench: Eq. 20 damage bound."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import attack_check
+
+
+@pytest.mark.figure
+def test_bench_attack(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        attack_check.run,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    report("Section 4.7 attack resilience (Eq. 20)", result.render())
+
+    # The attack degrades the victim's redundancy...
+    assert result.attacked_measured < result.baseline_redundancy
+    # ...but remains "fairly weak": redundancy does not collapse to zero.
+    assert result.attacked_measured > 0.5
+    # The victim's width never shrinks under table inflation.
+    assert result.victim_width_after >= result.victim_width_before

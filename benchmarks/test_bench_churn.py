@@ -1,0 +1,27 @@
+"""Churn benchmark: the dynamic counterpart of Fig. 8 (extension)."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import churn
+
+RATES = (0.0, 0.01, 0.05)
+
+
+@pytest.mark.figure
+def test_bench_churn(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        churn.run,
+        args=(bench_scale,),
+        kwargs={"rates": RATES, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    report("Churn: reclaimed space vs. continuous failure rate", result.render())
+
+    # Zero churn reclaims a majority of the ideal.
+    assert result.reclaimed_fraction[0.0] > 0.5 * result.ideal_fraction
+    # Heavy churn reclaims less than no churn.
+    assert result.reclaimed_fraction[RATES[-1]] < result.reclaimed_fraction[0.0]
+    # Maintenance actually fires under churn.
+    assert result.entries_flushed[RATES[-1]] > 0

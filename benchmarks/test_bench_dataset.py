@@ -1,0 +1,24 @@
+"""Dataset-statistics table (paper section 5 in-text numbers)."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import dataset_stats
+
+
+@pytest.mark.figure
+def test_bench_dataset_stats(benchmark, bench_scale, bench_seed):
+    result = benchmark(dataset_stats.run, bench_scale, bench_seed)
+    rendered = result.render()
+    report("Dataset statistics (paper: 46% duplicate bytes)", rendered)
+
+    summary = result.summary
+    # The shape claims the rest of the evaluation depends on.  Byte
+    # fractions are heavy-tail statistics: tiny corpora undersample both the
+    # Zipf duplication tail and the lognormal size tail, so the band widens
+    # below ~200 machines (the calibrated band holds at default/full scale).
+    if bench_scale.machines >= 200:
+        assert 0.36 <= summary.duplicate_byte_fraction <= 0.56
+    else:
+        assert 0.12 <= summary.duplicate_byte_fraction <= 0.60
+    assert 0.25 <= 1 - summary.duplicate_file_fraction <= 0.55

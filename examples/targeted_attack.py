@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Targeted attack on SALAD (paper section 4.7).
+
+A coalition of sybil leaves crafts identifiers vector-aligned with a victim
+leaf, inflating its leaf table and therefore its system-size estimate; the
+victim adopts an oversized cell-ID width and its records get lossier.  The
+paper's Eq. 20 bounds the damage:
+
+    lambda' = lambda * (1 - m/L)^D
+
+This example mounts the attack and shows (a) the victim's width inflation,
+(b) the measured drop in its records' redundancy, and (c) that the attack is
+"fairly weak": the rest of the system is unaffected, and no fingerprint
+range is captured.
+
+Run:  python examples/targeted_attack.py
+"""
+
+import random
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad import Salad, SaladConfig
+from repro.salad.attack import craft_attack_identifiers, measure_record_redundancy
+from repro.salad.model import actual_redundancy, attacked_redundancy
+from repro.salad.records import SaladRecord
+
+
+def victim_records(victim_id: int, count: int, tag: int):
+    return [
+        SaladRecord(synthetic_fingerprint(10_000 + i, tag + i), victim_id)
+        for i in range(count)
+    ]
+
+
+def main() -> None:
+    system_size = 200
+    sybils = 60
+    rng = random.Random(11)
+
+    salad = Salad(SaladConfig(target_redundancy=2.5, dimensions=2, seed=5))
+    salad.build(system_size)
+    victim = salad.alive_leaves()[0]
+    bystander = salad.alive_leaves()[1]
+    print(f"SALAD of {system_size} leaves; victim width W={victim.width}")
+
+    before = victim_records(victim.identifier, 200, 1_000_000)
+    salad.insert_records({victim.identifier: before})
+    base = measure_record_redundancy(salad, before)
+    print(f"victim record redundancy before attack: {base:.2f}")
+
+    print(f"\n{sybils} sybils join with identifiers vector-aligned to the victim,")
+    print("then silently drop all service (stale entries inflate the victim's table)...")
+    sybil_leaves = []
+    for identifier in craft_attack_identifiers(
+        victim.identifier, victim.width, 2, sybils, rng
+    ):
+        if identifier not in salad.leaves:
+            sybil_leaves.append(salad.add_leaf(identifier=identifier))
+    for sybil in sybil_leaves:
+        sybil.fail()
+    print(
+        f"victim: width W={victim.width}, leaf table={victim.table_size} entries, "
+        f"estimated L={victim.estimated_system_size:.0f} (true {len(salad)})"
+    )
+
+    after = victim_records(victim.identifier, 200, 2_000_000)
+    salad.insert_records({victim.identifier: after})
+    measured = measure_record_redundancy(salad, after)
+    lam = actual_redundancy(len(salad), 2.5)
+    bound = attacked_redundancy(lam, sybils, len(salad), 2)
+    print(f"\nvictim record redundancy after attack:  {measured:.2f}")
+    print(f"Eq. 20 prediction:                      {bound:.2f}")
+
+    # The attack does not spill onto bystanders.
+    bystander_records = victim_records(bystander.identifier, 200, 3_000_000)
+    salad.insert_records({bystander.identifier: bystander_records})
+    unaffected = measure_record_redundancy(salad, bystander_records)
+    print(f"bystander record redundancy:            {unaffected:.2f}")
+    print(
+        "\n-> the attack degrades one victim's redundancy, cannot capture a"
+        "\n   fingerprint range, and leaves the rest of the SALAD untouched --"
+        "\n   the section 4.7 claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

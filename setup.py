@@ -1,0 +1,19 @@
+"""Setup shim for environments without the `wheel` package.
+
+PEP 660 editable installs need `wheel`; this offline environment lacks it, so
+`pip install -e . --no-use-pep517` (or plain `python setup.py develop`) falls
+back to the legacy egg-link editable install via this file.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup(
+    # setuptools 65's pyproject support is beta and `setup.py develop` does
+    # not materialize [project.scripts]; declare the entry point here too.
+    entry_points={
+        "console_scripts": [
+            "repro-experiments = repro.experiments.runner:main",
+        ]
+    }
+)

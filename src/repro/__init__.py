@@ -1,0 +1,37 @@
+"""Reproduction of Douceur et al., "Reclaiming Space from Duplicate Files in
+a Serverless Distributed File System" (ICDCS 2002 / MSR-TR-2002-30).
+
+Public API tour:
+
+- :mod:`repro.core` -- convergent encryption and file fingerprints.
+- :mod:`repro.salad` -- the SALAD distributed fingerprint database.
+- :mod:`repro.sim` -- the discrete-event simulation substrate.
+- :mod:`repro.farsite` -- Farsite substrates: Single-Instance Store, file
+  hosts, directory groups, replica placement and relocation.
+- :mod:`repro.workload` -- synthetic file-system corpus generation.
+- :mod:`repro.experiments` -- one module per paper figure (Figs. 7-15).
+- :mod:`repro.analysis` -- space accounting, CDFs, report rendering.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    ConvergentCiphertext,
+    Fingerprint,
+    User,
+    UserDirectory,
+    convergent_decrypt,
+    convergent_encrypt,
+    fingerprint_of,
+)
+
+__all__ = [
+    "ConvergentCiphertext",
+    "Fingerprint",
+    "User",
+    "UserDirectory",
+    "convergent_decrypt",
+    "convergent_encrypt",
+    "fingerprint_of",
+    "__version__",
+]

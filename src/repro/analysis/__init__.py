@@ -1,0 +1,13 @@
+"""Analysis utilities: space accounting, CDFs, and report rendering.
+
+- :mod:`repro.analysis.space` -- consumed/reclaimed space computation from
+  SALAD match notifications (the y-axis of Figs. 7, 8, and 13).
+- :mod:`repro.analysis.cdf` -- cumulative distributions and CoV (Figs. 10,
+  12, 15).
+- :mod:`repro.analysis.reporting` -- fixed-width tables of each figure's
+  series.
+"""
+
+from repro.analysis.space import SpaceAccounting, UnionFind, reclaimed_bytes_from_matches
+
+__all__ = ["SpaceAccounting", "UnionFind", "reclaimed_bytes_from_matches"]

@@ -1,0 +1,33 @@
+"""CDF helpers for the distribution figures (Figs. 10, 12, 15).
+
+Thin re-exports plus figure-specific conveniences around
+:class:`repro.sim.metrics.Cdf`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.metrics import Cdf, coefficient_of_variation
+
+__all__ = ["Cdf", "coefficient_of_variation", "cdf_series", "sampled_cdf_points"]
+
+
+def cdf_series(samples_by_label: Dict[str, Sequence[float]]) -> Dict[str, Cdf]:
+    """Build one CDF per labeled series (e.g. one per Lambda value)."""
+    return {label: Cdf.from_samples(samples) for label, samples in samples_by_label.items()}
+
+
+def sampled_cdf_points(cdf: Cdf, points: int = 20) -> List[Tuple[float, float]]:
+    """Evenly spaced (value, cumulative frequency) samples for tabular output.
+
+    The full CDF has one step per distinct sample; reports print a fixed
+    number of evenly spaced quantiles instead.
+    """
+    if len(cdf) == 0:
+        return []
+    out = []
+    for i in range(1, points + 1):
+        q = i / points
+        out.append((cdf.quantile(q), q))
+    return out

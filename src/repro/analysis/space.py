@@ -1,0 +1,119 @@
+"""Space accounting: from SALAD match notifications to reclaimed bytes.
+
+The DFC pipeline reclaims space by coalescing files whose identicality SALAD
+*discovered*.  A duplicate notification tells machine ``l`` that machine
+``k`` holds a file with fingerprint ``f``; the relocation subsystem then
+co-locates those replicas and the Single-Instance Store coalesces them.
+Space accounting therefore works on the *transitive closure* of discovered
+pairs: for each content, the connected components of the discovery graph can
+each be coalesced into a single stored copy, so a component of size c
+reclaims ``(c - 1) * size`` bytes.  Copies SALAD never matched (lossiness,
+failures, thresholds, database eviction) remain separate files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.core.fingerprint import Fingerprint
+from repro.salad.protocol import MatchPayload
+from repro.workload.corpus import Corpus
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable items (path halving + rank)."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+
+    def find(self, item: Hashable) -> Hashable:
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            self._rank[item] = 0
+            return item
+        while parent[item] != item:
+            parent[item] = parent[parent[item]]  # path halving
+            item = parent[item]
+        return item
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+
+    def components(self) -> Dict[Hashable, List[Hashable]]:
+        out: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), []).append(item)
+        return out
+
+
+def reclaimed_bytes_from_matches(
+    matches: Iterable[Tuple[int, MatchPayload]],
+    min_size: int = 0,
+) -> int:
+    """Bytes reclaimable from discovered duplicate pairs.
+
+    *matches* are ``(receiving_machine, payload)`` pairs as collected by
+    :meth:`repro.salad.salad.Salad.collected_matches`.  Pairs whose file size
+    is below *min_size* are ignored (the Fig. 7 threshold).
+
+    For each fingerprint, machines linked by at least one notification form
+    coalescible components; a component of c machines stores one copy
+    instead of c.
+    """
+    forest: Dict[Fingerprint, UnionFind] = {}
+    for machine, payload in matches:
+        if payload.fingerprint.size < min_size:
+            continue
+        uf = forest.setdefault(payload.fingerprint, UnionFind())
+        uf.union(machine, payload.other_machine)
+    reclaimed = 0
+    for fingerprint, uf in forest.items():
+        for members in uf.components().values():
+            reclaimed += (len(members) - 1) * fingerprint.size
+    return reclaimed
+
+
+@dataclass
+class SpaceAccounting:
+    """Consumed-space bookkeeping for one corpus (the Figs. 7/8/13 y-axis)."""
+
+    corpus: Corpus
+    total_bytes: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.total_bytes = self.corpus.total_bytes
+
+    def ideal_consumed_bytes(self, min_size: int = 0) -> int:
+        """Space after *perfect* coalescing of files >= min_size.
+
+        This is the "ideal" curve of Fig. 7.
+        """
+        return self.total_bytes - self.corpus.ideal_reclaimable_bytes(min_size)
+
+    def consumed_bytes(
+        self,
+        matches: Iterable[Tuple[int, MatchPayload]],
+        min_size: int = 0,
+    ) -> int:
+        """Space after coalescing what the (lossy) DFC actually discovered."""
+        return self.total_bytes - reclaimed_bytes_from_matches(matches, min_size)
+
+    def reclaimed_fraction(
+        self,
+        matches: Iterable[Tuple[int, MatchPayload]],
+        min_size: int = 0,
+    ) -> float:
+        """Fraction of all consumed space reclaimed (paper quotes 38%/46%)."""
+        if self.total_bytes == 0:
+            return 0.0
+        return reclaimed_bytes_from_matches(matches, min_size) / self.total_bytes

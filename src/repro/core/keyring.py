@@ -1,0 +1,75 @@
+"""Users, their key pairs, and directories of authorized readers.
+
+Every Farsite user ``u`` holds a public/private key pair ``(K_u, K'_u)``
+(paper section 2).  Convergent encryption attaches to each file a metadata
+set ``M_f = { mu_u = F_{K_u}(H(P_f)) : u in U_f }`` (Eq. 3) -- one entry per
+authorized reader, each an encryption of the file's hash key under that
+reader's public key.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, generate_keypair
+
+
+@dataclass
+class User:
+    """A Farsite user: a name and an RSA key pair."""
+
+    name: str
+    keypair: RSAKeyPair
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.keypair.public
+
+    def unlock_hash_key(self, encrypted_key: bytes) -> bytes:
+        """Decrypt one metadata entry mu_u back into the hash key H(P_f)."""
+        return self.keypair.decrypt(encrypted_key)
+
+    @classmethod
+    def create(cls, name: str, rng: Optional[random.Random] = None, bits: int = 512) -> "User":
+        """Generate a fresh user with a new key pair."""
+        return cls(name=name, keypair=generate_keypair(bits=bits, rng=rng))
+
+
+@dataclass
+class UserDirectory:
+    """A registry of users, for looking up public keys by name.
+
+    In real Farsite the directory groups certify user keys; the simulation
+    only needs the lookup.
+    """
+
+    _users: Dict[str, User] = field(default_factory=dict)
+
+    def add(self, user: User) -> None:
+        if user.name in self._users:
+            raise ValueError(f"user {user.name!r} already registered")
+        self._users[user.name] = user
+
+    def create_user(self, name: str, rng: Optional[random.Random] = None) -> User:
+        """Generate, register, and return a fresh user."""
+        user = User.create(name, rng=rng)
+        self.add(user)
+        return user
+
+    def get(self, name: str) -> User:
+        try:
+            return self._users[name]
+        except KeyError:
+            raise KeyError(f"no such user: {name!r}") from None
+
+    def public_keys(self, names: Iterable[str]) -> Dict[str, RSAPublicKey]:
+        """Public keys of the given users, keyed by name."""
+        return {name: self.get(name).public_key for name in names}
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._users

@@ -1,0 +1,165 @@
+"""Empirical model of the section 3.1 security theorem.
+
+The theorem: given ciphertext ``c = E_{H(P)}(P)`` with the primitives modeled
+as random oracles, no attacker program of polynomial length can output the
+plaintext ``P`` with non-negligible probability unless it could already guess
+``P`` a priori.  The *only* capability convergent encryption adds is a
+confirmation oracle: an attacker who can enumerate a candidate set containing
+``P`` can confirm which candidate it is (a "controlled leak").
+
+This module builds that game concretely on the random oracles of
+:mod:`repro.crypto.random_oracle`:
+
+- :class:`ConvergentGame` samples a plaintext from a candidate space,
+  encrypts it convergently, and exposes only the oracles plus the ciphertext.
+- :func:`dictionary_attack` is the attack the scheme *permits*: hash each
+  candidate, decrypt, compare.  It succeeds in exactly
+  ``O(|candidate set|)`` queries.
+- :func:`blind_attack` is the attack the theorem *forbids*: query budget
+  polynomial while the candidate space is superpolynomial.  Its success
+  probability is at most (budget / |space|), which tests verify to be
+  negligible.
+
+These are run as statistical tests in ``tests/core/test_security_model.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.crypto.random_oracle import RandomOracleHash, RandomOraclePermutation
+
+
+@dataclass
+class GameTranscript:
+    """Outcome of one attack run."""
+
+    success: bool
+    hash_queries: int
+    cipher_queries: int
+    guessed: Optional[bytes]
+
+
+class ConvergentGame:
+    """The attack game of section 3.1, over a finite candidate space.
+
+    The challenger samples ``P`` uniformly from *candidates* (the set S of
+    the proof, here explicit), computes ``c = E_{H(P)}(P)`` through the
+    random oracles, and hands the attacker ``c`` plus oracle access.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[bytes],
+        key_bytes: int = 4,
+        rng: Optional[random.Random] = None,
+    ):
+        if not candidates:
+            raise ValueError("candidate space must be non-empty")
+        widths = {len(c) for c in candidates}
+        if len(widths) != 1:
+            raise ValueError("all candidate plaintexts must have equal length m")
+        self._rng = rng or random.Random()
+        self.candidates = list(candidates)
+        self.hash_oracle = RandomOracleHash(output_bytes=key_bytes, rng=self._rng)
+        self.cipher_oracle = RandomOraclePermutation(
+            width_bytes=widths.pop(), rng=self._rng
+        )
+        self._plaintext = self._rng.choice(self.candidates)
+        # Challenger queries do not count against the attacker's budget.
+        h = self.hash_oracle.query(self._plaintext)
+        self.ciphertext = self.cipher_oracle.encrypt(h, self._plaintext)
+        self._challenger_queries = (self.hash_oracle.queries, self.cipher_oracle.queries)
+
+    def attacker_queries(self) -> int:
+        """Oracle queries made since the challenge was issued."""
+        return (
+            self.hash_oracle.queries
+            - self._challenger_queries[0]
+            + self.cipher_oracle.queries
+            - self._challenger_queries[1]
+        )
+
+    def check(self, guess: bytes) -> bool:
+        """Did the attacker recover the challenge plaintext?"""
+        return guess == self._plaintext
+
+
+def dictionary_attack(game: ConvergentGame, tries: Optional[int] = None) -> GameTranscript:
+    """The permitted attack: confirm candidates one by one.
+
+    For each candidate ``s``, compute ``E_{H(s)}(s)`` and compare with the
+    challenge ciphertext.  Always succeeds if the whole candidate set is
+    tried -- this is the deliberate, controlled information leak.
+    """
+    budget = len(game.candidates) if tries is None else tries
+    for candidate in game.candidates[:budget]:
+        h = game.hash_oracle.query(candidate)
+        if game.cipher_oracle.encrypt(h, candidate) == game.ciphertext:
+            return GameTranscript(
+                success=game.check(candidate),
+                hash_queries=game.hash_oracle.queries,
+                cipher_queries=game.cipher_oracle.queries,
+                guessed=candidate,
+            )
+    return GameTranscript(
+        success=False,
+        hash_queries=game.hash_oracle.queries,
+        cipher_queries=game.cipher_oracle.queries,
+        guessed=None,
+    )
+
+
+def blind_attack(
+    game: ConvergentGame,
+    query_budget: int,
+    rng: Optional[random.Random] = None,
+) -> GameTranscript:
+    """The forbidden attack: try to invert without enumerating candidates.
+
+    The attacker does not consult the candidate list (modeling a
+    superpolynomial space it cannot enumerate).  It spends its budget on
+    random-key inverse queries ``E^-1_k(c)`` -- the best generic strategy,
+    since each query either hits ``H(P)`` (probability 2^-8k) or yields an
+    independently random string.
+    """
+    rng = rng or random.Random()
+    key_bytes = game.hash_oracle.output_bytes
+    guesses: List[bytes] = []
+    for _ in range(query_budget):
+        key = bytes(rng.getrandbits(8) for _ in range(key_bytes))
+        guesses.append(game.cipher_oracle.decrypt(key, game.ciphertext))
+    # The attacker outputs its most plausible guess; with no structure to
+    # exploit, that is just one of the decryptions.
+    final = rng.choice(guesses) if guesses else b""
+    return GameTranscript(
+        success=game.check(final),
+        hash_queries=game.hash_oracle.queries,
+        cipher_queries=game.cipher_oracle.queries,
+        guessed=final,
+    )
+
+
+def leak_is_exactly_equality(
+    plaintext_a: bytes,
+    plaintext_b: bytes,
+    key_bytes: int = 4,
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """Check the leak characterization: ciphertext equality iff plaintext equality.
+
+    Encrypt both plaintexts through one shared pair of oracles (as two
+    Farsite users would, sharing the real-world hash and cipher) and report
+    whether the ciphertexts match.
+    """
+    rng = rng or random.Random()
+    if len(plaintext_a) != len(plaintext_b):
+        # Different lengths are trivially distinguishable by ciphertext size.
+        return False
+    hash_oracle = RandomOracleHash(output_bytes=key_bytes, rng=rng)
+    cipher_oracle = RandomOraclePermutation(width_bytes=len(plaintext_a), rng=rng)
+    c_a = cipher_oracle.encrypt(hash_oracle.query(plaintext_a), plaintext_a)
+    c_b = cipher_oracle.encrypt(hash_oracle.query(plaintext_b), plaintext_b)
+    return c_a == c_b

@@ -1,0 +1,195 @@
+"""FIPS-197 AES block cipher, implemented from scratch in pure Python.
+
+Convergent encryption (paper section 3) needs a symmetric cipher ``E`` keyed
+by the hash of the plaintext.  The security proof models ``E`` as a random
+permutation family; any standard block cipher realizes it.  We implement AES
+(128/192/256-bit keys) directly from the FIPS-197 specification -- key
+expansion, SubBytes/ShiftRows/MixColumns rounds, and their inverses -- so the
+repository has no external crypto dependency.
+
+Verified against the FIPS-197 appendix test vectors in
+``tests/crypto/test_aes.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+BLOCK_SIZE = 16
+
+# --- S-box generation -------------------------------------------------------
+#
+# Rather than hard-coding 256 magic numbers, derive the S-box from its
+# definition: multiplicative inverse in GF(2^8) followed by the affine
+# transform (FIPS-197 section 5.1.1).
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> List[int]:
+    # Compute inverses via exhaustive search once; 256*256 is trivial.
+    inverse = [0] * 256
+    for x in range(1, 256):
+        for y in range(1, 256):
+            if _gf_mul(x, y) == 1:
+                inverse[x] = y
+                break
+    sbox = [0] * 256
+    for x in range(256):
+        b = inverse[x]
+        # Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        value = 0x63
+        for shift in range(5):
+            value ^= ((b << shift) | (b >> (8 - shift))) & 0xFF
+        sbox[x] = value
+    return sbox
+
+
+_SBOX = _build_sbox()
+_INV_SBOX = [0] * 256
+for _i, _v in enumerate(_SBOX):
+    _INV_SBOX[_v] = _i
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_gf_mul(_RCON[-1], 0x02))
+
+# Precomputed GF multiplication tables for MixColumns and its inverse.
+_MUL2 = [_gf_mul(x, 2) for x in range(256)]
+_MUL3 = [_gf_mul(x, 3) for x in range(256)]
+_MUL9 = [_gf_mul(x, 9) for x in range(256)]
+_MUL11 = [_gf_mul(x, 11) for x in range(256)]
+_MUL13 = [_gf_mul(x, 13) for x in range(256)]
+_MUL14 = [_gf_mul(x, 14) for x in range(256)]
+
+_ROUNDS_BY_KEY_BYTES = {16: 10, 24: 12, 32: 14}
+
+
+class AES:
+    """The AES block cipher over 16-byte blocks.
+
+    >>> key = bytes(range(16))
+    >>> cipher = AES(key)
+    >>> block = b"sixteen byte msg"
+    >>> cipher.decrypt_block(cipher.encrypt_block(block)) == block
+    True
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) not in _ROUNDS_BY_KEY_BYTES:
+            raise ValueError(
+                f"AES key must be 16, 24, or 32 bytes, got {len(key)}"
+            )
+        self.key = bytes(key)
+        self.rounds = _ROUNDS_BY_KEY_BYTES[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        """FIPS-197 key expansion; returns one 16-int round key per round."""
+        nk = len(key) // 4
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self.rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for r in range(self.rounds + 1):
+            rk: List[int] = []
+            for w in words[4 * r : 4 * r + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    # State layout: a flat list of 16 bytes in column-major order, matching
+    # the byte order of the input block (FIPS-197 section 3.4).
+
+    @staticmethod
+    def _add_round_key(state: List[int], rk: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int], box: List[int]) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # Row r (bytes r, r+4, r+8, r+12) rotates left by r.
+        state[1], state[5], state[9], state[13] = state[5], state[9], state[13], state[1]
+        state[2], state[6], state[10], state[14] = state[10], state[14], state[2], state[6]
+        state[3], state[7], state[11], state[15] = state[15], state[3], state[7], state[11]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        state[5], state[9], state[13], state[1] = state[1], state[5], state[9], state[13]
+        state[10], state[14], state[2], state[6] = state[2], state[6], state[10], state[14]
+        state[15], state[3], state[7], state[11] = state[3], state[7], state[11], state[15]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = state[c : c + 4]
+            state[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            state[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            state[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            state[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = state[c : c + 4]
+            state[c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            state[c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            state[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            state[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for r in range(1, self.rounds):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[r])
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self.rounds])
+        for r in range(self.rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[r])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

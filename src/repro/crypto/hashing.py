@@ -1,0 +1,41 @@
+"""Cryptographic hashing for identifiers, fingerprints, and convergence keys.
+
+The paper uses a 20-byte cryptographically strong hash for machine
+identifiers (section 2) and file-content fingerprints (section 4.1).  We keep
+the 20-byte arithmetic exact by using SHA-1 for those roles; the convergent
+encryption key ``H(P_f)`` uses SHA-256 truncated to the symmetric key size
+(any strong hash satisfies the construction -- the security proof in section
+3.1 treats H as a random oracle of output length n).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Identifier / fingerprint hash width used throughout section 4 (20 bytes).
+FINGERPRINT_HASH_BYTES = 20
+
+#: Symmetric key width for convergent encryption (AES-128 by default).
+CONVERGENCE_KEY_BYTES = 16
+
+
+def strong_hash(data: bytes) -> bytes:
+    """The paper's 20-byte "cryptographically strong hash" (section 2)."""
+    return hashlib.sha1(data).digest()
+
+
+def content_hash(data: bytes) -> bytes:
+    """Hash of file content used in fingerprints; 20 bytes."""
+    return strong_hash(data)
+
+
+def convergence_key(plaintext: bytes, key_bytes: int = CONVERGENCE_KEY_BYTES) -> bytes:
+    """Derive the convergent encryption key ``H(P_f)`` from file plaintext.
+
+    SHA-256 truncated to *key_bytes* (16, 24, or 32 for AES).  Identical
+    plaintexts always yield identical keys; that determinism is the heart of
+    convergent encryption.
+    """
+    if key_bytes not in (16, 24, 32):
+        raise ValueError(f"key width must be an AES key size, got {key_bytes}")
+    return hashlib.sha256(plaintext).digest()[:key_bytes]

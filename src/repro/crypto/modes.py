@@ -1,0 +1,86 @@
+"""Modes of operation for the AES block cipher.
+
+Convergent encryption requires that the ciphertext of a file be *fully
+determined* by the file plaintext (paper section 3): ``c_f = E_{H(P_f)}(P_f)``
+(Eq. 2).  We therefore use CTR mode with a fixed zero nonce: the key is
+already a collision-resistant hash of the plaintext, so keystream reuse
+across *different* plaintexts is impossible, and reuse across *identical*
+plaintexts is precisely the feature.
+
+CBC mode with a deterministic IV is provided as an alternative realization
+(and to exercise the padding path); both satisfy Eq. 2.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+
+
+def ctr_keystream(cipher: AES, nonce: int, blocks: int) -> bytes:
+    """Return *blocks* blocks of CTR keystream starting at counter *nonce*."""
+    out = bytearray()
+    for counter in range(nonce, nonce + blocks):
+        out.extend(cipher.encrypt_block(counter.to_bytes(BLOCK_SIZE, "big")))
+    return bytes(out)
+
+
+def encrypt_ctr(key: bytes, plaintext: bytes, nonce: int = 0) -> bytes:
+    """Encrypt *plaintext* under *key* in CTR mode.
+
+    The output has exactly the length of the input, so coalesced storage of a
+    convergently encrypted file costs no more space than the plaintext.
+    """
+    cipher = AES(key)
+    blocks = (len(plaintext) + BLOCK_SIZE - 1) // BLOCK_SIZE
+    stream = ctr_keystream(cipher, nonce, blocks)
+    return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+
+def decrypt_ctr(key: bytes, ciphertext: bytes, nonce: int = 0) -> bytes:
+    """CTR decryption is CTR encryption."""
+    return encrypt_ctr(key, ciphertext, nonce)
+
+
+def _pad(data: bytes) -> bytes:
+    """PKCS#7 padding to a whole number of blocks."""
+    pad_len = BLOCK_SIZE - len(data) % BLOCK_SIZE
+    return data + bytes([pad_len]) * pad_len
+
+
+def _unpad(data: bytes) -> bytes:
+    if not data or len(data) % BLOCK_SIZE:
+        raise ValueError("ciphertext is not a whole number of blocks")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= BLOCK_SIZE or data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise ValueError("invalid PKCS#7 padding")
+    return data[:-pad_len]
+
+
+def encrypt_cbc(key: bytes, plaintext: bytes, iv: bytes = bytes(BLOCK_SIZE)) -> bytes:
+    """Encrypt in CBC mode with PKCS#7 padding and a deterministic IV."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    cipher = AES(key)
+    padded = _pad(plaintext)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(padded), BLOCK_SIZE):
+        block = bytes(a ^ b for a, b in zip(padded[i : i + BLOCK_SIZE], prev))
+        prev = cipher.encrypt_block(block)
+        out.extend(prev)
+    return bytes(out)
+
+
+def decrypt_cbc(key: bytes, ciphertext: bytes, iv: bytes = bytes(BLOCK_SIZE)) -> bytes:
+    """Invert :func:`encrypt_cbc`."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    cipher = AES(key)
+    out = bytearray()
+    prev = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i : i + BLOCK_SIZE]
+        plain = cipher.decrypt_block(block)
+        out.extend(a ^ b for a, b in zip(plain, prev))
+        prev = block
+    return _unpad(bytes(out))

@@ -1,0 +1,89 @@
+"""Primality testing and prime generation for RSA key pairs.
+
+Implements the Miller-Rabin probabilistic primality test plus a small-prime
+sieve pre-filter, and a generator for random primes of a requested bit width.
+All randomness flows through a caller-supplied :class:`random.Random` so key
+generation is reproducible inside simulations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+# Primes below 1000, used as a cheap trial-division pre-filter before the
+# Miller-Rabin rounds.
+_SMALL_PRIMES = [2, 3]
+for _candidate in range(5, 1000, 2):
+    if all(_candidate % p for p in _SMALL_PRIMES):
+        _SMALL_PRIMES.append(_candidate)
+
+#: Number of Miller-Rabin rounds.  40 rounds gives a false-positive
+#: probability below 2**-80 for random candidates.
+DEFAULT_ROUNDS = 40
+
+
+def _miller_rabin_round(n: int, d: int, r: int, witness: int) -> bool:
+    """Return ``True`` if *n* passes one Miller-Rabin round for *witness*.
+
+    *d* and *r* satisfy ``n - 1 == d * 2**r`` with *d* odd.
+    """
+    x = pow(witness, d, n)
+    if x == 1 or x == n - 1:
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(
+    n: int,
+    rounds: int = DEFAULT_ROUNDS,
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """Return ``True`` if *n* is prime with overwhelming probability.
+
+    Uses trial division by all primes below 1000 followed by *rounds* of
+    Miller-Rabin with random witnesses drawn from *rng* (a fresh
+    ``random.Random`` if omitted).
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random()
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        witness = rng.randrange(2, n - 1)
+        if not _miller_rabin_round(n, d, r, witness):
+            return False
+    return True
+
+
+def generate_prime(
+    bits: int,
+    rng: Optional[random.Random] = None,
+    rounds: int = DEFAULT_ROUNDS,
+) -> int:
+    """Generate a random prime of exactly *bits* bits.
+
+    The top two bits are forced to 1 so that the product of two such primes
+    has exactly ``2 * bits`` bits, and the bottom bit is forced to 1 so the
+    candidate is odd.
+    """
+    if bits < 8:
+        raise ValueError(f"prime width must be at least 8 bits, got {bits}")
+    rng = rng or random.Random()
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rounds=rounds, rng=rng):
+            return candidate

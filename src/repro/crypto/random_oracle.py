@@ -1,0 +1,94 @@
+"""The random-oracle model of paper section 3.1.
+
+The convergent-encryption security proof is stated in the random-oracle
+model: the hash H is a uniformly random function {0,1}^m -> {0,1}^n, and the
+cipher E is a uniformly random keyed permutation family, all accessible to
+the attacker *only* through oracle queries.  This module realizes those
+oracles with lazy sampling so the theorem can be tested empirically
+(:mod:`repro.core.security_model` builds attacker programs on top of them).
+
+Lazy sampling is the standard technique: each oracle answers fresh queries
+with uniformly random values and repeats itself on repeated queries, which is
+distributionally identical to sampling the whole function up front.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Tuple
+
+
+class OracleQueryBudgetExceeded(Exception):
+    """Raised when an attacker program exceeds its query budget."""
+
+
+class RandomOracleHash:
+    """A random function H: {0,1}^m -> {0,1}^n with query counting."""
+
+    def __init__(self, output_bytes: int, rng: random.Random, budget: int = 2**62):
+        self.output_bytes = output_bytes
+        self._rng = rng
+        self._table: Dict[bytes, bytes] = {}
+        self.queries = 0
+        self.budget = budget
+
+    def query(self, message: bytes) -> bytes:
+        self.queries += 1
+        if self.queries > self.budget:
+            raise OracleQueryBudgetExceeded("hash oracle budget exhausted")
+        if message not in self._table:
+            self._table[message] = bytes(
+                self._rng.getrandbits(8) for _ in range(self.output_bytes)
+            )
+        return self._table[message]
+
+
+class RandomOraclePermutation:
+    """A random keyed permutation family E and its inverse, lazily sampled.
+
+    For each key we maintain a partial injection plaintext -> ciphertext.
+    Forward queries sample a fresh ciphertext uniformly from the unused
+    codomain; inverse queries sample a fresh plaintext uniformly from the
+    unused domain.  Over the message space {0,1}^(8*width) this is an exact
+    lazy sampling of a uniform permutation (collisions with the used set are
+    re-drawn).
+    """
+
+    def __init__(self, width_bytes: int, rng: random.Random, budget: int = 2**62):
+        self.width_bytes = width_bytes
+        self._rng = rng
+        self._forward: Dict[Tuple[bytes, bytes], bytes] = {}
+        self._inverse: Dict[Tuple[bytes, bytes], bytes] = {}
+        self.queries = 0
+        self.budget = budget
+
+    def _count(self) -> None:
+        self.queries += 1
+        if self.queries > self.budget:
+            raise OracleQueryBudgetExceeded("permutation oracle budget exhausted")
+
+    def _fresh(self, used: Dict[Tuple[bytes, bytes], bytes], key: bytes) -> bytes:
+        while True:
+            candidate = bytes(self._rng.getrandbits(8) for _ in range(self.width_bytes))
+            if (key, candidate) not in used:
+                return candidate
+
+    def encrypt(self, key: bytes, plaintext: bytes) -> bytes:
+        """Query E_k(p)."""
+        self._count()
+        slot = (key, plaintext)
+        if slot not in self._forward:
+            ciphertext = self._fresh(self._inverse, key)
+            self._forward[slot] = ciphertext
+            self._inverse[(key, ciphertext)] = plaintext
+        return self._forward[slot]
+
+    def decrypt(self, key: bytes, ciphertext: bytes) -> bytes:
+        """Query E^-1_k(c)."""
+        self._count()
+        slot = (key, ciphertext)
+        if slot not in self._inverse:
+            plaintext = self._fresh(self._forward, key)
+            self._inverse[slot] = plaintext
+            self._forward[(key, plaintext)] = ciphertext
+        return self._inverse[slot]

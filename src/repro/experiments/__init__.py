@@ -1,0 +1,15 @@
+"""Experiments: one module per table/figure of the paper's section 5.
+
+- :mod:`repro.experiments.dfc_run` -- the shared pipeline: corpus -> SALAD
+  build -> record insertion -> match collection -> space accounting.
+- :mod:`repro.experiments.dataset_stats` -- the in-text dataset statistics.
+- :mod:`repro.experiments.threshold_sweep` -- the minimum-file-size sweep
+  shared by Figs. 7, 9, 10, 11, and 12.
+- :mod:`repro.experiments.fig07_space_vs_minsize` ... fig15 -- per-figure
+  result shaping and rendering.
+- :mod:`repro.experiments.runner` -- CLI that regenerates everything.
+"""
+
+from repro.experiments.dfc_run import DfcConfig, DfcRun
+
+__all__ = ["DfcConfig", "DfcRun"]

@@ -1,0 +1,53 @@
+"""Dataset statistics (the in-text table of paper section 5).
+
+Paper: "The scanned systems contain 10,514,105 files in 730,871 directories,
+totaling 685 GB of file data.  There were 4,060,748 distinct file contents
+totaling 368 GB of file data, implying that coalescing duplicates could
+ideally reclaim up to 46% of all consumed space."
+
+This experiment prints the same statistics for the synthetic corpus, whose
+*fractions* (not absolute sizes -- the corpus is scaled) should match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_bytes, render_kv
+from repro.experiments.scales import ExperimentScale
+from repro.workload.corpus import CorpusSummary
+from repro.workload.generator import generate_corpus
+
+#: The paper's reference values.
+PAPER_MACHINES = 585
+PAPER_TOTAL_FILES = 10_514_105
+PAPER_TOTAL_BYTES = 685 * 2**30
+PAPER_DISTINCT_FILES = 4_060_748
+PAPER_DISTINCT_BYTES = 368 * 2**30
+PAPER_DUPLICATE_BYTE_FRACTION = 0.46
+
+
+@dataclass
+class DatasetStatsResult:
+    summary: CorpusSummary
+
+    def render(self) -> str:
+        s = self.summary
+        return render_kv(
+            "Dataset statistics (paper section 5 in-text; fractions should match)",
+            {
+                "machines": f"{s.machine_count} (paper {PAPER_MACHINES})",
+                "total files": f"{s.total_files:,} (paper {PAPER_TOTAL_FILES:,})",
+                "total bytes": f"{format_bytes(s.total_bytes)} (paper 685G)",
+                "distinct contents": f"{s.distinct_contents:,} (paper {PAPER_DISTINCT_FILES:,})",
+                "distinct bytes": f"{format_bytes(s.distinct_bytes)} (paper 368G)",
+                "distinct file fraction": f"{1 - s.duplicate_file_fraction:.3f} (paper 0.386)",
+                "duplicate byte fraction": f"{s.duplicate_byte_fraction:.3f} (paper 0.46)",
+                "mean file size": f"{format_bytes(s.mean_file_size)} (paper ~65K)",
+            },
+        )
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> DatasetStatsResult:
+    corpus = generate_corpus(scale.corpus_spec(), seed=seed)
+    return DatasetStatsResult(summary=corpus.summary())

@@ -1,0 +1,42 @@
+"""Fig. 7: consumed space vs. minimum file size eligible for coalescing.
+
+Paper findings to reproduce:
+
+- the "ideal" and DFC curves are flat for thresholds below ~4 KB (small
+  files hold few bytes), then climb toward the un-coalesced total;
+- Lambda = 2.5 achieves nearly all possible space reclamation;
+- larger Lambda reclaims strictly more than smaller Lambda.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_bytes, render_table
+from repro.experiments.scales import ExperimentScale
+from repro.experiments.threshold_sweep import ThresholdSweepResult, run_threshold_sweep
+
+
+@dataclass
+class Fig07Result:
+    sweep: ThresholdSweepResult
+
+    def render(self) -> str:
+        return render_table(
+            "Fig. 7: consumed space vs. minimum file size for coalescing",
+            "min size",
+            self.sweep.thresholds,
+            self.sweep.consumed_series(),
+            x_formatter=lambda v: format_bytes(v),
+            value_formatter=lambda v: format_bytes(v),
+        )
+
+
+def run(
+    scale: ExperimentScale,
+    seed: int = 0,
+    sweep: ThresholdSweepResult = None,
+) -> Fig07Result:
+    if sweep is None:
+        sweep = run_threshold_sweep(scale, seed=seed)
+    return Fig07Result(sweep=sweep)

@@ -1,0 +1,39 @@
+"""Fig. 11: mean database size per machine vs. minimum file size.
+
+Paper finding to reproduce: "As with the message count, setting this
+threshold to 4 Kbytes halves the mean database size" -- record counts track
+file counts, which are dominated by small files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import format_bytes, render_table
+from repro.experiments.scales import ExperimentScale
+from repro.experiments.threshold_sweep import ThresholdSweepResult, run_threshold_sweep
+
+
+@dataclass
+class Fig11Result:
+    sweep: ThresholdSweepResult
+
+    def render(self) -> str:
+        return render_table(
+            "Fig. 11: mean database size (records) vs. minimum file size",
+            "min size",
+            self.sweep.thresholds,
+            self.sweep.database_series(),
+            x_formatter=lambda v: format_bytes(v),
+            value_formatter=lambda v: f"{v:,.1f}",
+        )
+
+
+def run(
+    scale: ExperimentScale,
+    seed: int = 0,
+    sweep: ThresholdSweepResult = None,
+) -> Fig11Result:
+    if sweep is None:
+        sweep = run_threshold_sweep(scale, seed=seed)
+    return Fig11Result(sweep=sweep)

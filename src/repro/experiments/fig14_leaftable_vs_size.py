@@ -1,0 +1,62 @@
+"""Fig. 14: mean leaf table size vs. system size.
+
+Paper findings to reproduce: "The square-root relationship predicted by
+Eq. 13 is evident in these curves, as is a periodic variation due to the
+discretization of W."  For D = 2 the mean leaf-table size grows as
+~2*sqrt(lambda*L), with sawtooth ripples each time the population's cell-ID
+width steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import render_table
+from repro.experiments.growth import GrowthResult, growth_sample_points, run_growth_suite
+from repro.experiments.scales import PAPER_LAMBDAS, ExperimentScale
+from repro.salad.model import expected_leaf_table_size
+
+
+@dataclass
+class Fig14Result:
+    system_sizes: Tuple[int, ...]
+    lambdas: Tuple[float, ...]
+    growth: Dict[float, GrowthResult]
+
+    def mean_series(self) -> Dict[str, List[float]]:
+        out: Dict[str, List[float]] = {}
+        for lam in self.lambdas:
+            out[f"Lambda={lam}"] = [s.mean for s in self.growth[lam].snapshots]
+        out["Eq.13 (Lambda=2)"] = [
+            expected_leaf_table_size(size, 2.0, 2) for size in self.system_sizes
+        ]
+        return out
+
+    def render(self) -> str:
+        return render_table(
+            "Fig. 14: mean leaf table size vs. system size",
+            "L",
+            self.system_sizes,
+            self.mean_series(),
+            x_formatter=lambda v: f"{v:,}",
+            value_formatter=lambda v: f"{v:,.1f}",
+        )
+
+
+def run(
+    scale: ExperimentScale,
+    lambdas: Sequence[float] = PAPER_LAMBDAS,
+    seed: int = 0,
+    growth: Dict[float, GrowthResult] = None,
+) -> Fig14Result:
+    sample_sizes = growth_sample_points(scale.growth_max_leaves)
+    if growth is None:
+        growth = run_growth_suite(lambdas, scale.growth_max_leaves, sample_sizes, seed=seed)
+    else:
+        sample_sizes = [s.system_size for s in growth[lambdas[0]].snapshots]
+    return Fig14Result(
+        system_sizes=tuple(sample_sizes),
+        lambdas=tuple(lambdas),
+        growth=growth,
+    )

@@ -1,0 +1,200 @@
+"""CLI for regenerating every table and figure of the paper's section 5.
+
+Usage::
+
+    repro-experiments --scale default              # everything
+    repro-experiments --scale full --only fig07 fig08
+    python -m repro.experiments.runner --only dataset fig14
+
+Shared work is reused: Figs. 7, 9, 10, 11, and 12 come from one threshold
+sweep per Lambda; Figs. 14 and 15 come from one growth run per Lambda.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from typing import Any, Dict, List
+
+from repro.experiments import (
+    ablation_blocks,
+    ablation_dimensionality,
+    attack_check,
+    churn,
+    dataset_stats,
+    fig07_space_vs_minsize,
+    fig08_space_vs_failure,
+    fig09_messages_vs_minsize,
+    fig10_message_cdf,
+    fig11_dbsize_vs_minsize,
+    fig12_dbsize_cdf,
+    fig13_space_vs_dblimit,
+    fig14_leaftable_vs_size,
+    fig15_leaftable_cdf,
+    model_check,
+)
+from repro.experiments.growth import growth_sample_points, run_growth_suite
+from repro.experiments.scales import PAPER_LAMBDAS, SCALES, get_scale
+from repro.experiments.threshold_sweep import run_threshold_sweep
+
+SWEEP_FIGURES = {"fig07", "fig09", "fig10", "fig11", "fig12"}
+GROWTH_FIGURES = {"fig14", "fig15"}
+ALL_EXPERIMENTS = [
+    "dataset",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "model",
+    "attack",
+    "ablation-blocks",
+    "ablation-dim",
+    "churn",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert an experiment result into JSON-compatible data.
+
+    Dataclasses become dicts, non-string dict keys become strings, bytes
+    become hex, and anything else unencodable becomes its repr -- enough to
+    persist every result type the experiments produce.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def run_experiments_raw(names: List[str], scale_name: str, seed: int = 0) -> Dict[str, Any]:
+    """Run the named experiments; returns the raw result object per name."""
+    rendered = run_experiments(names, scale_name, seed=seed, raw=True)
+    return rendered
+
+
+def run_experiments(
+    names: List[str], scale_name: str, seed: int = 0, raw: bool = False
+) -> Dict[str, Any]:
+    """Run the named experiments; returns rendered output (or raw results) per name."""
+    scale = get_scale(scale_name)
+    outputs: Dict[str, Any] = {}
+
+    sweep = None
+    if SWEEP_FIGURES & set(names):
+        sweep = run_threshold_sweep(scale, seed=seed)
+
+    growth = None
+    if GROWTH_FIGURES & set(names):
+        sample_sizes = sorted(
+            set(growth_sample_points(scale.growth_max_leaves))
+            | {scale.fig15_small, scale.fig15_large}
+        )
+        growth = run_growth_suite(
+            PAPER_LAMBDAS, scale.growth_max_leaves, sample_sizes, seed=seed
+        )
+
+    for name in names:
+        if name == "dataset":
+            result = dataset_stats.run(scale, seed=seed)
+        elif name == "fig07":
+            result = fig07_space_vs_minsize.run(scale, seed, sweep)
+        elif name == "fig08":
+            result = fig08_space_vs_failure.run(scale, seed=seed)
+        elif name == "fig09":
+            result = fig09_messages_vs_minsize.run(scale, seed, sweep)
+        elif name == "fig10":
+            result = fig10_message_cdf.run(scale, seed, sweep)
+        elif name == "fig11":
+            result = fig11_dbsize_vs_minsize.run(scale, seed, sweep)
+        elif name == "fig12":
+            result = fig12_dbsize_cdf.run(scale, seed, sweep)
+        elif name == "fig13":
+            result = fig13_space_vs_dblimit.run(scale, seed=seed)
+        elif name == "fig14":
+            result = fig14_leaftable_vs_size.run(scale, PAPER_LAMBDAS, seed, growth)
+        elif name == "fig15":
+            result = fig15_leaftable_cdf.run(scale, PAPER_LAMBDAS, seed, growth)
+        elif name == "model":
+            result = model_check.run(scale, seed=seed)
+        elif name == "attack":
+            result = attack_check.run(scale, seed=seed)
+        elif name == "ablation-blocks":
+            result = ablation_blocks.run(scale, seed=seed)
+        elif name == "ablation-dim":
+            result = ablation_dimensionality.run(scale, seed=seed)
+        elif name == "churn":
+            result = churn.run(scale, seed=seed)
+        else:
+            raise ValueError(f"unknown experiment {name!r}")
+        outputs[name] = result if raw else result.render()
+    return outputs
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the tables/figures of Douceur et al. (ICDCS 2002)."
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="experiment scale (see repro.experiments.scales)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        choices=ALL_EXPERIMENTS,
+        default=None,
+        help="run only these experiments (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the raw result data (series, not just tables) as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.only or ALL_EXPERIMENTS
+    start = time.time()
+    if args.json:
+        raw = run_experiments(names, args.scale, seed=args.seed, raw=True)
+        outputs = {name: result.render() for name, result in raw.items()}
+        payload = {
+            "scale": args.scale,
+            "seed": args.seed,
+            "results": {name: _jsonable(result) for name, result in raw.items()},
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=1)
+        print(f"raw results written to {args.json}")
+    else:
+        outputs = run_experiments(names, args.scale, seed=args.seed)
+    for name in names:
+        print(f"\n{'=' * 72}\n[{name}]")
+        print(outputs[name])
+    print(f"\ncompleted {len(names)} experiments in {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

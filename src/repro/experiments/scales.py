@@ -1,0 +1,84 @@
+"""Experiment scales.
+
+The paper simulates 585 machines holding 10.5M files (~18,000 per machine)
+and grows SALADs to 10,000 leaves.  A pure-Python reproduction keeps the
+*machine* counts (which drive all the SALAD statistics) and scales the
+per-machine *file* counts, which enter every result only through sums and
+means.  Three presets:
+
+- ``small``  -- seconds; used by the test suite.
+- ``default`` -- tens of seconds per figure; used by the benchmarks.
+- ``full``   -- the paper's machine counts (585 / 10,000 leaves); minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workload.generator import CorpusSpec
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scale knobs shared by all experiments."""
+
+    name: str
+    machines: int
+    mean_files_per_machine: float
+    #: Largest SALAD grown in the Fig. 14 experiment.
+    growth_max_leaves: int
+    #: System sizes compared in the Fig. 15 CDFs.
+    fig15_small: int
+    fig15_large: int
+
+    def corpus_spec(self) -> CorpusSpec:
+        return CorpusSpec(
+            machines=self.machines,
+            mean_files_per_machine=self.mean_files_per_machine,
+        )
+
+
+SMALL = ExperimentScale(
+    name="small",
+    machines=64,
+    mean_files_per_machine=20,
+    growth_max_leaves=200,
+    fig15_small=64,
+    fig15_large=200,
+)
+
+DEFAULT = ExperimentScale(
+    name="default",
+    machines=292,
+    mean_files_per_machine=40,
+    growth_max_leaves=2000,
+    fig15_small=292,
+    fig15_large=2000,
+)
+
+FULL = ExperimentScale(
+    name="full",
+    machines=585,
+    mean_files_per_machine=60,
+    growth_max_leaves=10_000,
+    fig15_small=585,
+    fig15_large=10_000,
+)
+
+SCALES: Dict[str, ExperimentScale] = {s.name: s for s in (SMALL, DEFAULT, FULL)}
+
+#: The paper's Lambda sweep (Figs. 7-15 all compare these).
+PAPER_LAMBDAS = (1.5, 2.0, 2.5)
+
+#: The paper's minimum-file-size x-axis: 1 B to 1 GB, factor 8 per step.
+PAPER_THRESHOLDS = tuple(8**k for k in range(11))  # 1 ... 8^10 = 1 GiB
+
+
+def get_scale(name: str) -> ExperimentScale:
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,41 @@
+"""Farsite substrates the DFC subsystem lives inside (paper section 2).
+
+The paper identifies four problems; convergent encryption and SALAD solve
+the first two, and problems (3) and (4) are delegated to other Farsite
+components, which this package implements so the pipeline runs end to end:
+
+- :mod:`repro.farsite.machine_id` -- machine identity: key pair, 20-byte
+  identifier from the public-key hash, self-signed certificates.
+- :mod:`repro.farsite.sis` -- the Single-Instance Store [7]: coalesces
+  identical (ciphertext) files while retaining separate-file semantics.
+- :mod:`repro.farsite.file_host` -- file hosts storing encrypted replicas.
+- :mod:`repro.farsite.directory_group` -- quorum-replicated directory
+  groups (Byzantine fault model: < 1/3 faulty members).
+- :mod:`repro.farsite.placement` -- availability-driven replica placement [14].
+- :mod:`repro.farsite.relocation` -- problem (3): co-locate replicas of
+  identical files so hosts can coalesce them.
+- :mod:`repro.farsite.client` -- the client write/read path with per-user
+  keys and convergent encryption.
+- :mod:`repro.farsite.namespace` -- the hierarchical namespace partitioned
+  among directory groups.
+"""
+
+from repro.farsite.client import FarsiteClient
+from repro.farsite.directory_group import DirectoryGroup
+from repro.farsite.file_host import FileHost
+from repro.farsite.machine_id import MachineIdentity
+from repro.farsite.namespace import Namespace
+from repro.farsite.placement import place_replicas
+from repro.farsite.relocation import RelocationPlanner
+from repro.farsite.sis import SingleInstanceStore
+
+__all__ = [
+    "DirectoryGroup",
+    "FarsiteClient",
+    "FileHost",
+    "MachineIdentity",
+    "Namespace",
+    "RelocationPlanner",
+    "SingleInstanceStore",
+    "place_replicas",
+]

@@ -1,0 +1,160 @@
+"""The complete Duplicate-File-Coalescing pipeline (paper section 1).
+
+Closes the loop across all four of the paper's problems:
+
+1. convergent encryption makes identical files identical ciphertext
+   (modeled by deterministic per-content blobs, see
+   :mod:`repro.workload.content`);
+2. SALAD identifies files with identical content (the :class:`DfcRun`
+   phase);
+3. the relocation planner co-locates replicas of identical files on a
+   common host set;
+4. each host's Single-Instance Store coalesces them, reclaiming the bytes.
+
+The pipeline verifies the accounting end to end: the bytes the SIS layer
+physically reclaims must be at least the union-find prediction computed from
+the SALAD match notifications (the number every figure-7/8/13 experiment
+reports), and equals it whenever each content's discoveries form a single
+connected component.
+
+Memory note: this pipeline materializes file bytes, so drive it with small
+corpora (the statistics-only experiments never materialize content).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.space import reclaimed_bytes_from_matches
+from repro.core.fingerprint import Fingerprint
+from repro.experiments.dfc_run import DfcConfig, DfcRun
+from repro.farsite.file_host import FileHost
+from repro.farsite.relocation import RelocationPlan, RelocationPlanner
+from repro.workload.content import synthetic_content
+from repro.workload.corpus import Corpus
+
+
+@dataclass
+class PipelineReport:
+    """End-to-end outcome of one DFC pass."""
+
+    total_bytes: int
+    predicted_reclaimed: int  # from SALAD matches (union-find)
+    physically_reclaimed: int  # measured at the SIS layer after relocation
+    migrations: int
+    bytes_moved: int
+
+    @property
+    def consumed_bytes(self) -> int:
+        return self.total_bytes - self.physically_reclaimed
+
+    @property
+    def reclaimed_fraction(self) -> float:
+        return self.physically_reclaimed / self.total_bytes if self.total_bytes else 0.0
+
+
+class DfcPipeline:
+    """Corpus -> hosts -> SALAD -> relocation -> SIS coalescing."""
+
+    def __init__(self, corpus: Corpus, config: DfcConfig = DfcConfig()):
+        self.corpus = corpus
+        self.config = config
+        self.run = DfcRun(corpus, config)
+        self.hosts: Dict[int, FileHost] = {}
+        #: file_id -> (fingerprint, current replica hosts)
+        self.replicas: Dict[str, Tuple[Fingerprint, List[int]]] = {}
+        self.planner = RelocationPlanner(replication_factor=1)
+
+    # -- phase 1: load every machine's files onto its host ---------------------
+
+    def load_hosts(self) -> None:
+        """Create one file host per machine and store its (encrypted) files.
+
+        Each file's blob is the deterministic stand-in for its convergently
+        encrypted content; identical contents yield identical blobs, which
+        is the property SIS coalescing keys on.
+        """
+        self.run.build()
+        for machine in self.corpus.machines:
+            host_id = self.run.leaf_of_machine[machine.machine_index]
+            host = FileHost(host_id)
+            self.hosts[host_id] = host
+            for index, stat in enumerate(machine.files):
+                file_id = f"m{machine.machine_index}-f{index}"
+                blob = synthetic_content(stat.content_id, stat.size)
+                host.sis.store(file_id, blob)
+                self.replicas[file_id] = (stat.fingerprint(), [host_id])
+
+    # -- phase 2: SALAD discovery -----------------------------------------------
+
+    def discover(self, min_size: int = 0) -> int:
+        """Publish fingerprint records and collect match notifications."""
+        return self.run.insert_all(min_size=min_size)
+
+    # -- phase 3: relocation -----------------------------------------------------
+
+    def _duplicate_groups(self) -> Dict[Fingerprint, Dict[str, Sequence[int]]]:
+        """Groups of co-coalescible files from the SALAD's discoveries.
+
+        A file joins its fingerprint's group iff its machine appeared in at
+        least one match notification for that fingerprint; copies SALAD
+        never matched stay where they are (that is the lossiness every
+        space figure measures).  All matched copies of one fingerprint form
+        a single group -- a relocation pass holding the notifications
+        co-locates them all, so the physical reclaim can slightly *exceed*
+        the union-find prediction when discovery found two disjoint
+        components of the same content.
+        """
+        from repro.analysis.space import UnionFind
+
+        matched_machines: Dict[Fingerprint, set] = {}
+        for machine, payload in self.run.salad.collected_matches():
+            members = matched_machines.setdefault(payload.fingerprint, set())
+            members.add(machine)
+            members.add(payload.other_machine)
+        groups: Dict[Fingerprint, Dict[str, Sequence[int]]] = {}
+        for file_id, (fingerprint, hosts) in self.replicas.items():
+            members = matched_machines.get(fingerprint)
+            if members is None or hosts[0] not in members:
+                continue
+            groups.setdefault(fingerprint, {})[file_id] = list(hosts)
+        return {fp: files for fp, files in groups.items() if len(files) > 1}
+
+    def relocate(self) -> RelocationPlan:
+        """Plan and execute the migrations that co-locate duplicates."""
+        plan = self.planner.plan(self._duplicate_groups())
+        for migration in plan.migrations:
+            source = self.hosts[migration.source_host]
+            target = self.hosts[migration.target_host]
+            blob = source.sis.read(migration.file_id)
+            source.sis.delete(migration.file_id)
+            target.sis.store(migration.file_id, blob)
+            fingerprint, hosts = self.replicas[migration.file_id]
+            hosts.remove(migration.source_host)
+            hosts.append(migration.target_host)
+        return plan
+
+    # -- phase 4: accounting -------------------------------------------------------
+
+    def report(self, plan: RelocationPlan) -> PipelineReport:
+        total = sum(
+            stats.logical_bytes
+            for stats in (host.sis.stats() for host in self.hosts.values())
+        )
+        physical = sum(host.sis.stats().physical_bytes for host in self.hosts.values())
+        predicted = reclaimed_bytes_from_matches(self.run.salad.collected_matches())
+        return PipelineReport(
+            total_bytes=total,
+            predicted_reclaimed=predicted,
+            physically_reclaimed=total - physical,
+            migrations=plan.moved_replicas,
+            bytes_moved=plan.bytes_moved(),
+        )
+
+    def execute(self, min_size: int = 0) -> PipelineReport:
+        """Run all four phases and return the verified report."""
+        self.load_hosts()
+        self.discover(min_size=min_size)
+        plan = self.relocate()
+        return self.report(plan)

@@ -1,0 +1,241 @@
+"""A complete Farsite participant and a whole-system deployment.
+
+Paper section 2: "Every participating machine functions not only as a
+client device for its local user but also both as a file host -- storing
+replicas of encrypted file content on behalf of the system -- and as a
+member of a directory group."
+
+:class:`FarsiteNode` is that machine: a SALAD leaf (section 4) that also
+hosts encrypted replicas (via an embedded :class:`FileHost`) and publishes
+their fingerprints into the SALAD.  :class:`FarsiteDeployment` assembles a
+whole system -- nodes joined into one SALAD over one simulated network,
+directory groups of 3f+1 nodes, a partitioned namespace, a user registry --
+and drives the full Duplicate-File-Coalescing cycle:
+
+1. clients write convergently encrypted files to replica hosts;
+2. every node publishes its replicas' fingerprints (Fig. 4);
+3. match notifications identify duplicate groups;
+4. relocation co-locates the groups' replicas and updates the namespace;
+5. each host's Single-Instance Store coalesces, reclaiming the bytes.
+
+This is the end-to-end system the paper describes; the statistics-scale
+experiments in :mod:`repro.experiments` use the lighter abstract pipeline
+instead (they never materialize file bytes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.fingerprint import Fingerprint
+from repro.core.keyring import User, UserDirectory
+from repro.farsite.client import FarsiteClient
+from repro.farsite.directory_group import DirectoryGroup
+from repro.farsite.file_host import FileHost
+from repro.farsite.namespace import Namespace
+from repro.farsite.relocation import RelocationPlan, RelocationPlanner
+from repro.salad.leaf import SaladLeaf
+from repro.salad.records import SaladRecord
+from repro.salad.salad import Salad, SaladConfig
+from repro.sim.network import Network
+
+#: Directory-group size for fault tolerance f=1 (3f+1).
+GROUP_SIZE = 4
+
+
+class FarsiteNode(SaladLeaf):
+    """A machine that is simultaneously a SALAD leaf and a file host."""
+
+    def __init__(self, identifier: int, network: Network, **salad_kwargs):
+        super().__init__(identifier, network, **salad_kwargs)
+        self.host = FileHost(identifier)
+        self._published: set = set()
+
+    def publish_fingerprints(self, min_size: int = 0) -> int:
+        """Insert a SALAD record for each stored replica (Fig. 4).
+
+        Idempotent: already-published fingerprints are skipped, so the DFC
+        cycle can run periodically as new files arrive.
+        """
+        published = 0
+        for fingerprint in self.host.fingerprints():
+            if fingerprint.size < min_size or fingerprint in self._published:
+                continue
+            self._published.add(fingerprint)
+            self.insert_record(
+                SaladRecord(fingerprint=fingerprint, location=self.identifier)
+            )
+            published += 1
+        return published
+
+
+@dataclass
+class DfcCycleReport:
+    """Outcome of one deployment-wide DFC cycle."""
+
+    records_published: int
+    duplicate_groups: int
+    migrations: int
+    bytes_moved: int
+    logical_bytes: int
+    physical_bytes: int
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return self.logical_bytes - self.physical_bytes
+
+
+class FarsiteDeployment:
+    """A whole Farsite system over one simulated network."""
+
+    def __init__(
+        self,
+        machine_count: int,
+        target_redundancy: float = 2.5,
+        replication_factor: int = 3,
+        seed: int = 0,
+    ):
+        if machine_count < GROUP_SIZE:
+            raise ValueError(
+                f"a deployment needs at least {GROUP_SIZE} machines for one "
+                f"directory group, got {machine_count}"
+            )
+        self._rng = random.Random(seed)
+        self.replication_factor = replication_factor
+
+        # The SALAD fabric; nodes are FarsiteNodes rather than bare leaves.
+        self.salad = Salad(
+            SaladConfig(target_redundancy=target_redundancy, seed=seed, notify_limit=4)
+        )
+        self.salad.create_leaf = self._create_node  # type: ignore[assignment]
+        self.salad.build(machine_count)
+        self.nodes: Dict[int, FarsiteNode] = {
+            identifier: leaf  # type: ignore[misc]
+            for identifier, leaf in self.salad.leaves.items()
+        }
+
+        # Directory groups: consecutive runs of GROUP_SIZE machines.
+        identifiers = sorted(self.nodes)
+        self.groups: List[DirectoryGroup] = []
+        for start in range(0, len(identifiers) - GROUP_SIZE + 1, GROUP_SIZE):
+            members = identifiers[start : start + GROUP_SIZE]
+            self.groups.append(DirectoryGroup(members, fault_tolerance=1))
+        self.namespace = Namespace(self.groups)
+        self.users = UserDirectory()
+        self.planner = RelocationPlanner(replication_factor=replication_factor)
+
+    # -- assembly ---------------------------------------------------------------
+
+    def _create_node(self, identifier: Optional[int] = None) -> FarsiteNode:
+        """Leaf factory handed to the Salad (keeps join protocol intact)."""
+        if identifier is None:
+            identifier = self.salad._fresh_identifier()
+        node = FarsiteNode(
+            identifier,
+            self.salad.network,
+            target_redundancy=self.salad.config.target_redundancy,
+            dimensions=self.salad.config.dimensions,
+            damping=self.salad.config.damping,
+            notify_limit=self.salad.config.notify_limit,
+            rng=random.Random(self._rng.getrandbits(64)),
+        )
+        self.salad.leaves[identifier] = node
+        return node
+
+    @property
+    def hosts(self) -> Dict[int, FileHost]:
+        return {identifier: node.host for identifier, node in self.nodes.items()}
+
+    def create_user(self, name: str) -> User:
+        return self.users.create_user(name, rng=random.Random(self._rng.getrandbits(64)))
+
+    def client_for(self, user: User) -> FarsiteClient:
+        return FarsiteClient(
+            user,
+            self.users,
+            self.namespace,
+            self.hosts,
+            replication_factor=self.replication_factor,
+            rng=random.Random(self._rng.getrandbits(64)),
+        )
+
+    # -- the DFC cycle -------------------------------------------------------------
+
+    def _duplicate_groups(self) -> Dict[Fingerprint, Dict[str, List[int]]]:
+        """Duplicate groups from this cycle's match notifications.
+
+        A node that received a match for fingerprint f contributes every
+        replica it knows of under the file ids recorded in the namespace.
+        """
+        matched: Dict[Fingerprint, set] = {}
+        for node in self.nodes.values():
+            for payload in node.matches:
+                members = matched.setdefault(payload.fingerprint, set())
+                members.add(node.identifier)
+                members.add(payload.other_machine)
+        groups: Dict[Fingerprint, Dict[str, List[int]]] = {}
+        for path in self.namespace.all_paths():
+            entry = self.namespace.lookup(path)
+            if entry is None:
+                continue
+            hosts = list(entry.replica_hosts)
+            holder_hosts = [h for h in hosts if h in self.nodes]
+            if not holder_hosts:
+                continue
+            sample_host = self.nodes[holder_hosts[0]].host
+            replica = sample_host.replica_info(entry.file_id)
+            if replica is None:
+                continue
+            fingerprint = replica.fingerprint
+            members = matched.get(fingerprint)
+            if members is None or not (set(hosts) & members):
+                continue
+            groups.setdefault(fingerprint, {})[entry.file_id] = hosts
+        return {fp: files for fp, files in groups.items() if len(files) > 1}
+
+    def _apply_migrations(self, plan: RelocationPlan) -> None:
+        moved_by_file: Dict[str, List[Tuple[int, int]]] = {}
+        for migration in plan.migrations:
+            source = self.nodes[migration.source_host].host
+            target = self.nodes[migration.target_host].host
+            ciphertext = source.fetch_replica(migration.file_id)
+            source.drop_replica(migration.file_id)
+            target.store_replica(migration.file_id, ciphertext)
+            moved_by_file.setdefault(migration.file_id, []).append(
+                (migration.source_host, migration.target_host)
+            )
+        # Update namespace metadata to the new replica locations.
+        for path in self.namespace.all_paths():
+            entry = self.namespace.lookup(path)
+            if entry is None or entry.file_id not in moved_by_file:
+                continue
+            hosts = list(entry.replica_hosts)
+            for source, target in moved_by_file[entry.file_id]:
+                if source in hosts:
+                    hosts[hosts.index(source)] = target
+            self.namespace.set_replica_hosts(path, tuple(hosts))
+
+    def run_dfc_cycle(self, min_size: int = 0) -> DfcCycleReport:
+        """Publish fingerprints, discover duplicates, relocate, coalesce."""
+        published = 0
+        for node in self.nodes.values():
+            if node.alive:
+                published += node.publish_fingerprints(min_size=min_size)
+        self.salad.network.run()
+
+        groups = self._duplicate_groups()
+        plan = self.planner.plan(groups)
+        self._apply_migrations(plan)
+
+        logical = sum(node.host.logical_bytes for node in self.nodes.values())
+        physical = sum(node.host.physical_bytes for node in self.nodes.values())
+        return DfcCycleReport(
+            records_published=published,
+            duplicate_groups=len(groups),
+            migrations=plan.moved_replicas,
+            bytes_moved=plan.bytes_moved(),
+            logical_bytes=logical,
+            physical_bytes=physical,
+        )

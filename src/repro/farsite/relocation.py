@@ -1,0 +1,104 @@
+"""Duplicate-file relocation (paper problem 3).
+
+"Relocating the replicas of files with identical content to a common set of
+storage machines."  SALAD tells the system *which* files are identical;
+this planner decides *where* their replicas should live so the per-host
+Single-Instance Store can coalesce them, and computes the migrations to get
+there.
+
+Strategy: for each duplicate group, pick the R canonical hosts that already
+hold the most replicas of the group's content (minimizing data movement),
+then relocate every other replica of the group onto the canonical set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.fingerprint import Fingerprint
+
+
+@dataclass(frozen=True)
+class Migration:
+    """Move the replica of *file_id* from one host to another."""
+
+    file_id: str
+    fingerprint: Fingerprint
+    source_host: int
+    target_host: int
+
+
+@dataclass
+class RelocationPlan:
+    """The migrations plus the final replica hosts per duplicate group."""
+
+    canonical_hosts: Dict[Fingerprint, Tuple[int, ...]]
+    migrations: List[Migration]
+
+    @property
+    def moved_replicas(self) -> int:
+        return len(self.migrations)
+
+    def bytes_moved(self) -> int:
+        return sum(m.fingerprint.size for m in self.migrations)
+
+
+class RelocationPlanner:
+    """Plans co-location of identical files' replicas."""
+
+    def __init__(self, replication_factor: int = 3):
+        if replication_factor < 1:
+            raise ValueError(f"replication factor must be >= 1: {replication_factor}")
+        self.replication_factor = replication_factor
+
+    def plan(
+        self,
+        groups: Dict[Fingerprint, Dict[str, Sequence[int]]],
+    ) -> RelocationPlan:
+        """Plan migrations for duplicate groups.
+
+        *groups* maps each duplicate fingerprint to ``{file_id: hosts}`` --
+        every logical file with that content and the hosts of its replicas.
+        """
+        canonical: Dict[Fingerprint, Tuple[int, ...]] = {}
+        migrations: List[Migration] = []
+        for fingerprint, files in groups.items():
+            # Count existing replicas per host; the R best-covered hosts
+            # become canonical (fewest replica moves).
+            coverage: Dict[int, int] = {}
+            for hosts in files.values():
+                for host in hosts:
+                    coverage[host] = coverage.get(host, 0) + 1
+            ranked = sorted(coverage, key=lambda h: (-coverage[h], h))
+            hosts_needed = min(self.replication_factor, len(ranked))
+            chosen = tuple(ranked[:hosts_needed])
+            canonical[fingerprint] = chosen
+
+            for file_id, hosts in files.items():
+                hosts = list(hosts)
+                extra_sources = [h for h in hosts if h not in chosen]
+                missing_targets = [h for h in chosen if h not in hosts]
+                # Pair off: each missing canonical host receives a replica
+                # from a non-canonical host (a move, not a copy).
+                for source, target in zip(extra_sources, missing_targets):
+                    migrations.append(
+                        Migration(
+                            file_id=file_id,
+                            fingerprint=fingerprint,
+                            source_host=source,
+                            target_host=target,
+                        )
+                    )
+        return RelocationPlan(canonical_hosts=canonical, migrations=migrations)
+
+    def apply(
+        self,
+        plan: RelocationPlan,
+        replica_hosts: Dict[str, List[int]],
+    ) -> None:
+        """Apply migrations to a mutable ``file_id -> hosts`` map."""
+        for migration in plan.migrations:
+            hosts = replica_hosts[migration.file_id]
+            hosts.remove(migration.source_host)
+            hosts.append(migration.target_host)

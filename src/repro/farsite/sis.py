@@ -1,0 +1,120 @@
+"""Single-Instance Store (paper problem 4; Bolosky et al. [7]).
+
+Coalesces identical files "while maintaining the semantics of separate
+files": logically distinct files whose contents are identical share one
+backing blob; writing through any link breaks the sharing (copy-on-write),
+leaving every other link untouched.
+
+In Farsite the stored contents are *convergently encrypted* ciphertexts, so
+identical plaintexts -- even encrypted under different users' keys -- arrive
+as identical blobs and coalesce (section 3: "store them in the space of a
+single file (plus a small amount of space per user's key)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.crypto.hashing import content_hash
+
+
+class NoSuchFileError(KeyError):
+    """The named link does not exist in this store."""
+
+
+@dataclass
+class _Blob:
+    data: bytes
+    link_count: int = 0
+
+
+@dataclass
+class SisStats:
+    """Space accounting for one store."""
+
+    logical_bytes: int = 0  # sum over links of their file size
+    physical_bytes: int = 0  # sum over blobs of their size
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return self.logical_bytes - self.physical_bytes
+
+
+class SingleInstanceStore:
+    """A content-addressed store with separate-file (link) semantics."""
+
+    def __init__(self) -> None:
+        self._blobs: Dict[bytes, _Blob] = {}
+        self._links: Dict[str, bytes] = {}  # link name -> blob digest
+
+    # -- write/read -----------------------------------------------------------
+
+    def store(self, name: str, data: bytes) -> bool:
+        """Store *data* under link *name*; returns True if it coalesced.
+
+        If a blob with identical content already exists, the link shares it.
+        Re-storing an existing name first releases its old blob.
+        """
+        if name in self._links:
+            self._release(name)
+        digest = content_hash(data)
+        blob = self._blobs.get(digest)
+        coalesced = blob is not None
+        if blob is None:
+            blob = _Blob(data=bytes(data))
+            self._blobs[digest] = blob
+        blob.link_count += 1
+        self._links[name] = digest
+        return coalesced
+
+    def read(self, name: str) -> bytes:
+        """Read through a link; separate-file semantics, shared storage."""
+        return self._blobs[self._digest_of(name)].data
+
+    def write(self, name: str, data: bytes) -> None:
+        """Copy-on-write: writing one link never disturbs its sharers."""
+        if name not in self._links:
+            raise NoSuchFileError(name)
+        self.store(name, data)
+
+    def delete(self, name: str) -> None:
+        if name not in self._links:
+            raise NoSuchFileError(name)
+        self._release(name)
+        del self._links[name]
+
+    # -- internals -------------------------------------------------------------
+
+    def _digest_of(self, name: str) -> bytes:
+        try:
+            return self._links[name]
+        except KeyError:
+            raise NoSuchFileError(name) from None
+
+    def _release(self, name: str) -> None:
+        digest = self._links[name]
+        blob = self._blobs[digest]
+        blob.link_count -= 1
+        if blob.link_count == 0:
+            del self._blobs[digest]
+
+    # -- introspection -----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._links
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def link_count(self, name: str) -> int:
+        """How many links share this file's blob (1 = not coalesced)."""
+        return self._blobs[self._digest_of(name)].link_count
+
+    def blob_count(self) -> int:
+        return len(self._blobs)
+
+    def stats(self) -> SisStats:
+        logical = sum(len(self._blobs[d].data) for d in self._links.values())
+        physical = sum(len(b.data) for b in self._blobs.values())
+        return SisStats(logical_bytes=logical, physical_bytes=physical)

@@ -1,0 +1,139 @@
+"""Per-leaf record database with the Fig. 13 size-limit policy.
+
+The database is associative on fingerprints: inserting a record returns all
+already-stored records with the same fingerprint (those are the duplicate
+matches that trigger notifications in Fig. 4).
+
+Fig. 13's experiment bounds the database size: "When a machine receives a
+record that it should store, if its database size limit has been reached, it
+discards a record in the database with the lowest fingerprint value
+(corresponding to the smallest file) and replaces it with the newly received
+record.  If no record in the database has a lower fingerprint value than the
+new record, the machine discards the new record."
+
+Eviction uses a lazy min-heap over fingerprint sort keys, so inserts stay
+O(log n) amortized even under heavy eviction churn.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.fingerprint import Fingerprint
+from repro.salad.records import SaladRecord
+
+
+class RecordDatabase:
+    """Associative store of `(fingerprint, location)` records."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive if set: {capacity}")
+        self.capacity = capacity
+        self._by_fingerprint: Dict[Fingerprint, Set[int]] = {}
+        self._count = 0
+        # Lazy min-heap of (sort_key, fingerprint, location); entries may be
+        # stale if the record was already evicted/removed.
+        self._heap: List[Tuple[bytes, bytes, int]] = []
+        self._fp_by_encoding: Dict[bytes, Fingerprint] = {}
+        self.evictions = 0
+        self.rejections = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        return fingerprint in self._by_fingerprint
+
+    def locations(self, fingerprint: Fingerprint) -> Set[int]:
+        """Machines known to hold a file with this fingerprint."""
+        return set(self._by_fingerprint.get(fingerprint, ()))
+
+    def records(self) -> Iterator[SaladRecord]:
+        for fingerprint, locations in self._by_fingerprint.items():
+            for location in locations:
+                yield SaladRecord(fingerprint=fingerprint, location=location)
+
+    def _remove(self, fingerprint: Fingerprint, location: int) -> None:
+        locations = self._by_fingerprint.get(fingerprint)
+        if locations is None or location not in locations:
+            return
+        locations.discard(location)
+        self._count -= 1
+        if not locations:
+            del self._by_fingerprint[fingerprint]
+            self._fp_by_encoding.pop(fingerprint.to_bytes(), None)
+
+    def _pop_lowest(self) -> Optional[SaladRecord]:
+        """Remove and return the stored record with the lowest fingerprint."""
+        while self._heap:
+            sort_key, fp_encoding, location = heapq.heappop(self._heap)
+            fingerprint = self._fp_by_encoding.get(fp_encoding)
+            if fingerprint is None:
+                continue  # stale: every record of that fingerprint is gone
+            locations = self._by_fingerprint.get(fingerprint)
+            if locations is None or location not in locations:
+                continue  # stale: this record was removed already
+            self._remove(fingerprint, location)
+            return SaladRecord(fingerprint=fingerprint, location=location)
+        return None
+
+    def _peek_lowest_key(self) -> Optional[bytes]:
+        while self._heap:
+            sort_key, fp_encoding, location = self._heap[0]
+            fingerprint = self._fp_by_encoding.get(fp_encoding)
+            if fingerprint is None:
+                heapq.heappop(self._heap)
+                continue
+            locations = self._by_fingerprint.get(fingerprint)
+            if locations is None or location not in locations:
+                heapq.heappop(self._heap)
+                continue
+            return sort_key
+        return None
+
+    def insert(self, record: SaladRecord) -> Tuple[bool, List[SaladRecord]]:
+        """Insert a record, applying the capacity policy.
+
+        Returns ``(stored, matches)`` where *matches* are the records already
+        present with the same fingerprint (computed before insertion, and
+        regardless of whether the new record is stored -- a leaf that rejects
+        a record for capacity can still report matches it knows about).
+        """
+        matches = [
+            SaladRecord(fingerprint=record.fingerprint, location=location)
+            for location in self._by_fingerprint.get(record.fingerprint, ())
+        ]
+        existing = self._by_fingerprint.get(record.fingerprint)
+        if existing is not None and record.location in existing:
+            return False, matches  # duplicate record; nothing to do
+
+        if self.capacity is not None and self._count >= self.capacity:
+            lowest_key = self._peek_lowest_key()
+            if lowest_key is None or record.sort_key() <= lowest_key:
+                # No stored record is lower than the new one: discard it.
+                self.rejections += 1
+                return False, matches
+            self._pop_lowest()
+            self.evictions += 1
+
+        self._by_fingerprint.setdefault(record.fingerprint, set()).add(record.location)
+        self._fp_by_encoding[record.fingerprint.to_bytes()] = record.fingerprint
+        self._count += 1
+        heapq.heappush(
+            self._heap, (record.sort_key(), record.fingerprint.to_bytes(), record.location)
+        )
+        return True, matches
+
+    def remove_location(self, location: int) -> int:
+        """Drop every record pointing at *location* (a departed machine).
+
+        Returns the number of records removed.
+        """
+        removed = 0
+        for fingerprint in list(self._by_fingerprint):
+            if location in self._by_fingerprint[fingerprint]:
+                self._remove(fingerprint, location)
+                removed += 1
+        return removed

@@ -1,0 +1,98 @@
+"""Cell-IDs and hypercube coordinates (paper section 4.2-4.3, Figs. 1-2).
+
+Each leaf and each record has a large identifier (a 20-byte hash value,
+treated here as an integer).  The least significant ``W`` bits form its
+*cell-ID* (Eq. 7), where the cell-ID width is derived from the system size
+and the target redundancy factor (Eq. 6):
+
+    W = floor(lg(L / Lambda))
+
+so that the mean leaves per cell lambda = L / 2^W satisfies Eq. 5,
+``Lambda <= lambda < 2 Lambda``.
+
+The cell-ID is decomposed into D coordinates by bit interleaving (Eq. 10,
+Fig. 2): coordinate d takes bits d, D+d, 2D+d, ... of the cell-ID, so when
+the system grows and W increments, each coordinate's value changes minimally
+(one new high bit on a single axis).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def cell_id_width(system_size: float, target_redundancy: float) -> int:
+    """Eq. 6: ``W = floor(lg(L / Lambda))``, floored at zero.
+
+    The floor keeps the actual redundancy factor lambda = L / 2^W inside the
+    Eq. 5 band [Lambda, 2*Lambda).
+    """
+    if target_redundancy <= 0:
+        raise ValueError(f"target redundancy must be positive: {target_redundancy}")
+    if system_size < 1:
+        raise ValueError(f"system size must be at least 1: {system_size}")
+    ratio = system_size / target_redundancy
+    if ratio < 1:
+        return 0
+    return int(math.floor(math.log2(ratio)))
+
+
+def cell_id(identifier: int, width: int) -> int:
+    """Eq. 7: ``c(i) = i mod 2^W``."""
+    if width < 0:
+        raise ValueError(f"cell-ID width cannot be negative: {width}")
+    return identifier & ((1 << width) - 1)
+
+
+def coordinate_width(width: int, dimensions: int, axis: int) -> int:
+    """Eq. 9: the bit width W_d of the d-axis coordinate.
+
+    Coordinate d owns the cell-ID bit positions d, D+d, 2D+d, ... below W,
+    of which there are ``ceil((W - d) / D)`` when ``d < W`` and 0 otherwise
+    (Fig. 2 illustrates the extraction).
+    """
+    if not 0 <= axis < dimensions:
+        raise ValueError(f"axis {axis} out of range for D={dimensions}")
+    if width <= axis:
+        return 0
+    return -(-(width - axis) // dimensions)  # ceiling division
+
+
+def coordinate(identifier: int, width: int, dimensions: int, axis: int) -> int:
+    """Eq. 10: ``c_d(i) = sum_k 2^k * b_{D*k+d}(i)`` over bits below W."""
+    value = 0
+    bit_index = axis
+    out_bit = 0
+    while bit_index < width:
+        value |= ((identifier >> bit_index) & 1) << out_bit
+        bit_index += dimensions
+        out_bit += 1
+    return value
+
+
+def coordinates(identifier: int, width: int, dimensions: int) -> List[int]:
+    """All D coordinates of an identifier's cell-ID."""
+    return [coordinate(identifier, width, dimensions, d) for d in range(dimensions)]
+
+
+def compose_cell_id(coords: List[int], width: int, dimensions: int) -> int:
+    """Inverse of :func:`coordinates`: interleave coordinates into a cell-ID."""
+    if len(coords) != dimensions:
+        raise ValueError(f"expected {dimensions} coordinates, got {len(coords)}")
+    value = 0
+    for axis, coord in enumerate(coords):
+        w_d = coordinate_width(width, dimensions, axis)
+        if coord >= (1 << w_d):
+            raise ValueError(
+                f"coordinate {coord} does not fit in {w_d} bits on axis {axis}"
+            )
+        for k in range(w_d):
+            if (coord >> k) & 1:
+                value |= 1 << (dimensions * k + axis)
+    return value
+
+
+def effective_dimensionality(width: int, dimensions: int) -> int:
+    """Eq. 16: a SALAD with W < D is effectively only W-dimensional."""
+    return min(width, dimensions)

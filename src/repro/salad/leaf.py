@@ -1,0 +1,517 @@
+"""The SALAD leaf state machine (paper sections 4.2-4.6).
+
+A leaf is a machine participating in the SALAD.  It maintains:
+
+- a *leaf table* of all leaves it believes to be vector-aligned with it
+  (the only leaves it ever communicates with, section 4.3);
+- a local *record database* holding the records of its cell (section 4.1);
+- an estimate of the system size L, from which it derives its cell-ID width
+  W (Fig. 6).
+
+The three protocol procedures are implemented directly from the paper's
+pseudo-code:
+
+- record insertion and multi-hop forwarding: Fig. 4;
+- join-message handling: Fig. 5;
+- cell-ID width recalculation with hysteresis: Fig. 6.
+
+Leaves may disagree about W (their estimates of L differ); the paper notes
+this only costs efficiency or lossiness, never correctness, and the
+implementation inherits that property because every leaf evaluates alignment
+with its *own* W.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.salad import protocol
+from repro.salad.alignment import mismatching_dimensions
+from repro.salad.database import RecordDatabase
+from repro.salad.ids import cell_id, coordinate, coordinate_width, effective_dimensionality
+from repro.salad.protocol import JoinPayload, MatchPayload
+from repro.salad.records import SaladRecord
+from repro.salad.width import (
+    attenuated_redundancy,
+    estimate_system_size,
+    known_leaf_ratio,
+    target_width,
+)
+from repro.sim.machine import SimMachine
+from repro.sim.network import Message, Network
+
+
+class SaladLeaf(SimMachine):
+    """One SALAD leaf (machine) with its table, database, and protocols."""
+
+    def __init__(
+        self,
+        identifier: int,
+        network: Network,
+        target_redundancy: float = 2.0,
+        dimensions: int = 2,
+        damping: float = 0.1,
+        database_capacity: Optional[int] = None,
+        notify_limit: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(identifier, network)
+        if dimensions < 1:
+            raise ValueError(f"dimensionality must be at least 1: {dimensions}")
+        if target_redundancy < 1.0:
+            raise ValueError(
+                f"target redundancy must be at least 1: {target_redundancy}"
+            )
+        self.target_redundancy = target_redundancy
+        self.dimensions = dimensions
+        self.damping = damping
+        self.width = 0
+        self.database = RecordDatabase(capacity=database_capacity)
+        # Duplicate-notification policy.  None reproduces Fig. 4 literally:
+        # notify both machines of *every* matching pair, which costs
+        # O(copies^2) messages per duplicate group.  An integer cap notifies
+        # each newly inserted record's machine of at most that many existing
+        # matches (and vice versa); the transitive chain still identifies the
+        # whole group for coalescing, at O(copies) messages -- the only
+        # regime in which contents shared by hundreds of machines are
+        # simulable (and, judging by its reported message counts, the regime
+        # the paper's own simulator ran in).
+        self.notify_limit = notify_limit
+        self._rng = rng or random.Random(identifier & 0xFFFFFFFF)
+
+        # Leaf table: identifier -> last refresh time (virtual).
+        self.leaf_table: Dict[int, float] = {}
+        # Index over the table, rebuilt on width changes and updated
+        # incrementally on adds/removes:
+        #   _cellmates: leaves cell-aligned with me;
+        #   _vectors[d][c]: leaves differing from me only on axis d, with
+        #   d-coordinate c.
+        self._cellmates: Set[int] = set()
+        self._vectors: Dict[int, Dict[int, Set[int]]] = {
+            d: {} for d in range(dimensions)
+        }
+
+        # Duplicate notifications received for this machine's own files.
+        self.matches: List[MatchPayload] = []
+
+        # Join-flood suppression: new-leaf identifiers whose join this leaf
+        # has already processed.  Leaves with different system-size estimates
+        # can disagree about alignment, which without suppression lets a join
+        # cycle among leaves indefinitely; processing each join once breaks
+        # the cycle and loses nothing (the first arrival already triggered
+        # this leaf's forwarding and welcome).
+        self._seen_joins: Set[int] = set()
+
+        self._in_recalculate = False
+        self.width_changes = 0
+
+        self.on(protocol.RECORD, self._on_record)
+        self.on(protocol.JOIN, self._on_join)
+        self.on(protocol.WELCOME, self._on_welcome)
+        self.on(protocol.WELCOME_ACK, self._on_welcome_ack)
+        self.on(protocol.LEAF_REQUEST, self._on_leaf_request)
+        self.on(protocol.LEAF_RESPONSE, self._on_leaf_response)
+        self.on(protocol.DEPARTURE, self._on_departure)
+        self.on(protocol.REFRESH, self._on_refresh)
+        self.on(protocol.MATCH, self._on_match)
+
+    # ------------------------------------------------------------------
+    # identifiers & coordinates (always under *this leaf's* current width)
+    # ------------------------------------------------------------------
+
+    @property
+    def effective_dimensions(self) -> int:
+        """Eq. 16: the effective dimensionality, min(W, D)."""
+        return effective_dimensionality(self.width, self.dimensions)
+
+    def coord(self, identifier: int, axis: int) -> int:
+        return coordinate(identifier, self.width, self.dimensions, axis)
+
+    def cell(self, identifier: int) -> int:
+        return cell_id(identifier, self.width)
+
+    def _mismatches(self, identifier: int) -> List[int]:
+        """Axes on which *identifier* differs from me: the set Delta."""
+        return mismatching_dimensions(
+            self.identifier, identifier, self.width, self.dimensions
+        )
+
+    @property
+    def estimated_system_size(self) -> float:
+        """L = T / r, with T counting this leaf itself (section 4.6)."""
+        return estimate_system_size(
+            len(self.leaf_table) + 1, self.width, self.dimensions
+        )
+
+    # ------------------------------------------------------------------
+    # leaf-table maintenance
+    # ------------------------------------------------------------------
+
+    def knows(self, identifier: int) -> bool:
+        return identifier in self.leaf_table
+
+    @property
+    def table_size(self) -> int:
+        return len(self.leaf_table)
+
+    def _index_add(self, identifier: int) -> bool:
+        """Place a leaf into the cellmate/vector index.
+
+        Returns False if the leaf is not vector-aligned under the current
+        width (in which case it does not belong in the table at all).
+        """
+        delta = self._mismatches(identifier)
+        if len(delta) == 0:
+            self._cellmates.add(identifier)
+            return True
+        if len(delta) == 1:
+            axis = delta[0]
+            coord_value = self.coord(identifier, axis)
+            self._vectors[axis].setdefault(coord_value, set()).add(identifier)
+            return True
+        return False
+
+    def _index_remove(self, identifier: int) -> None:
+        self._cellmates.discard(identifier)
+        for by_coord in self._vectors.values():
+            for members in by_coord.values():
+                members.discard(identifier)
+
+    def _rebuild_index(self) -> None:
+        self._cellmates = set()
+        self._vectors = {d: {} for d in range(self.dimensions)}
+        for identifier in self.leaf_table:
+            self._index_add(identifier)
+
+    def add_leaf(self, identifier: int, recalculate: bool = True) -> bool:
+        """Add a vector-aligned leaf to the table; returns True if added."""
+        if identifier == self.identifier or identifier in self.leaf_table:
+            return False
+        if not self._index_add(identifier):
+            return False
+        self.leaf_table[identifier] = self.network.scheduler.now
+        if recalculate:
+            self._recalculate_width()
+        return True
+
+    def remove_leaf(self, identifier: int, recalculate: bool = True) -> bool:
+        if identifier not in self.leaf_table:
+            return False
+        del self.leaf_table[identifier]
+        self._index_remove(identifier)
+        if recalculate:
+            self._recalculate_width()
+        return True
+
+    def _vector_members(self, axis: int, coord_value: int) -> Set[int]:
+        """Known leaves j with ``a_axis(I, j)`` and ``c_axis(j) == coord``.
+
+        Excludes cellmates automatically when coord differs from mine, which
+        is the only way these sets are used for routing.
+        """
+        members = set(self._vectors[axis].get(coord_value, ()))
+        if coord_value == self.coord(self.identifier, axis):
+            members |= self._cellmates
+        return members
+
+    def _axis_members(self, axis: int) -> Set[int]:
+        """All known leaves d-vector-aligned with me along *axis* (plus cellmates)."""
+        members = set(self._cellmates)
+        for group in self._vectors[axis].values():
+            members |= group
+        return members
+
+    # ------------------------------------------------------------------
+    # record insertion & forwarding (Fig. 4)
+    # ------------------------------------------------------------------
+
+    def insert_record(self, record: SaladRecord) -> None:
+        """Locally initiate insertion of a record for one of this machine's files."""
+        self._process_record(record, hops=0)
+
+    def _on_record(self, message: Message) -> None:
+        record, hops = message.payload
+        self._process_record(record, hops)
+
+    def _process_record(self, record: SaladRecord, hops: int) -> None:
+        """The Fig. 4 procedure for record `<f, l>` at leaf I.
+
+        Nominal delivery takes at most D hops (section 4.3), but leaves with
+        different system-size estimates compute different coordinates, which
+        can bounce a record between vectors indefinitely.  A hop budget of
+        2*D forwards every nominal path (plus slack for mild disagreement)
+        while converting pathological cycles into ordinary lossiness.
+        """
+        routing_id = record.routing_id
+        for d in range(self.dimensions):
+            if self.coord(routing_id, d) != self.coord(self.identifier, d):
+                if hops >= 2 * self.dimensions:
+                    return  # hop budget exhausted: the record is lost
+                # Forward along my d-axis vector to leaves whose d-coordinate
+                # matches the fingerprint's, then exit.
+                for target in self._vector_members(d, self.coord(routing_id, d)):
+                    self.send(target, protocol.RECORD, (record, hops + 1))
+                return
+        # This leaf is cell-aligned with the record's fingerprint.
+        if record.location == self.identifier and hops == 0:
+            # Special case: this leaf generated the record (hops == 0 marks
+            # local initiation; a copy returning over the network must not
+            # re-broadcast).  Replicate to the rest of the cell.
+            for target in self._cellmates:
+                self.send(target, protocol.RECORD, (record, hops + 1))
+        if record.location in self.database.locations(record.fingerprint):
+            return  # idempotent redelivery (multiple forwarders reach us)
+        stored, matching = self.database.insert(record)
+        matching = [m for m in matching if m.location != record.location]
+        if self.notify_limit is not None:
+            matching = matching[: self.notify_limit]
+        for match in matching:
+            self.send(
+                record.location,
+                protocol.MATCH,
+                MatchPayload(fingerprint=record.fingerprint, other_machine=match.location),
+            )
+            self.send(
+                match.location,
+                protocol.MATCH,
+                MatchPayload(fingerprint=record.fingerprint, other_machine=record.location),
+            )
+
+    def _on_match(self, message: Message) -> None:
+        self.matches.append(message.payload)
+
+    # ------------------------------------------------------------------
+    # join protocol (Fig. 5)
+    # ------------------------------------------------------------------
+
+    def initiate_join(self, bootstrap: Iterable[int]) -> None:
+        """Send a join message to each out-of-band-discovered extant leaf.
+
+        If *bootstrap* is empty, this leaf starts a new singleton SALAD.
+        """
+        payload = JoinPayload(sender=self.identifier, new_leaf=self.identifier)
+        for extant in bootstrap:
+            self.send(extant, protocol.JOIN, payload)
+
+    def _on_join(self, message: Message) -> None:
+        """The Fig. 5 procedure for a join `<s, n>` arriving at leaf I."""
+        payload: JoinPayload = message.payload
+        s, n = payload.sender, payload.new_leaf
+        if n == self.identifier:
+            return  # my own join echoed back; nothing to do
+        if n in self._seen_joins:
+            return  # flood suppression; already forwarded and welcomed
+        self._seen_joins.add(n)
+        eff = self.effective_dimensions
+
+        delta_set = [d for d in range(eff) if self.coord(n, d) != self.coord(self.identifier, d)]
+        delta = len(delta_set)
+        if s == n:
+            # Join received directly from the new leaf: the sender's
+            # dimensional alignment is considered lower than all others'.
+            sender_delta = -1
+        else:
+            sender_delta = sum(1 for d in range(eff) if self.coord(n, d) != self.coord(s, d))
+
+        forward = JoinPayload(sender=self.identifier, new_leaf=n)
+        if sender_delta > delta:
+            # Sender has higher dimensional alignment: move down one degree.
+            if delta > 1:
+                for d in delta_set:
+                    if (d + 1) % eff in delta_set:
+                        continue
+                    for target in self._vector_members(d, self.coord(n, d)):
+                        self.send(target, protocol.JOIN, forward)
+            elif delta == 1:
+                # I am vector-aligned: forward to every leaf in my vector.
+                for d in delta_set:  # exactly one element
+                    for target in self._axis_members(d):
+                        self.send(target, protocol.JOIN, forward)
+        elif sender_delta < delta:
+            if delta < eff:
+                # Forward *up* one degree of alignment: pick a random matching
+                # axis and a random foreign coordinate along it.
+                candidates = [d for d in range(eff) if d not in delta_set]
+                d = self._rng.choice(candidates)
+                width_d = coordinate_width(self.width, self.dimensions, d)
+                coords = [c for c in range(1 << width_d) if c != self.coord(n, d)]
+                if coords:
+                    c = self._rng.choice(coords)
+                    for target in self._vector_members(d, c):
+                        self.send(target, protocol.JOIN, forward)
+            elif delta > 1:
+                # I have minimal alignment with n: initiate the batches, one
+                # per mismatching dimension.
+                for d in delta_set:
+                    for target in self._vector_members(d, self.coord(n, d)):
+                        self.send(target, protocol.JOIN, forward)
+            else:
+                # I'm vector-aligned and effective dimensionality is 1:
+                # forward the join to everyone I know.
+                for target in self.leaf_table:
+                    self.send(target, protocol.JOIN, forward)
+        # Equal alignment (sender_delta == delta) forwards nothing: the
+        # sender's other recipients cover the remaining paths.
+        if delta < 2:
+            # I am vector-aligned (or cell-aligned) with the new leaf.
+            self.send(n, protocol.WELCOME)
+
+    def _on_welcome(self, message: Message) -> None:
+        """Welcome from an extant leaf: add it, update estimate, acknowledge."""
+        extant = message.sender
+        if self.knows(extant):
+            return
+        if self.add_leaf(extant):
+            self.send(extant, protocol.WELCOME_ACK)
+
+    def _on_welcome_ack(self, message: Message) -> None:
+        """Welcome-acknowledge: add the leaf and update the estimate; no reply."""
+        self.add_leaf(message.sender)
+
+    # ------------------------------------------------------------------
+    # departure & refresh (section 4.5)
+    # ------------------------------------------------------------------
+
+    def depart_cleanly(self) -> None:
+        """Send explicit departure messages to the whole leaf table, then leave."""
+        for identifier in list(self.leaf_table):
+            self.send(identifier, protocol.DEPARTURE)
+        self.depart()
+
+    def _on_departure(self, message: Message) -> None:
+        self.remove_leaf(message.sender)
+
+    def send_refreshes(self) -> None:
+        """Send one periodic refresh round to every leaf-table entry."""
+        for identifier in list(self.leaf_table):
+            self.send(identifier, protocol.REFRESH)
+
+    def _on_refresh(self, message: Message) -> None:
+        if message.sender in self.leaf_table:
+            self.leaf_table[message.sender] = self.network.scheduler.now
+        # A refresh from an unknown but vector-aligned leaf re-introduces it.
+        elif self.add_leaf(message.sender):
+            pass
+
+    def flush_stale_entries(self, timeout: float) -> int:
+        """Drop leaf-table entries not refreshed within *timeout*; return count."""
+        now = self.network.scheduler.now
+        stale = [
+            identifier
+            for identifier, last_seen in self.leaf_table.items()
+            if now - last_seen > timeout
+        ]
+        for identifier in stale:
+            self.remove_leaf(identifier, recalculate=False)
+        if stale:
+            self._recalculate_width()
+        return len(stale)
+
+    # ------------------------------------------------------------------
+    # cell-ID width recalculation (Fig. 6)
+    # ------------------------------------------------------------------
+
+    def _recalculate_width(self) -> None:
+        """The Fig. 6 procedure, run whenever the leaf table changes."""
+        if self._in_recalculate:
+            return
+        self._in_recalculate = True
+        try:
+            self._recalculate_width_inner()
+        finally:
+            self._in_recalculate = False
+
+    def _recalculate_width_inner(self) -> None:
+        d_count = self.dimensions
+        table_with_self = len(self.leaf_table) + 1
+        estimate = estimate_system_size(table_with_self, self.width, d_count)
+        # Decreases use the attenuated target redundancy (hysteresis, Eq. 19).
+        reduced = attenuated_redundancy(self.target_redundancy, self.damping)
+        target = target_width(estimate, reduced)
+        while target < self.width:
+            old_width = self.width
+            self.width -= 1
+            self.width_changes += 1
+            self._rebuild_index()
+            self._request_newly_aligned(old_width)
+            table_with_self = len(self.leaf_table) + 1
+            estimate = estimate_system_size(table_with_self, self.width, d_count)
+            target = target_width(estimate, reduced)
+
+        target = target_width(estimate, self.target_redundancy)
+        while target > self.width:
+            tentative_width = self.width + 1
+            survivors = [
+                identifier
+                for identifier in self.leaf_table
+                if len(
+                    mismatching_dimensions(
+                        self.identifier, identifier, tentative_width, d_count
+                    )
+                )
+                <= 1
+            ]
+            tentative_table = len(survivors) + 1
+            tentative_estimate = estimate_system_size(
+                tentative_table, tentative_width, d_count
+            )
+            tentative_target = target_width(tentative_estimate, self.target_redundancy)
+            if tentative_target < tentative_width:
+                return  # the tentative width is unstable; stay put
+            self.width = tentative_width
+            self.width_changes += 1
+            survivor_set = set(survivors)
+            for identifier in list(self.leaf_table):
+                if identifier not in survivor_set:
+                    del self.leaf_table[identifier]
+            self._rebuild_index()
+            estimate = tentative_estimate
+            target = tentative_target
+
+    def _request_newly_aligned(self, old_width: int) -> None:
+        """After a width decrease, learn the newly vector-aligned leaves.
+
+        Folding merged my cell with its mirror along the fold axis; leaves
+        that are now cell-aligned with me (but were not before) have exactly
+        the newly vector-aligned leaves in their tables, so ask up to
+        ceil(lambda) of them for their leaf tables (section 4.6).
+        """
+        lam = max(1, round(self.target_redundancy))
+        newly_cell_aligned = [
+            identifier
+            for identifier in self.leaf_table
+            if self.cell(identifier) == self.cell(self.identifier)
+            and cell_id(identifier, old_width) != cell_id(self.identifier, old_width)
+        ]
+        for identifier in newly_cell_aligned[:lam]:
+            self.send(identifier, protocol.LEAF_REQUEST)
+
+    def _on_leaf_request(self, message: Message) -> None:
+        identifiers = tuple(self.leaf_table)
+        self.send(message.sender, protocol.LEAF_RESPONSE, identifiers)
+
+    def _on_leaf_response(self, message: Message) -> None:
+        added = False
+        for identifier in message.payload:
+            if identifier == self.identifier or self.knows(identifier):
+                continue
+            if self.add_leaf(identifier, recalculate=False):
+                # Introduce myself so knowledge stays symmetric.
+                self.send(identifier, protocol.WELCOME_ACK)
+                added = True
+        if added:
+            self._recalculate_width()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stored_record_count(self) -> int:
+        return len(self.database)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SaladLeaf {self.identifier:#x} W={self.width} "
+            f"T={len(self.leaf_table)} DB={len(self.database)}>"
+        )

@@ -1,0 +1,93 @@
+"""Periodic SALAD maintenance (paper section 4.5).
+
+"We employ the standard technique of sending periodic refresh messages
+between leaves, and each leaf flushes timed-out entries in its leaf table."
+
+:class:`RefreshDriver` schedules those periodic rounds on the simulation's
+event loop: every *period*, each live leaf sends one refresh to every
+leaf-table entry and flushes entries not heard from within *timeout*.
+Crashed leaves stop answering, so their entries age out everywhere within
+one timeout; recovered leaves re-introduce themselves with their next
+refresh round (the leaf re-adds vector-aligned senders it had forgotten).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.salad.salad import Salad
+from repro.sim.events import EventHandle
+
+
+@dataclass
+class RefreshStats:
+    rounds: int = 0
+    refreshes_sent: int = 0
+    entries_flushed: int = 0
+
+
+class RefreshDriver:
+    """Drives periodic refresh rounds over every leaf of a SALAD."""
+
+    def __init__(self, salad: Salad, period: float = 10.0, timeout: Optional[float] = None):
+        if period <= 0:
+            raise ValueError(f"refresh period must be positive: {period}")
+        self.salad = salad
+        self.period = period
+        # The paper's standard technique: entries survive a few missed
+        # rounds before being flushed.
+        self.timeout = timeout if timeout is not None else 3.0 * period
+        if self.timeout <= period:
+            raise ValueError(
+                f"timeout ({self.timeout}) must exceed the period ({period})"
+            )
+        self.stats = RefreshStats()
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    def start(self) -> None:
+        """Begin periodic rounds (idempotent).
+
+        Staleness is measured from this moment: leaf-table entries acquired
+        before refreshing began carry join-time timestamps, so they are
+        re-stamped to now — a peer only ages out by missing rounds that were
+        actually sent to it.
+        """
+        if self._running:
+            return
+        self._running = True
+        now = self.salad.network.scheduler.now
+        for leaf in self.salad.alive_leaves():
+            for identifier in leaf.leaf_table:
+                leaf.leaf_table[identifier] = max(leaf.leaf_table[identifier], now)
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _schedule_next(self) -> None:
+        self._handle = self.salad.network.scheduler.schedule(self.period, self._round)
+
+    def _round(self) -> None:
+        if not self._running:
+            return
+        self.stats.rounds += 1
+        for leaf in self.salad.alive_leaves():
+            before = self.salad.network.messages_sent
+            leaf.send_refreshes()
+            self.stats.refreshes_sent += self.salad.network.messages_sent - before
+            self.stats.entries_flushed += leaf.flush_stale_entries(self.timeout)
+        self._schedule_next()
+
+    def run_rounds(self, count: int) -> RefreshStats:
+        """Convenience: run exactly *count* rounds to quiescence, then stop."""
+        self.start()
+        horizon = self.salad.network.scheduler.now + count * self.period + 1e-9
+        self.salad.network.scheduler.run(until=horizon)
+        self.stop()
+        self.salad.network.run()
+        return self.stats

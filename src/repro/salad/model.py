@@ -1,0 +1,107 @@
+"""The paper's analytic model of SALAD behavior (Eqs. 5, 8, 13, 14, 17, 20).
+
+These closed forms predict what the simulation should measure; tests and
+benchmarks compare Monte-Carlo results against them:
+
+- Eq. 5:  Lambda <= lambda < 2*Lambda (actual redundancy band)
+- Eq. 8:  R = lambda * F / L (mean records per leaf)
+- Eq. 13: T ~= D * lambda^(1-1/D) * L^(1/D) (mean leaf table size)
+- Eq. 14: P_loss = 1 - (1 - e^-lambda)^D ~= D * e^-lambda
+- Eq. 17: M = D * lambda^(1-1/D) * L^(1/D) (messages per join fan-out)
+- Eq. 20: lambda' = lambda * (1 - m/L)^D (attacked redundancy)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.salad.ids import cell_id_width, coordinate_width
+
+
+def actual_redundancy(system_size: int, target_redundancy: float) -> float:
+    """lambda = L / 2^W, the mean leaves per cell; satisfies Eq. 5."""
+    width = cell_id_width(system_size, target_redundancy)
+    return system_size / (1 << width)
+
+
+def expected_records_per_leaf(
+    system_size: int, file_count: int, target_redundancy: float
+) -> float:
+    """Eq. 8: R = lambda * F / L."""
+    return actual_redundancy(system_size, target_redundancy) * file_count / system_size
+
+
+def expected_leaf_table_size(
+    system_size: int, target_redundancy: float, dimensions: int
+) -> float:
+    """Eq. 13 (exact form): T = D*lambda*(L/lambda)^(1/D) - D*lambda + lambda.
+
+    The leaf's own cell is shared by all D vectors, hence the correction
+    terms.  The approximation D * lambda^(1-1/D) * L^(1/D) holds for large L.
+    """
+    lam = actual_redundancy(system_size, target_redundancy)
+    per_vector = lam * (system_size / lam) ** (1.0 / dimensions)
+    return dimensions * per_vector - dimensions * lam + lam
+
+
+def expected_leaf_table_size_exact_width(
+    system_size: int, width: int, dimensions: int
+) -> float:
+    """Leaf table expectation for a *given* W (shows the Fig. 14 ripple).
+
+    With lambda = L/2^W leaves per cell and axis-d vectors spanning 2^(W_d)
+    cells, the expected table size (including self's cellmates) is
+    ``lambda * (sum_d 2^(W_d) - D + 1)`` minus the leaf itself.
+    """
+    lam = system_size / (1 << width)
+    cells_visible = (
+        sum(1 << coordinate_width(width, dimensions, d) for d in range(dimensions))
+        - dimensions
+        + 1
+    )
+    return lam * cells_visible - 1
+
+
+def loss_probability(target_redundancy: float, dimensions: int, system_size: int = 0) -> float:
+    """Eq. 14: P_loss = 1 - (1 - e^-lambda)^D.
+
+    If *system_size* is given, lambda is the actual redundancy at that size;
+    otherwise lambda defaults to the target (the paper quotes e.g.
+    "lambda = 3 and D = 2 gives P_loss ~= 10%").
+    """
+    lam = (
+        actual_redundancy(system_size, target_redundancy)
+        if system_size
+        else target_redundancy
+    )
+    return 1.0 - (1.0 - math.exp(-lam)) ** dimensions
+
+
+def join_message_count(system_size: int, target_redundancy: float, dimensions: int) -> float:
+    """Eq. 17: M = D * lambda^(D-1)/D ... = D * lambda^(1-1/D) * L^(1/D).
+
+    Messages forwarded per initially contacted leaf per join, asymptotically.
+    """
+    lam = actual_redundancy(system_size, target_redundancy)
+    return dimensions * lam ** (1.0 - 1.0 / dimensions) * system_size ** (1.0 / dimensions)
+
+
+def attacked_redundancy(
+    base_redundancy: float, malicious_count: int, system_size: int, dimensions: int
+) -> float:
+    """Eq. 20: lambda' = lambda * (1 - m/L)^D.
+
+    m sybil leaves vector-aligned with a victim inflate its system-size
+    estimate, shrinking the effective redundancy of the victim's records.
+    """
+    if malicious_count < 0 or system_size <= 0:
+        raise ValueError("need m >= 0 and L > 0")
+    return base_redundancy * (1.0 - malicious_count / system_size) ** dimensions
+
+
+def fingerprint_collision_probability(file_count: int) -> float:
+    """Section 4.1: P(any same-size hash collision) ~= F^2 / 2^161 ~= F * 1e-24.
+
+    (The paper writes it as F * F / (2^160 * 2); we keep their form.)
+    """
+    return file_count * file_count / (2.0**160 * 2.0)

@@ -1,0 +1,48 @@
+"""SALAD fingerprint records (paper section 4.1).
+
+A record is a ``<key, value>`` pair where the key is a file's fingerprint
+(size prepended to the 20-byte content hash) and the value is the identifier
+of the machine where the file resides.  Records are routed and stored by the
+cell-ID of their fingerprint; the cell-ID bits come from the hash portion,
+which is uniformly distributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fingerprint import Fingerprint
+
+
+@dataclass(frozen=True)
+class SaladRecord:
+    """A `(fingerprint, location)` record."""
+
+    fingerprint: Fingerprint
+    location: int  # machine identifier of the file's host
+
+    @property
+    def routing_id(self) -> int:
+        """The integer whose low bits form this record's cell-ID.
+
+        Cell-IDs take the *least significant* W bits of an identifier
+        (Eq. 7); for a fingerprint those are the low bits of the content
+        hash, which are cryptographically uniform.  (The size prefix sits in
+        the most significant bytes and never reaches the cell-ID.)
+        """
+        return self.fingerprint.hash_as_int()
+
+    def sort_key(self) -> bytes:
+        """Total order used by the Fig. 13 eviction policy.
+
+        "the lowest fingerprint value (corresponding to the smallest file)":
+        fingerprints order by their encoded bytes, size prefix first.
+        """
+        return self.fingerprint.to_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"SaladRecord(size={self.fingerprint.size}, "
+            f"digest={self.fingerprint.content_digest.hex()[:8]}..., "
+            f"location={self.location:#x})"
+        )

@@ -1,0 +1,207 @@
+"""Whole-SALAD orchestration over the simulated network.
+
+Builds a SALAD the way the paper's experiments do (section 5): "The SALAD
+was initialized with a single leaf, and the remaining machines were each
+added to the SALAD by the procedure outlined in Subsection 4.4" -- i.e., a
+join message to a randomly discovered extant leaf, propagated through the
+hypercube, answered by welcomes.
+
+The orchestrator also drives record insertion (Fig. 4) and exposes the
+measurements behind every figure: per-machine message counts (Figs. 9-10),
+database sizes (Figs. 11-13), leaf-table sizes (Figs. 14-15), and the match
+notifications from which reclaimed space is computed (Figs. 7-8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.salad.leaf import SaladLeaf
+from repro.salad.protocol import MatchPayload
+from repro.salad.records import SaladRecord
+from repro.sim.events import EventScheduler
+from repro.sim.network import Network
+
+#: Identifier width: 20-byte hashes (section 2).
+IDENTIFIER_BITS = 160
+
+
+@dataclass
+class SaladConfig:
+    """Configuration of a SALAD deployment."""
+
+    target_redundancy: float = 2.0  # Lambda
+    dimensions: int = 2  # D
+    damping: float = 0.1  # xi (Eq. 19 hysteresis)
+    database_capacity: Optional[int] = None  # Fig. 13 record limit
+    #: None = Fig. 4 literal pairwise notification (O(copies^2) per group);
+    #: an integer caps match notifications per inserted record (O(copies)).
+    notify_limit: Optional[int] = None
+    bootstrap_count: int = 1  # extant leaves contacted per join
+    latency: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 1:
+            raise ValueError(f"dimensions must be >= 1: {self.dimensions}")
+        if self.target_redundancy < 1.0:
+            raise ValueError(
+                f"target redundancy must be >= 1: {self.target_redundancy}"
+            )
+        if self.bootstrap_count < 1:
+            raise ValueError(f"bootstrap count must be >= 1: {self.bootstrap_count}")
+
+
+class Salad:
+    """A SALAD instance: a set of leaves over one simulated network."""
+
+    def __init__(self, config: SaladConfig, network: Optional[Network] = None):
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self.network = network or Network(
+            scheduler=EventScheduler(),
+            latency=config.latency,
+            rng=random.Random(self._rng.getrandbits(64)),
+        )
+        self.leaves: Dict[int, SaladLeaf] = {}
+        self._join_order: List[int] = []
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def _fresh_identifier(self) -> int:
+        """A random 160-bit identifier, unique within this SALAD.
+
+        Real machines hash their public keys (section 2, and
+        :mod:`repro.farsite.machine_id`); the low bits are uniform either
+        way, which is all the cell-ID statistics require.
+        """
+        while True:
+            identifier = self._rng.getrandbits(IDENTIFIER_BITS)
+            if identifier not in self.leaves:
+                return identifier
+
+    def create_leaf(self, identifier: Optional[int] = None) -> SaladLeaf:
+        """Create a leaf machine (not yet joined)."""
+        if identifier is None:
+            identifier = self._fresh_identifier()
+        if identifier in self.leaves:
+            raise ValueError(f"leaf {identifier:#x} already exists")
+        leaf = SaladLeaf(
+            identifier,
+            self.network,
+            target_redundancy=self.config.target_redundancy,
+            dimensions=self.config.dimensions,
+            damping=self.config.damping,
+            database_capacity=self.config.database_capacity,
+            notify_limit=self.config.notify_limit,
+            rng=random.Random(self._rng.getrandbits(64)),
+        )
+        self.leaves[identifier] = leaf
+        return leaf
+
+    def add_leaf(
+        self,
+        identifier: Optional[int] = None,
+        settle: bool = True,
+    ) -> SaladLeaf:
+        """Create a leaf and join it to the SALAD (section 4.4).
+
+        The new leaf discovers ``bootstrap_count`` arbitrary extant leaves
+        "by some out-of-band means" and sends each a join message.  With
+        *settle* (the default), the network runs to quiescence before
+        returning, matching the paper's incremental-growth experiments.
+        """
+        alive = [leaf for leaf in self.leaves.values() if leaf.alive]
+        leaf = self.create_leaf(identifier)
+        if alive:
+            count = min(self.config.bootstrap_count, len(alive))
+            bootstrap = [extant.identifier for extant in self._rng.sample(alive, count)]
+            leaf.initiate_join(bootstrap)
+        self._join_order.append(leaf.identifier)
+        if settle:
+            self.network.run()
+        return leaf
+
+    def build(self, count: int, settle_each: bool = True) -> None:
+        """Grow the SALAD to *count* live leaves by incremental joins.
+
+        Departed or failed leaves do not count toward the target, so a
+        shrunken SALAD can be regrown past its former size.
+        """
+        while sum(1 for leaf in self.leaves.values() if leaf.alive) < count:
+            self.add_leaf(settle=settle_each)
+        if not settle_each:
+            self.network.run()
+
+    def alive_leaves(self) -> List[SaladLeaf]:
+        return [leaf for leaf in self.leaves.values() if leaf.alive]
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+
+    def insert_records(
+        self,
+        records_by_leaf: Dict[int, Iterable[SaladRecord]],
+        settle: bool = True,
+    ) -> int:
+        """Each leaf inserts its own file records (Fig. 4); returns count inserted.
+
+        Failed leaves insert nothing -- an off machine cannot publish its
+        fingerprints, which is how the Fig. 8 failure experiment works.
+        """
+        inserted = 0
+        for leaf_id, records in records_by_leaf.items():
+            leaf = self.leaves.get(leaf_id)
+            if leaf is None:
+                raise KeyError(f"no such leaf: {leaf_id:#x}")
+            if not leaf.alive:
+                continue
+            for record in records:
+                leaf.insert_record(record)
+                inserted += 1
+        if settle:
+            self.network.run()
+        return inserted
+
+    def collected_matches(self) -> List[Tuple[int, MatchPayload]]:
+        """All duplicate notifications received, as (machine, payload) pairs."""
+        out: List[Tuple[int, MatchPayload]] = []
+        for leaf in self.leaves.values():
+            for match in leaf.matches:
+                out.append((leaf.identifier, match))
+        return out
+
+    # ------------------------------------------------------------------
+    # measurements
+    # ------------------------------------------------------------------
+
+    def leaf_table_sizes(self, alive_only: bool = True) -> List[int]:
+        leaves = self.alive_leaves() if alive_only else list(self.leaves.values())
+        return [leaf.table_size for leaf in leaves]
+
+    def database_sizes(self, alive_only: bool = True) -> List[int]:
+        leaves = self.alive_leaves() if alive_only else list(self.leaves.values())
+        return [len(leaf.database) for leaf in leaves]
+
+    def message_totals(self, alive_only: bool = False) -> List[int]:
+        """Per-machine messages sent plus received (Figs. 9-10)."""
+        leaves = self.alive_leaves() if alive_only else list(self.leaves.values())
+        return [self.network.traffic[leaf.identifier].total for leaf in leaves]
+
+    def width_distribution(self) -> Dict[int, int]:
+        """How many alive leaves currently use each cell-ID width."""
+        out: Dict[int, int] = {}
+        for leaf in self.alive_leaves():
+            out[leaf.width] = out.get(leaf.width, 0) + 1
+        return dict(sorted(out.items()))
+
+    def total_stored_records(self) -> int:
+        return sum(len(leaf.database) for leaf in self.alive_leaves())
+
+    def __len__(self) -> int:
+        return len(self.leaves)

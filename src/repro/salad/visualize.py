@@ -1,0 +1,123 @@
+"""ASCII visualization of a two-dimensional SALAD.
+
+Renders the Fig. 1 / Fig. 3 picture for a live system: the hypercube's
+cells as a grid, each showing its leaf population (and optionally record
+load), plus one leaf's-eye view marking its own cell, its vectors, and its
+leaf-table coverage.  Used by ``examples/salad_map.py`` and handy when
+debugging protocol changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.salad.ids import coordinate, coordinate_width
+from repro.salad.salad import Salad
+
+
+def _grid_shape(width: int, dimensions: int) -> Tuple[int, int]:
+    """Cells along axis 0 (columns) and axis 1 (rows) at this width."""
+    if dimensions != 2:
+        raise ValueError("the grid renderer draws two-dimensional SALADs only")
+    cols = 1 << coordinate_width(width, 2, 0)
+    rows = 1 << coordinate_width(width, 2, 1)
+    return cols, rows
+
+
+def _dominant_width(salad: Salad) -> int:
+    distribution = salad.width_distribution()
+    if not distribution:
+        return 0
+    return max(distribution, key=lambda w: distribution[w])
+
+
+def cell_grid(salad: Salad, width: Optional[int] = None) -> str:
+    """Grid of cells with leaf counts (rows: axis 1, columns: axis 0)."""
+    width = _dominant_width(salad) if width is None else width
+    cols, rows = _grid_shape(width, salad.config.dimensions)
+    counts: Dict[Tuple[int, int], int] = {}
+    for leaf in salad.alive_leaves():
+        c0 = coordinate(leaf.identifier, width, 2, 0)
+        c1 = coordinate(leaf.identifier, width, 2, 1)
+        counts[(c0, c1)] = counts.get((c0, c1), 0) + 1
+
+    lines = [f"SALAD cell grid at W={width}: {cols} x {rows} cells, "
+             f"{len(salad.alive_leaves())} leaves"]
+    header = "      " + " ".join(f"c0={c0}".rjust(5) for c0 in range(cols))
+    lines.append(header)
+    for c1 in range(rows):
+        row = [f"c1={c1}".ljust(6)]
+        for c0 in range(cols):
+            row.append(f"{counts.get((c0, c1), 0):>5}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def leaf_view(salad: Salad, leaf_id: int, width: Optional[int] = None) -> str:
+    """One leaf's perspective (the Fig. 3 picture).
+
+    Legend: ``#`` the leaf's own cell, ``|``/``-`` cells in its axis-0 /
+    axis-1 vectors, ``+`` cells it has leaf-table entries in although
+    off-vector (stale or width-skewed knowledge), ``.`` unknown cells.
+    """
+    leaf = salad.leaves[leaf_id]
+    width = leaf.width if width is None else width
+    cols, rows = _grid_shape(width, salad.config.dimensions)
+    my_c0 = coordinate(leaf.identifier, width, 2, 0)
+    my_c1 = coordinate(leaf.identifier, width, 2, 1)
+
+    known_cells = set()
+    for other in leaf.leaf_table:
+        known_cells.add(
+            (coordinate(other, width, 2, 0), coordinate(other, width, 2, 1))
+        )
+
+    lines = [
+        f"leaf {leaf.identifier:#x} view at W={width} "
+        f"(cell c0={my_c0}, c1={my_c1}; table={leaf.table_size})"
+    ]
+    for c1 in range(rows):
+        row = []
+        for c0 in range(cols):
+            if (c0, c1) == (my_c0, my_c1):
+                row.append("#")
+            elif c0 == my_c0:
+                row.append("|")
+            elif c1 == my_c1:
+                row.append("-")
+            elif (c0, c1) in known_cells:
+                row.append("+")
+            else:
+                row.append(".")
+        lines.append(" ".join(row))
+    coverage = sum(
+        1
+        for cell in known_cells
+        if (cell[0] == my_c0 or cell[1] == my_c1) and cell != (my_c0, my_c1)
+    )
+    vector_cells = cols + rows - 2
+    lines.append(
+        f"vector coverage: table entries span {coverage}/{vector_cells} vector cells"
+    )
+    return "\n".join(lines)
+
+
+def load_histogram(salad: Salad, bins: int = 10, bar_width: int = 40) -> str:
+    """ASCII histogram of per-leaf record-database sizes."""
+    sizes = salad.database_sizes()
+    if not sizes or max(sizes) == 0:
+        return "no records stored"
+    low, high = min(sizes), max(sizes)
+    span = max(1, high - low)
+    counts = [0] * bins
+    for size in sizes:
+        index = min(bins - 1, (size - low) * bins // span)
+        counts[index] += 1
+    peak = max(counts)
+    lines = [f"database sizes across {len(sizes)} leaves (records per leaf)"]
+    for i, count in enumerate(counts):
+        lo = low + i * span // bins
+        hi = low + (i + 1) * span // bins
+        bar = "#" * (count * bar_width // peak if peak else 0)
+        lines.append(f"{lo:>6}-{hi:<6} {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Cell-ID width recalculation support (paper section 4.6, Fig. 6).
+
+A leaf estimates the system size L from the size T of its own leaf table:
+the expected fraction of all leaves that are vector-aligned with it (and
+hence in its table) is the *known leaf ratio* r of Eq. 18,
+
+    r = (sum_d 2^(W_d)  -  D + 1) / 2^W
+
+so the leaf inverts ``T ~= r * L`` to get ``L = T / r``, then derives a
+target width ``W^ = floor(lg(L / Lambda))`` (Eq. 6).  Decreases use an
+attenuated target redundancy ``Lambda' = Lambda / (1 + xi)`` (Eq. 19) --
+hysteresis that prevents W from oscillating when T hovers near a threshold.
+
+The stateful parts of Fig. 6 (requesting newly vector-aligned leaves after a
+fold, forgetting leaves after an unfold, the stability check before an
+increment) live in :meth:`repro.salad.leaf.SaladLeaf._recalculate_width`;
+this module holds the pure calculations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.salad.ids import coordinate_width
+
+
+def known_leaf_ratio(width: int, dimensions: int) -> float:
+    """Eq. 18: expected fraction of all leaves in a leaf's own leaf table.
+
+    A leaf sees the leaves of ``sum_d 2^(W_d)`` cells along its D vectors;
+    its own cell is counted once per axis, hence the ``- D + 1``.
+    """
+    visible_cells = (
+        sum(1 << coordinate_width(width, dimensions, d) for d in range(dimensions))
+        - dimensions
+        + 1
+    )
+    return visible_cells / (1 << width)
+
+
+def attenuated_redundancy(target_redundancy: float, damping: float) -> float:
+    """Eq. 19: Lambda' = Lambda / (1 + xi)."""
+    if damping < 0:
+        raise ValueError(f"damping factor cannot be negative: {damping}")
+    return target_redundancy / (1.0 + damping)
+
+
+def target_width(estimated_size: float, redundancy: float) -> int:
+    """Eq. 6 applied to an estimate: W^ = floor(lg(L / Lambda)), min 0."""
+    if estimated_size <= 0:
+        return 0
+    ratio = estimated_size / redundancy
+    if ratio < 1:
+        return 0
+    return int(math.floor(math.log2(ratio)))
+
+
+def fold_axis(width: int, dimensions: int) -> int:
+    """The axis along which decrementing W folds the hypercube in half.
+
+    Decrementing W removes cell-ID bit ``W - 1``, which belongs to
+    coordinate ``(W - 1) mod D`` (section 4.6).
+    """
+    if width < 1:
+        raise ValueError("cannot fold a zero-width SALAD")
+    return (width - 1) % dimensions
+
+
+def estimate_system_size(table_size_with_self: int, width: int, dimensions: int) -> float:
+    """Invert Eq. 18: L = T / r, with T counting the leaf itself."""
+    r = known_leaf_ratio(width, dimensions)
+    return table_size_with_self / r

@@ -1,0 +1,118 @@
+"""Failure injection.
+
+Fig. 8 of the paper "tested the resilience of the DFC system to machine
+failure by randomly failing the simulated machines" and plotting consumed
+space versus the machine failure probability.  :func:`fail_randomly`
+implements exactly that model: each machine independently fails with
+probability p.  :class:`ChurnSchedule` additionally drives join/leave churn
+over virtual time for the maintenance protocols (sections 4.4-4.5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.sim.events import EventScheduler
+from repro.sim.machine import SimMachine
+
+
+def fail_randomly(
+    machines: Iterable[SimMachine],
+    probability: float,
+    rng: random.Random,
+) -> List[SimMachine]:
+    """Independently crash each machine with the given probability.
+
+    Returns the list of machines that failed.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"failure probability must be in [0,1]: {probability}")
+    failed = []
+    for machine in machines:
+        if rng.random() < probability:
+            machine.fail()
+            failed.append(machine)
+    return failed
+
+
+def fail_exact_fraction(
+    machines: Sequence[SimMachine],
+    fraction: float,
+    rng: random.Random,
+) -> List[SimMachine]:
+    """Crash an exact fraction of machines, chosen uniformly at random.
+
+    Lower-variance variant used when sweeping failure rates with few
+    machines, so each sweep point reflects its nominal rate.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"failure fraction must be in [0,1]: {fraction}")
+    count = round(len(machines) * fraction)
+    failed = rng.sample(list(machines), count)
+    for machine in failed:
+        machine.fail()
+    return failed
+
+
+@dataclass
+class ChurnEvent:
+    """One scheduled churn action."""
+
+    time: float
+    action: str  # "fail" | "recover" | "depart"
+    machine: SimMachine
+
+
+class ChurnSchedule:
+    """Drives scheduled machine failures/recoveries/departures over time."""
+
+    def __init__(self, scheduler: EventScheduler):
+        self.scheduler = scheduler
+        self.history: List[ChurnEvent] = []
+
+    def _apply(self, event: ChurnEvent) -> None:
+        if event.action == "fail":
+            event.machine.fail()
+        elif event.action == "recover":
+            event.machine.recover()
+        elif event.action == "depart":
+            event.machine.depart()
+        else:
+            raise ValueError(f"unknown churn action {event.action!r}")
+        self.history.append(event)
+
+    def at(self, time: float, action: str, machine: SimMachine) -> None:
+        """Schedule one churn action at absolute virtual time."""
+        event = ChurnEvent(time=time, action=action, machine=machine)
+        self.scheduler.schedule_at(time, lambda: self._apply(event))
+
+    def poisson_failures(
+        self,
+        machines: Sequence[SimMachine],
+        rate: float,
+        horizon: float,
+        rng: random.Random,
+        recover_after: float = 0.0,
+    ) -> int:
+        """Schedule memoryless failures at *rate* per machine per time unit.
+
+        If *recover_after* is positive, each failure is followed by recovery
+        after that delay (a temporarily-off desktop rather than a dead one).
+        The *horizon* is measured from the scheduler's current virtual time.
+        Returns the number of failures scheduled.
+        """
+        scheduled = 0
+        start = self.scheduler.now
+        for machine in machines:
+            t = start
+            while True:
+                t += rng.expovariate(rate)
+                if t >= start + horizon:
+                    break
+                self.at(t, "fail", machine)
+                scheduled += 1
+                if recover_after > 0:
+                    self.at(t + recover_after, "recover", machine)
+        return scheduled

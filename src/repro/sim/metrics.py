@@ -1,0 +1,116 @@
+"""Measurement utilities: CDFs, coefficients of variation, histograms.
+
+The paper reports cumulative distributions of machines by message count
+(Fig. 10), database size (Fig. 12), and leaf table size (Fig. 15), and
+characterizes load balance by the coefficient of variation CoV = sigma/mu
+(citing Jain [21]).  These helpers compute those exact quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """CoV = population standard deviation / mean (0 for empty or zero-mean)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(variance) / mean
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class Cdf:
+    """An empirical cumulative distribution over sample values.
+
+    ``points()`` yields (value, cumulative_frequency) pairs suitable for
+    plotting exactly the curves of Figs. 10, 12, and 15.
+    """
+
+    samples: List[float]
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "Cdf":
+        return cls(samples=sorted(samples))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def points(self) -> List[Tuple[float, float]]:
+        """Sorted (value, fraction of samples <= value) pairs."""
+        n = len(self.samples)
+        if n == 0:
+            return []
+        out: List[Tuple[float, float]] = []
+        for i, v in enumerate(self.samples, start=1):
+            if out and out[-1][0] == v:
+                out[-1] = (v, i / n)
+            else:
+                out.append((v, i / n))
+        return out
+
+    def at(self, value: float) -> float:
+        """Fraction of samples <= value."""
+        lo, hi = 0, len(self.samples)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.samples[mid] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(self.samples) if self.samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1) of the samples."""
+        if not self.samples:
+            raise ValueError("quantile of empty CDF")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1]: {q}")
+        idx = min(len(self.samples) - 1, max(0, math.ceil(q * len(self.samples)) - 1))
+        return self.samples[idx]
+
+    @property
+    def mean(self) -> float:
+        return mean(self.samples)
+
+    @property
+    def cov(self) -> float:
+        return coefficient_of_variation(self.samples)
+
+
+def histogram(values: Iterable[float], bin_width: float) -> Dict[float, int]:
+    """Counts per bin of the given width (bin key = left edge)."""
+    if bin_width <= 0:
+        raise ValueError(f"bin width must be positive: {bin_width}")
+    bins: Dict[float, int] = {}
+    for v in values:
+        edge = math.floor(v / bin_width) * bin_width
+        bins[edge] = bins.get(edge, 0) + 1
+    return dict(sorted(bins.items()))
+
+
+def geometric_thresholds(start: int, stop: int, factor: int = 8) -> List[int]:
+    """Geometric sweep values, e.g. the file-size thresholds of Figs. 7/9/11.
+
+    The paper's x-axes run 1, 8, 64, 512, 4K, 32K, 256K, 2M, ... -- a factor
+    of 8 per step.
+    """
+    if start <= 0 or factor <= 1:
+        raise ValueError("start must be positive and factor > 1")
+    out = []
+    v = start
+    while v <= stop:
+        out.append(v)
+        v *= factor
+    return out

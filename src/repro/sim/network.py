@@ -1,0 +1,168 @@
+"""Message-passing network connecting simulated machines.
+
+The network delivers typed messages between machines over the event
+scheduler, counting every send and receive per machine (the raw data behind
+Figs. 9 and 10).  Failure awareness: messages addressed to a failed machine
+are silently dropped, exactly as a crashed desktop would drop them -- that is
+the mechanism by which machine failures translate into SALAD lossiness in the
+Fig. 8 experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.sim.events import EventScheduler
+
+if TYPE_CHECKING:
+    from repro.sim.machine import SimMachine
+
+
+@dataclass(frozen=True)
+class Message:
+    """A network message.
+
+    ``kind`` is a protocol-level tag (e.g. ``"record"``, ``"join"``);
+    ``payload`` is arbitrary protocol data.  Sender/recipient are machine
+    identifiers (large integers, per paper section 2).
+    """
+
+    sender: int
+    recipient: int
+    kind: str
+    payload: Any
+
+
+@dataclass
+class MachineTraffic:
+    """Per-machine traffic counters."""
+
+    sent: int = 0
+    received: int = 0
+    dropped_to: int = 0  # messages this machine sent that were dropped
+    by_kind_sent: Dict[str, int] = field(default_factory=dict)
+    by_kind_received: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """Sent plus received -- the paper's "messages sent and received"."""
+        return self.sent + self.received
+
+
+class Network:
+    """The simulated network fabric.
+
+    Machines register under their identifier; :meth:`send` schedules delivery
+    after a (possibly jittered) latency.  A message to an unknown, failed, or
+    departed machine is counted as sent and then dropped.
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[EventScheduler] = None,
+        latency: float = 1.0,
+        jitter: float = 0.0,
+        loss_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0,1]: {loss_probability}")
+        self.scheduler = scheduler or EventScheduler()
+        self.latency = latency
+        self.jitter = jitter
+        self.loss_probability = loss_probability
+        self._rng = rng or random.Random(0)
+        self._machines: Dict[int, "SimMachine"] = {}
+        self.traffic: Dict[int, MachineTraffic] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        # Partition map: machine id -> partition label.  Messages crossing
+        # partition labels are dropped.  Unlabeled machines share the
+        # implicit default partition.
+        self._partition_of: Dict[int, object] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    def register(self, machine: "SimMachine") -> None:
+        if machine.identifier in self._machines:
+            raise ValueError(f"machine {machine.identifier:#x} already registered")
+        self._machines[machine.identifier] = machine
+        self.traffic.setdefault(machine.identifier, MachineTraffic())
+
+    def deregister(self, identifier: int) -> None:
+        self._machines.pop(identifier, None)
+
+    def machine(self, identifier: int) -> Optional["SimMachine"]:
+        return self._machines.get(identifier)
+
+    def machines(self) -> Dict[int, "SimMachine"]:
+        return dict(self._machines)
+
+    # -- partitions ------------------------------------------------------------
+
+    def partition(self, groups: "Dict[object, list]") -> None:
+        """Split the network: messages between different groups are dropped.
+
+        *groups* maps a label to the machine identifiers in that partition.
+        Machines not listed stay in the default partition together.
+        """
+        self._partition_of = {}
+        for label, members in groups.items():
+            for identifier in members:
+                self._partition_of[identifier] = label
+
+    def heal_partition(self) -> None:
+        """Restore full connectivity."""
+        self._partition_of = {}
+
+    def _partitioned(self, a: int, b: int) -> bool:
+        return self._partition_of.get(a) != self._partition_of.get(b)
+
+    # -- traffic -------------------------------------------------------------
+
+    def _traffic(self, identifier: int) -> MachineTraffic:
+        return self.traffic.setdefault(identifier, MachineTraffic())
+
+    def send(self, sender: int, recipient: int, kind: str, payload: Any) -> None:
+        """Send a message; delivery is scheduled on the event loop."""
+        message = Message(sender=sender, recipient=recipient, kind=kind, payload=payload)
+        traffic = self._traffic(sender)
+        traffic.sent += 1
+        traffic.by_kind_sent[kind] = traffic.by_kind_sent.get(kind, 0) + 1
+        self.messages_sent += 1
+
+        if self._partition_of and self._partitioned(sender, recipient):
+            traffic.dropped_to += 1
+            self.messages_dropped += 1
+            return
+
+        if self.loss_probability and self._rng.random() < self.loss_probability:
+            traffic.dropped_to += 1
+            self.messages_dropped += 1
+            return
+
+        delay = self.latency
+        if self.jitter:
+            delay += self._rng.random() * self.jitter
+        self.scheduler.schedule(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        machine = self._machines.get(message.recipient)
+        if machine is None or not machine.alive:
+            self._traffic(message.sender).dropped_to += 1
+            self.messages_dropped += 1
+            return
+        traffic = self._traffic(message.recipient)
+        traffic.received += 1
+        traffic.by_kind_received[message.kind] = (
+            traffic.by_kind_received.get(message.kind, 0) + 1
+        )
+        self.messages_delivered += 1
+        machine.receive(message)
+
+    def run(self, **kwargs: Any) -> int:
+        """Drain the event loop (delegates to the scheduler)."""
+        return self.scheduler.run(**kwargs)

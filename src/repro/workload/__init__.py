@@ -1,0 +1,29 @@
+"""Workload substrate: file-system content corpora.
+
+The paper's evaluation uses proprietary scans of 585 Microsoft desktop file
+systems (10,514,105 files, 685 GB, 46% of bytes duplicated).  That dataset is
+not public, so this package substitutes a synthetic corpus generator
+calibrated to the published aggregate statistics and the authors' published
+file-system measurement studies [8, 13]: lognormal file sizes, Zipf-
+distributed cross-machine duplication of shared content, per-machine unique
+files, plus a small set of "system" contents present on every machine
+(operating-system files).  See DESIGN.md for the substitution rationale.
+
+- :mod:`repro.workload.corpus` -- corpus data model and statistics.
+- :mod:`repro.workload.distributions` -- size and duplication distributions.
+- :mod:`repro.workload.generator` -- the calibrated generator.
+- :mod:`repro.workload.scanner` -- scan a real directory tree (what the
+  paper's scanning program did), usable on any host.
+"""
+
+from repro.workload.corpus import Corpus, CorpusSummary, FileStat, MachineScan
+from repro.workload.generator import CorpusSpec, generate_corpus
+
+__all__ = [
+    "Corpus",
+    "CorpusSpec",
+    "CorpusSummary",
+    "FileStat",
+    "MachineScan",
+    "generate_corpus",
+]

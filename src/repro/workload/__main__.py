@@ -1,0 +1,99 @@
+"""Workload CLI: generate, inspect, and convert corpora.
+
+Usage::
+
+    python -m repro.workload generate --machines 585 --files 60 -o corpus.json.gz
+    python -m repro.workload stats corpus.json.gz
+    python -m repro.workload scan /some/directory -o scanned.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import format_bytes, render_kv
+from repro.workload.corpus import Corpus
+from repro.workload.generator import CorpusSpec, generate_corpus
+from repro.workload.serialization import load_corpus, save_corpus
+
+
+def _summarize(corpus: Corpus) -> str:
+    summary = corpus.summary()
+    return render_kv(
+        "Corpus statistics",
+        {
+            "machines": summary.machine_count,
+            "total files": f"{summary.total_files:,}",
+            "total bytes": format_bytes(summary.total_bytes),
+            "distinct contents": f"{summary.distinct_contents:,}",
+            "distinct bytes": format_bytes(summary.distinct_bytes),
+            "duplicate byte fraction": f"{summary.duplicate_byte_fraction:.3f}",
+            "distinct file fraction": f"{1 - summary.duplicate_file_fraction:.3f}",
+            "mean file size": format_bytes(summary.mean_file_size),
+        },
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    spec = CorpusSpec(
+        machines=args.machines,
+        mean_files_per_machine=args.files,
+    )
+    corpus = generate_corpus(spec, seed=args.seed)
+    print(_summarize(corpus))
+    if args.output:
+        save_corpus(corpus, args.output)
+        print(f"\nwritten to {args.output}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    corpus = load_corpus(args.corpus)
+    print(_summarize(corpus))
+    return 0
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    from repro.workload.scanner import scan_directory
+
+    scan = scan_directory(args.directory, max_files=args.max_files)
+    corpus = Corpus(machines=[scan])
+    print(_summarize(corpus))
+    if args.output:
+        save_corpus(corpus, args.output)
+        print(f"\nwritten to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload",
+        description="Generate, inspect, and convert DFC corpora.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a calibrated synthetic corpus")
+    generate.add_argument("--machines", type=int, default=292)
+    generate.add_argument("--files", type=float, default=40.0, help="mean files/machine")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", help="write corpus JSON(.gz) here")
+    generate.set_defaults(func=cmd_generate)
+
+    stats = sub.add_parser("stats", help="print statistics of a saved corpus")
+    stats.add_argument("corpus", help="corpus JSON(.gz) path")
+    stats.set_defaults(func=cmd_stats)
+
+    scan = sub.add_parser("scan", help="scan a real directory into a corpus")
+    scan.add_argument("directory")
+    scan.add_argument("--max-files", type=int, default=None)
+    scan.add_argument("-o", "--output", help="write corpus JSON(.gz) here")
+    scan.set_defaults(func=cmd_scan)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

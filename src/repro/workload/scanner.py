@@ -1,0 +1,65 @@
+"""Scan a real directory tree into a MachineScan.
+
+This is what the paper's measurement tool did: "The program computed a ...
+cryptographically strong hash of each ... block of all files on their
+systems, and it recorded these hashes along with file sizes and other
+attributes."  Running it over any directory yields a
+:class:`repro.workload.corpus.MachineScan` whose content identities come
+from real content hashes, so identical files on disk become identical
+contents in the corpus.
+
+Useful for trying the DFC pipeline on real data instead of the synthetic
+corpus (see ``examples/corporate_dedup.py --scan``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.workload.corpus import FileStat, MachineScan
+
+#: Files larger than this are hashed in blocks (the paper hashed 64-KB
+#: blocks); we hash whole contents block-wise to bound memory.
+BLOCK_SIZE = 64 * 1024
+
+
+def _hash_file(path: str) -> bytes:
+    import hashlib
+
+    hasher = hashlib.sha1()
+    with open(path, "rb") as f:
+        while True:
+            block = f.read(BLOCK_SIZE)
+            if not block:
+                break
+            hasher.update(block)
+    return hasher.digest()
+
+
+def scan_directory(
+    root: str,
+    machine_index: int = 0,
+    max_files: Optional[int] = None,
+    follow_symlinks: bool = False,
+) -> MachineScan:
+    """Walk *root*, fingerprinting every regular file."""
+    files = []
+    content_ids: Dict[bytes, int] = {}
+    for dirpath, _dirnames, filenames in os.walk(root, followlinks=follow_symlinks):
+        for name in filenames:
+            path = os.path.join(dirpath, name)
+            try:
+                if not os.path.isfile(path) or os.path.islink(path):
+                    continue
+                size = os.path.getsize(path)
+                digest = _hash_file(path)
+            except OSError:
+                continue  # unreadable file; the paper's scanner skipped these too
+            content_id = content_ids.setdefault(
+                digest, int.from_bytes(digest[:8], "big")
+            )
+            files.append(FileStat(content_id=content_id, size=size))
+            if max_files is not None and len(files) >= max_files:
+                return MachineScan(machine_index=machine_index, files=files)
+    return MachineScan(machine_index=machine_index, files=files)

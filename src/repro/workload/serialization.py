@@ -1,0 +1,76 @@
+"""Corpus persistence: save and load corpora as compact JSON.
+
+Lets a scanned or generated corpus be shared and re-analyzed without
+re-running the (seeded) generator or re-scanning disks -- the moral
+equivalent of the paper's recorded scan dataset.  The format is versioned
+and self-describing:
+
+.. code-block:: json
+
+    {"format": "repro-corpus", "version": 1,
+     "machines": [{"index": 0, "files": [[content_id, size], ...]}, ...]}
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import IO
+
+from repro.workload.corpus import Corpus, FileStat, MachineScan
+
+FORMAT_NAME = "repro-corpus"
+FORMAT_VERSION = 1
+
+
+class CorpusFormatError(ValueError):
+    """The file is not a recognizable corpus dump."""
+
+
+def corpus_to_dict(corpus: Corpus) -> dict:
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "machines": [
+            {
+                "index": machine.machine_index,
+                "files": [[f.content_id, f.size] for f in machine.files],
+            }
+            for machine in corpus.machines
+        ],
+    }
+
+
+def corpus_from_dict(data: dict) -> Corpus:
+    if not isinstance(data, dict) or data.get("format") != FORMAT_NAME:
+        raise CorpusFormatError("not a repro corpus dump")
+    if data.get("version") != FORMAT_VERSION:
+        raise CorpusFormatError(
+            f"unsupported corpus format version: {data.get('version')!r}"
+        )
+    machines = []
+    for machine in data["machines"]:
+        files = [
+            FileStat(content_id=int(content_id), size=int(size))
+            for content_id, size in machine["files"]
+        ]
+        machines.append(MachineScan(machine_index=int(machine["index"]), files=files))
+    return Corpus(machines=machines)
+
+
+def _open(path: str, mode: str) -> IO:
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_corpus(corpus: Corpus, path: str) -> None:
+    """Write a corpus to *path* (gzip-compressed if it ends in .gz)."""
+    with _open(path, "w") as f:
+        json.dump(corpus_to_dict(corpus), f, separators=(",", ":"))
+
+
+def load_corpus(path: str) -> Corpus:
+    """Read a corpus written by :func:`save_corpus`."""
+    with _open(path, "r") as f:
+        return corpus_from_dict(json.load(f))

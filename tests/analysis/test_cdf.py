@@ -1,0 +1,23 @@
+"""CDF helpers for the distribution figures."""
+
+from repro.analysis.cdf import Cdf, cdf_series, sampled_cdf_points
+
+
+class TestCdfSeries:
+    def test_one_cdf_per_label(self):
+        series = cdf_series({"a": [1, 2, 3], "b": [4, 5]})
+        assert set(series) == {"a", "b"}
+        assert len(series["a"]) == 3
+
+
+class TestSampledPoints:
+    def test_count_and_monotonicity(self):
+        cdf = Cdf.from_samples(range(100))
+        points = sampled_cdf_points(cdf, points=10)
+        assert len(points) == 10
+        values = [v for v, _ in points]
+        assert values == sorted(values)
+        assert points[-1][1] == 1.0
+
+    def test_empty(self):
+        assert sampled_cdf_points(Cdf.from_samples([])) == []

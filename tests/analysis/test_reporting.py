@@ -1,0 +1,53 @@
+"""Report rendering."""
+
+import pytest
+
+from repro.analysis.reporting import format_bytes, render_kv, render_table
+
+
+class TestFormatBytes:
+    def test_plain_bytes(self):
+        assert format_bytes(512) == "512"
+
+    def test_kilobytes(self):
+        assert format_bytes(4096) == "4K"
+
+    def test_fractional_megabytes(self):
+        assert format_bytes(int(2.5 * 1024 * 1024)) == "2.5M"
+
+    def test_gigabytes(self):
+        assert format_bytes(685 * 2**30) == "685G"
+
+    def test_fractional_gigabytes(self):
+        assert format_bytes(int(1.5 * 2**30)) == "1.5G"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_values(self):
+        out = render_table(
+            "Title",
+            "x",
+            [1, 2],
+            {"s1": [10, 20], "s2": [30, 40]},
+        )
+        assert "Title" in out
+        assert "s1" in out and "s2" in out
+        assert "30" in out and "40" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_table("t", "x", [1, 2], {"s": [1]})
+
+    def test_columns_align(self):
+        out = render_table("t", "x", [1], {"col": [123456]})
+        lines = out.splitlines()
+        # header, separator, one row, all equal width
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+class TestRenderKv:
+    def test_keys_and_values_present(self):
+        out = render_kv("Block", {"alpha": 1, "much_longer_key": "v"})
+        assert "Block" in out
+        assert "alpha" in out and "much_longer_key" in out
+        assert " : " in out

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (RSA key pairs, built SALADs, generated corpora) are
+session-scoped; tests must not mutate them.  Tests that need mutation build
+their own small instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.keyring import User, UserDirectory
+from repro.crypto.rsa import RSAKeyPair, generate_keypair
+from repro.salad.salad import Salad, SaladConfig
+from repro.workload.corpus import Corpus
+from repro.workload.generator import CorpusSpec, generate_corpus
+
+
+@pytest.fixture(scope="session")
+def keypair() -> RSAKeyPair:
+    return generate_keypair(512, rng=random.Random(1234))
+
+
+@pytest.fixture(scope="session")
+def second_keypair() -> RSAKeyPair:
+    return generate_keypair(512, rng=random.Random(5678))
+
+
+@pytest.fixture(scope="session")
+def user_directory() -> UserDirectory:
+    users = UserDirectory()
+    rng = random.Random(99)
+    for name in ("alice", "bob", "carol"):
+        users.create_user(name, rng=rng)
+    return users
+
+
+@pytest.fixture(scope="session")
+def alice(user_directory: UserDirectory) -> User:
+    return user_directory.get("alice")
+
+
+@pytest.fixture(scope="session")
+def bob(user_directory: UserDirectory) -> User:
+    return user_directory.get("bob")
+
+
+@pytest.fixture(scope="session")
+def built_salad() -> Salad:
+    """A 120-leaf SALAD grown by incremental joins.  Read-only."""
+    salad = Salad(SaladConfig(target_redundancy=2.5, dimensions=2, seed=101))
+    salad.build(120)
+    return salad
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> Corpus:
+    """A small calibrated corpus.  Read-only."""
+    spec = CorpusSpec(machines=60, mean_files_per_machine=20)
+    return generate_corpus(spec, seed=7)

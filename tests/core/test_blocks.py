@@ -1,0 +1,99 @@
+"""Block-level convergent encryption and chunking."""
+
+import pytest
+
+from repro.core.blocks import (
+    BlockManifest,
+    decrypt_blocks,
+    deduplicated_bytes,
+    encrypt_blocks,
+    split_content_defined,
+    split_fixed,
+)
+from repro.workload.content import synthetic_content
+
+DATA = synthetic_content(1, 200_000)
+
+
+class TestFixedSplit:
+    def test_blocks_reassemble(self):
+        assert b"".join(split_fixed(DATA, 4096)) == DATA
+
+    def test_block_sizes(self):
+        blocks = split_fixed(DATA, 4096)
+        assert all(len(b) == 4096 for b in blocks[:-1])
+        assert 0 < len(blocks[-1]) <= 4096
+
+    def test_empty_input(self):
+        assert split_fixed(b"") == [b""]
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            split_fixed(DATA, 0)
+
+
+class TestContentDefinedSplit:
+    def test_blocks_reassemble(self):
+        assert b"".join(split_content_defined(DATA)) == DATA
+
+    def test_size_bounds_respected(self):
+        chunks = split_content_defined(DATA, target_size=4096)
+        for chunk in chunks[:-1]:
+            assert 1024 <= len(chunk) <= 4 * 4096
+
+    def test_deterministic(self):
+        assert split_content_defined(DATA) == split_content_defined(DATA)
+
+    def test_insertion_shifts_few_boundaries(self):
+        """The LBFS property: a small insertion changes O(1) chunks."""
+        edited = DATA[:50_000] + b"INSERTED BYTES" + DATA[50_000:]
+        original = {bytes(c) for c in split_content_defined(DATA, 4096)}
+        changed = [c for c in split_content_defined(edited, 4096) if c not in original]
+        assert len(changed) <= 4
+
+    def test_fixed_split_has_no_insertion_tolerance(self):
+        """Contrast: fixed blocking re-writes everything after the edit."""
+        edited = DATA[:50_000] + b"INSERTED BYTES" + DATA[50_000:]
+        original = {bytes(c) for c in split_fixed(DATA, 4096)}
+        changed = [c for c in split_fixed(edited, 4096) if c not in original]
+        assert len(changed) > 20
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            split_content_defined(DATA, target_size=10)
+        with pytest.raises(ValueError):
+            split_content_defined(DATA, target_size=4096, min_size=8192)
+
+
+class TestBlockEncryption:
+    def test_roundtrip_via_block_store(self):
+        manifest, encrypted = encrypt_blocks(split_content_defined(DATA, 4096))
+        store = {b.fingerprint: b.ciphertext for b in encrypted}
+        assert decrypt_blocks(manifest, store) == DATA
+
+    def test_identical_blocks_identical_ciphertext(self):
+        """Per-block convergence: shared blocks coalesce across files."""
+        _, enc_a = encrypt_blocks([b"shared block", b"only in a"])
+        _, enc_b = encrypt_blocks([b"shared block", b"only in b"])
+        assert enc_a[0].ciphertext == enc_b[0].ciphertext
+        assert enc_a[1].ciphertext != enc_b[1].ciphertext
+
+    def test_ciphertext_not_plaintext(self):
+        _, encrypted = encrypt_blocks([DATA[:4096]])
+        assert encrypted[0].ciphertext != DATA[:4096]
+
+
+class TestDeduplicatedBytes:
+    def test_shared_blocks_counted_once(self):
+        m1, _ = encrypt_blocks([b"A" * 100, b"B" * 100])
+        m2, _ = encrypt_blocks([b"A" * 100, b"C" * 100])
+        logical, physical = deduplicated_bytes([m1, m2])
+        assert logical == 400
+        assert physical == 300
+
+    def test_versioned_files_share_most_blocks(self):
+        edited = DATA[:100_000] + b"xyz" + DATA[100_000:]
+        m1, _ = encrypt_blocks(split_content_defined(DATA, 4096))
+        m2, _ = encrypt_blocks(split_content_defined(edited, 4096))
+        logical, physical = deduplicated_bytes([m1, m2])
+        assert physical < 0.6 * logical  # versions share nearly everything

@@ -1,0 +1,82 @@
+"""File fingerprints: encoding, ordering, and collision arithmetic."""
+
+import pytest
+
+from repro.core.fingerprint import (
+    FINGERPRINT_BYTES,
+    Fingerprint,
+    fingerprint_of,
+    synthetic_fingerprint,
+)
+from repro.salad.model import fingerprint_collision_probability
+
+
+class TestConstruction:
+    def test_from_content(self):
+        fp = fingerprint_of(b"hello world")
+        assert fp.size == 11
+        assert len(fp.content_digest) == 20
+
+    def test_identical_content_identical_fingerprint(self):
+        assert fingerprint_of(b"same") == fingerprint_of(b"same")
+
+    def test_different_content_different_fingerprint(self):
+        assert fingerprint_of(b"aaa") != fingerprint_of(b"bbb")
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Fingerprint(size=-1, content_digest=bytes(20))
+
+    def test_rejects_wrong_digest_width(self):
+        with pytest.raises(ValueError):
+            Fingerprint(size=1, content_digest=bytes(19))
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        fp = fingerprint_of(b"roundtrip me")
+        assert Fingerprint.from_bytes(fp.to_bytes()) == fp
+
+    def test_width(self):
+        assert len(fingerprint_of(b"x").to_bytes()) == FINGERPRINT_BYTES == 28
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            Fingerprint.from_bytes(bytes(27))
+
+
+class TestOrdering:
+    def test_size_dominates_order(self):
+        """Smaller files sort lower -- the Fig. 13 eviction rule relies on it."""
+        small = synthetic_fingerprint(100, 1)
+        large = synthetic_fingerprint(200, 2)
+        assert small < large
+
+    def test_equal_sizes_ordered_by_digest(self):
+        a = synthetic_fingerprint(100, 1)
+        b = synthetic_fingerprint(100, 2)
+        assert (a < b) != (b < a)
+
+    def test_sort_matches_encoded_bytes(self):
+        fps = [synthetic_fingerprint(s, c) for s, c in [(5, 1), (3, 9), (5, 2), (900, 0)]]
+        assert sorted(fps) == sorted(fps, key=lambda f: f.to_bytes())
+
+
+class TestSynthetic:
+    def test_deterministic(self):
+        assert synthetic_fingerprint(64, 7) == synthetic_fingerprint(64, 7)
+
+    def test_distinct_contents_distinct_digests(self):
+        assert synthetic_fingerprint(64, 7) != synthetic_fingerprint(64, 8)
+
+    def test_routing_bits_are_spread(self):
+        """Low bits of the digest drive cell-IDs; they must vary."""
+        low_bits = {synthetic_fingerprint(64, c).hash_as_int() & 0xFF for c in range(200)}
+        assert len(low_bits) > 100
+
+
+class TestCollisionMath:
+    def test_paper_order_of_magnitude(self):
+        """Section 4.1: for F files, P(collision) ~= F * 1e-24."""
+        p = fingerprint_collision_probability(10_514_105)
+        assert p < 1e-16  # vanishing at the paper's scale

@@ -1,0 +1,43 @@
+"""Users and the user directory."""
+
+import random
+
+import pytest
+
+from repro.core.keyring import User, UserDirectory
+
+
+class TestUser:
+    def test_create_generates_keypair(self):
+        user = User.create("dana", rng=random.Random(1))
+        assert user.public_key.modulus_bits == 512
+
+    def test_unlock_hash_key(self):
+        user = User.create("erin", rng=random.Random(2))
+        secret = b"0123456789abcdef"
+        locked = user.public_key.encrypt(secret, rng=random.Random(3))
+        assert user.unlock_hash_key(locked) == secret
+
+
+class TestUserDirectory:
+    def test_create_and_get(self):
+        users = UserDirectory()
+        created = users.create_user("f", rng=random.Random(4))
+        assert users.get("f") is created
+        assert "f" in users
+        assert len(users) == 1
+
+    def test_duplicate_name_rejected(self):
+        users = UserDirectory()
+        users.create_user("g", rng=random.Random(5))
+        with pytest.raises(ValueError):
+            users.add(User.create("g", rng=random.Random(6)))
+
+    def test_missing_user_keyerror(self):
+        with pytest.raises(KeyError):
+            UserDirectory().get("nobody")
+
+    def test_public_keys_lookup(self, user_directory):
+        keys = user_directory.public_keys(["alice", "bob"])
+        assert set(keys) == {"alice", "bob"}
+        assert keys["alice"] != keys["bob"]

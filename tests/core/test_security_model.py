@@ -1,0 +1,98 @@
+"""Empirical checks of the section 3.1 security theorem.
+
+The theorem says: an attacker with polynomially many oracle queries cannot
+recover P beyond its a-priori guessability.  These tests run the two attack
+strategies in the random-oracle game:
+
+- the *dictionary* attack (permitted leak) always succeeds given enough
+  queries to enumerate the candidate set;
+- the *blind* attack (what the theorem forbids) succeeds with frequency
+  bounded by its query budget over the key space -- statistically
+  indistinguishable from guessing.
+"""
+
+import random
+
+from repro.core.security_model import (
+    ConvergentGame,
+    blind_attack,
+    dictionary_attack,
+    leak_is_exactly_equality,
+)
+
+
+def make_candidates(count: int, width: int = 8) -> list:
+    rng = random.Random(42)
+    out = set()
+    while len(out) < count:
+        out.add(bytes(rng.getrandbits(8) for _ in range(width)))
+    return sorted(out)
+
+
+class TestDictionaryAttack:
+    def test_always_succeeds_with_full_enumeration(self):
+        candidates = make_candidates(50)
+        wins = 0
+        for seed in range(10):
+            game = ConvergentGame(candidates, key_bytes=4, rng=random.Random(seed))
+            transcript = dictionary_attack(game)
+            wins += transcript.success
+        assert wins == 10
+
+    def test_query_cost_linear_in_candidates(self):
+        candidates = make_candidates(64)
+        game = ConvergentGame(candidates, key_bytes=4, rng=random.Random(1))
+        dictionary_attack(game)
+        # At most 2 queries per candidate tried (one hash + one encrypt).
+        assert game.attacker_queries() <= 2 * len(candidates)
+
+    def test_partial_enumeration_can_miss(self):
+        candidates = make_candidates(60)
+        missed = 0
+        for seed in range(12):
+            game = ConvergentGame(candidates, key_bytes=4, rng=random.Random(seed))
+            transcript = dictionary_attack(game, tries=1)
+            missed += not transcript.success
+        assert missed > 0  # trying 1 of 60 candidates usually fails
+
+
+class TestBlindAttack:
+    def test_succeeds_no_better_than_chance(self):
+        """With a 2^32 key space and 20-query budget, wins should be ~0."""
+        candidates = make_candidates(1000)
+        wins = 0
+        for seed in range(20):
+            game = ConvergentGame(candidates, key_bytes=4, rng=random.Random(seed))
+            transcript = blind_attack(game, query_budget=20, rng=random.Random(seed + 1))
+            wins += transcript.success
+        assert wins == 0
+
+    def test_respects_query_budget(self):
+        game = ConvergentGame(make_candidates(10), key_bytes=4, rng=random.Random(3))
+        blind_attack(game, query_budget=15, rng=random.Random(4))
+        assert game.attacker_queries() == 15
+
+
+class TestLeakCharacterization:
+    def test_equal_plaintexts_leak_equality(self):
+        assert leak_is_exactly_equality(b"same p", b"same p", rng=random.Random(5))
+
+    def test_unequal_plaintexts_leak_nothing(self):
+        assert not leak_is_exactly_equality(b"plainA", b"plainB", rng=random.Random(6))
+
+    def test_length_mismatch_distinguishable(self):
+        assert not leak_is_exactly_equality(b"short", b"longer", rng=random.Random(7))
+
+
+class TestGameValidation:
+    def test_rejects_empty_candidates(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ConvergentGame([])
+
+    def test_rejects_mixed_lengths(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ConvergentGame([b"ab", b"abc"])

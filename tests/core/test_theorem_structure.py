@@ -1,0 +1,72 @@
+"""The structure of the section 3.1 proof, checked empirically.
+
+The proof's pivotal dichotomy: a successful attacker program either queried
+the hash oracle on the true plaintext P ("includes a query to oracle H for
+the value of H(P)") or succeeded by blind luck with probability o(1/n^e).
+These tests instrument the oracles and verify both horns:
+
+- every dictionary-attack win queried H(P) before winning;
+- an attacker that never queries H cannot distinguish the true decryption
+  from random strings (each inverse query under a wrong key yields an
+  independent random plaintext).
+"""
+
+import random
+
+from repro.core.security_model import ConvergentGame, dictionary_attack
+
+
+def make_candidates(count: int, rng_seed: int = 7, width: int = 8):
+    rng = random.Random(rng_seed)
+    out = set()
+    while len(out) < count:
+        out.add(bytes(rng.getrandbits(8) for _ in range(width)))
+    return sorted(out)
+
+
+class TestQueryDichotomy:
+    def test_every_winner_queried_hash_of_plaintext(self):
+        """Horn 1: success implies an H(P) query (the Sigma'' reduction)."""
+        candidates = make_candidates(40)
+        for seed in range(8):
+            game = ConvergentGame(candidates, key_bytes=4, rng=random.Random(seed))
+            queried = []
+            original_query = game.hash_oracle.query
+
+            def spy(message, _original=original_query, _log=queried):
+                _log.append(bytes(message))
+                return _original(message)
+
+            game.hash_oracle.query = spy  # type: ignore[assignment]
+            transcript = dictionary_attack(game)
+            assert transcript.success
+            assert transcript.guessed in queried
+
+    def test_wrong_key_decryptions_are_uninformative(self):
+        """Horn 2: without H(P), inverse queries yield independent noise.
+
+        Decrypting the challenge under many wrong keys must produce distinct
+        pseudo-plaintexts, none equal to a candidate except by chance
+        (candidate space 2^64, so expected hits are 0).
+        """
+        candidates = make_candidates(100)
+        game = ConvergentGame(candidates, key_bytes=4, rng=random.Random(99))
+        rng = random.Random(1)
+        outputs = set()
+        for _ in range(200):
+            key = bytes(rng.getrandbits(8) for _ in range(4))
+            outputs.add(game.cipher_oracle.decrypt(key, game.ciphertext))
+        # All distinct (a permutation family sampled lazily), ...
+        assert len(outputs) >= 199
+        # ...and none lands in the candidate set by accident.
+        hits = outputs & set(candidates)
+        assert len(hits) <= 1  # the true key may appear once by luck (2^-32)
+
+    def test_correct_key_is_the_unique_path_to_plaintext(self):
+        """Only E^-1 under H(P) returns P."""
+        candidates = make_candidates(30)
+        game = ConvergentGame(candidates, key_bytes=4, rng=random.Random(5))
+        transcript = dictionary_attack(game)
+        true_plaintext = transcript.guessed
+        true_key = game.hash_oracle.query(true_plaintext)
+        assert game.cipher_oracle.decrypt(true_key, game.ciphertext) == true_plaintext

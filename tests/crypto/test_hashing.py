@@ -1,0 +1,41 @@
+"""Identifier/fingerprint hashing and convergence-key derivation."""
+
+import pytest
+
+from repro.crypto.hashing import (
+    FINGERPRINT_HASH_BYTES,
+    content_hash,
+    convergence_key,
+    strong_hash,
+)
+
+
+class TestStrongHash:
+    def test_twenty_bytes(self):
+        # The paper's identifiers and fingerprints are 20-byte hashes.
+        assert len(strong_hash(b"anything")) == FINGERPRINT_HASH_BYTES == 20
+
+    def test_deterministic(self):
+        assert strong_hash(b"abc") == strong_hash(b"abc")
+
+    def test_distinguishes_content(self):
+        assert content_hash(b"a") != content_hash(b"b")
+
+
+class TestConvergenceKey:
+    def test_identical_plaintexts_identical_keys(self):
+        assert convergence_key(b"same bytes") == convergence_key(b"same bytes")
+
+    def test_different_plaintexts_different_keys(self):
+        assert convergence_key(b"file one") != convergence_key(b"file two")
+
+    @pytest.mark.parametrize("width", [16, 24, 32])
+    def test_valid_aes_key_widths(self, width):
+        assert len(convergence_key(b"data", key_bytes=width)) == width
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            convergence_key(b"data", key_bytes=20)
+
+    def test_truncation_is_prefix(self):
+        assert convergence_key(b"x", 16) == convergence_key(b"x", 32)[:16]

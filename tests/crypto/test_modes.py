@@ -1,0 +1,66 @@
+"""CTR and CBC modes: roundtrip, determinism, length, and padding behavior."""
+
+import pytest
+
+from repro.crypto.modes import (
+    decrypt_cbc,
+    decrypt_ctr,
+    encrypt_cbc,
+    encrypt_ctr,
+)
+
+KEY = bytes(range(16))
+
+
+class TestCtr:
+    @pytest.mark.parametrize("length", [0, 1, 15, 16, 17, 1000])
+    def test_roundtrip_all_lengths(self, length):
+        plaintext = bytes(i % 251 for i in range(length))
+        assert decrypt_ctr(KEY, encrypt_ctr(KEY, plaintext)) == plaintext
+
+    def test_ciphertext_length_equals_plaintext_length(self):
+        # Coalesced storage must not inflate files.
+        for length in (0, 5, 16, 33):
+            assert len(encrypt_ctr(KEY, bytes(length))) == length
+
+    def test_deterministic(self):
+        plaintext = b"convergence demands determinism"
+        assert encrypt_ctr(KEY, plaintext) == encrypt_ctr(KEY, plaintext)
+
+    def test_nonce_changes_keystream(self):
+        plaintext = bytes(32)
+        assert encrypt_ctr(KEY, plaintext, nonce=0) != encrypt_ctr(KEY, plaintext, nonce=1)
+
+    def test_different_key_different_ciphertext(self):
+        plaintext = b"some plaintext bytes here..."
+        other = bytes(range(1, 17))
+        assert encrypt_ctr(KEY, plaintext) != encrypt_ctr(other, plaintext)
+
+
+class TestCbc:
+    @pytest.mark.parametrize("length", [0, 1, 15, 16, 17, 100])
+    def test_roundtrip_all_lengths(self, length):
+        plaintext = bytes(i % 13 for i in range(length))
+        assert decrypt_cbc(KEY, encrypt_cbc(KEY, plaintext)) == plaintext
+
+    def test_output_is_whole_blocks(self):
+        assert len(encrypt_cbc(KEY, bytes(1))) % 16 == 0
+        assert len(encrypt_cbc(KEY, bytes(16))) == 32  # padding adds a block
+
+    def test_deterministic_with_fixed_iv(self):
+        plaintext = b"cbc is also deterministic here"
+        assert encrypt_cbc(KEY, plaintext) == encrypt_cbc(KEY, plaintext)
+
+    def test_corrupt_padding_rejected(self):
+        ciphertext = bytearray(encrypt_cbc(KEY, b"hello"))
+        ciphertext[-1] ^= 0xFF
+        with pytest.raises(ValueError):
+            decrypt_cbc(KEY, bytes(ciphertext))
+
+    def test_partial_block_ciphertext_rejected(self):
+        with pytest.raises(ValueError):
+            decrypt_cbc(KEY, bytes(10))
+
+    def test_bad_iv_length_rejected(self):
+        with pytest.raises(ValueError):
+            encrypt_cbc(KEY, b"x", iv=bytes(5))

@@ -1,0 +1,58 @@
+"""Miller-Rabin primality and prime generation."""
+
+import random
+
+import pytest
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+
+KNOWN_PRIMES = [2, 3, 5, 997, 7919, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 561, 1105, 6601, 2**31, 7919 * 104729]
+# 561, 1105, 6601 are Carmichael numbers: they fool Fermat tests but not
+# Miller-Rabin.
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_accepts_primes(self, n):
+        assert is_probable_prime(n, rng=random.Random(0))
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_rejects_composites_including_carmichael(self, n):
+        assert not is_probable_prime(n, rng=random.Random(0))
+
+    def test_negative_numbers_rejected(self):
+        assert not is_probable_prime(-7)
+
+    def test_agrees_with_sieve_below_2000(self):
+        sieve = [True] * 2000
+        sieve[0] = sieve[1] = False
+        for i in range(2, 45):
+            if sieve[i]:
+                for j in range(i * i, 2000, i):
+                    sieve[j] = False
+        rng = random.Random(3)
+        for n in range(2000):
+            assert is_probable_prime(n, rng=rng) == sieve[n], n
+
+
+class TestGeneratePrime:
+    @pytest.mark.parametrize("bits", [16, 32, 64, 256])
+    def test_exact_bit_width(self, bits):
+        p = generate_prime(bits, rng=random.Random(1))
+        assert p.bit_length() == bits
+        assert is_probable_prime(p, rng=random.Random(2))
+
+    def test_top_two_bits_set(self):
+        # Guarantees products of two such primes have full width.
+        p = generate_prime(64, rng=random.Random(4))
+        assert (p >> 62) == 0b11
+
+    def test_deterministic_for_seed(self):
+        assert generate_prime(32, rng=random.Random(9)) == generate_prime(
+            32, rng=random.Random(9)
+        )
+
+    def test_rejects_tiny_widths(self):
+        with pytest.raises(ValueError):
+            generate_prime(4)

@@ -1,0 +1,67 @@
+"""The lazily sampled random oracles of section 3.1's proof model."""
+
+import random
+
+import pytest
+
+from repro.crypto.random_oracle import (
+    OracleQueryBudgetExceeded,
+    RandomOracleHash,
+    RandomOraclePermutation,
+)
+
+
+class TestHashOracle:
+    def test_repeated_queries_agree(self):
+        oracle = RandomOracleHash(output_bytes=8, rng=random.Random(1))
+        assert oracle.query(b"x") == oracle.query(b"x")
+
+    def test_output_width(self):
+        oracle = RandomOracleHash(output_bytes=5, rng=random.Random(2))
+        assert len(oracle.query(b"hello")) == 5
+
+    def test_counts_queries(self):
+        oracle = RandomOracleHash(output_bytes=4, rng=random.Random(3))
+        oracle.query(b"a")
+        oracle.query(b"a")
+        oracle.query(b"b")
+        assert oracle.queries == 3
+
+    def test_budget_enforced(self):
+        oracle = RandomOracleHash(output_bytes=4, rng=random.Random(4), budget=2)
+        oracle.query(b"a")
+        oracle.query(b"b")
+        with pytest.raises(OracleQueryBudgetExceeded):
+            oracle.query(b"c")
+
+
+class TestPermutationOracle:
+    def test_inverse_relationship(self):
+        oracle = RandomOraclePermutation(width_bytes=4, rng=random.Random(5))
+        key = b"k" * 4
+        ciphertext = oracle.encrypt(key, b"mesg")
+        assert oracle.decrypt(key, ciphertext) == b"mesg"
+
+    def test_forward_then_inverse_consistency_both_orders(self):
+        oracle = RandomOraclePermutation(width_bytes=2, rng=random.Random(6))
+        key = b"kk"
+        plaintext = oracle.decrypt(key, b"ct")  # inverse sampled first
+        assert oracle.encrypt(key, plaintext) == b"ct"
+
+    def test_is_injective_per_key(self):
+        oracle = RandomOraclePermutation(width_bytes=1, rng=random.Random(7))
+        key = b"z"
+        images = {oracle.encrypt(key, bytes([p])) for p in range(256)}
+        assert len(images) == 256  # a permutation of the full domain
+
+    def test_keys_are_independent(self):
+        oracle = RandomOraclePermutation(width_bytes=8, rng=random.Random(8))
+        a = oracle.encrypt(b"key-a", b"8 bytes!")
+        b = oracle.encrypt(b"key-b", b"8 bytes!")
+        assert a != b  # with 2^-64 failure probability
+
+    def test_budget_enforced(self):
+        oracle = RandomOraclePermutation(width_bytes=2, rng=random.Random(9), budget=1)
+        oracle.encrypt(b"k", b"ab")
+        with pytest.raises(OracleQueryBudgetExceeded):
+            oracle.decrypt(b"k", b"ab")

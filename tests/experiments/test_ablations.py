@@ -1,0 +1,71 @@
+"""The two ablation experiments: block granularity and dimensionality."""
+
+import pytest
+
+from repro.experiments import ablation_blocks, ablation_dimensionality
+from repro.experiments.scales import ExperimentScale
+
+TINY = ExperimentScale(
+    name="tiny",
+    machines=48,
+    mean_files_per_machine=10,
+    growth_max_leaves=48,
+    fig15_small=24,
+    fig15_large=48,
+)
+
+
+class TestBlockAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_blocks.run(
+            TINY, base_documents=4, versions_per_document=3, document_size=128 * 1024, seed=2
+        )
+
+    def test_whole_file_reclaims_nothing_across_versions(self, result):
+        assert result.reclaimed_fraction("whole-file") == pytest.approx(0.0, abs=1e-9)
+
+    def test_fixed_blocks_reclaim_some(self, result):
+        assert result.reclaimed_fraction("fixed-block") > 0.3
+
+    def test_content_defined_beats_fixed(self, result):
+        assert (
+            result.reclaimed_fraction("content-defined")
+            > result.reclaimed_fraction("fixed-block")
+        )
+
+    def test_physical_bounded_by_logical(self, result):
+        for scheme in result.schemes:
+            assert 0 < result.physical_bytes[scheme] <= result.logical_bytes
+
+    def test_render(self, result):
+        out = result.render()
+        assert "whole-file" in out and "content-defined" in out
+
+
+class TestDimensionalityAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_dimensionality.run(TINY, dimensions=(1, 2, 3), record_count=400, seed=3)
+
+    def test_leaf_tables_shrink_with_dimensionality(self, result):
+        tables = [result.mean_leaf_table[d] for d in result.dimensions]
+        assert tables == sorted(tables, reverse=True)
+
+    def test_d1_table_is_everyone(self, result):
+        # In one dimension every leaf is vector-aligned with every other.
+        assert result.mean_leaf_table[1] == pytest.approx(TINY.machines - 1, rel=0.05)
+
+    def test_routing_cost_rises_with_dimensionality(self, result):
+        messages = [result.record_messages[d] for d in result.dimensions]
+        assert messages == sorted(messages)
+
+    def test_predictions_present(self, result):
+        for d in result.dimensions:
+            assert result.predicted_loss[d] == pytest.approx(
+                ablation_dimensionality.loss_probability(2.5, d, TINY.machines)
+            )
+
+    def test_render(self, result):
+        out = result.render()
+        assert "Eq.13" in out and "Eq.14" in out

@@ -1,0 +1,39 @@
+"""The churn experiment: DFC under continuous failure and recovery."""
+
+import pytest
+
+from repro.experiments import churn
+from repro.experiments.scales import ExperimentScale
+
+TINY = ExperimentScale(
+    name="tiny",
+    machines=40,
+    mean_files_per_machine=10,
+    growth_max_leaves=40,
+    fig15_small=20,
+    fig15_large=40,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return churn.run(TINY, rates=(0.0, 0.01, 0.08), seed=4)
+
+
+class TestChurnSweep:
+    def test_zero_churn_reclaims_most_of_ideal(self, result):
+        assert result.reclaimed_fraction[0.0] > 0.5 * result.ideal_fraction
+
+    def test_heavy_churn_degrades(self, result):
+        assert result.reclaimed_fraction[0.08] < result.reclaimed_fraction[0.0]
+
+    def test_churn_triggers_flushes(self, result):
+        assert result.entries_flushed[0.08] > result.entries_flushed[0.0]
+
+    def test_bounded_by_ideal(self, result):
+        for fraction in result.reclaimed_fraction.values():
+            assert 0.0 <= fraction <= result.ideal_fraction + 1e-9
+
+    def test_render(self, result):
+        out = result.render()
+        assert "Churn" in out and "ideal" in out

@@ -1,0 +1,56 @@
+"""The growth engine shared by Figs. 14/15."""
+
+import pytest
+
+from repro.experiments.growth import (
+    GrowthResult,
+    GrowthSnapshot,
+    growth_sample_points,
+    run_growth,
+)
+
+
+class TestSamplePoints:
+    def test_reaches_max(self):
+        points = growth_sample_points(100, points=10)
+        assert points[-1] == 100
+
+    def test_roughly_requested_count(self):
+        points = growth_sample_points(240, points=24)
+        assert 20 <= len(points) <= 26
+
+    def test_monotone(self):
+        points = growth_sample_points(1000)
+        assert points == sorted(points)
+
+    def test_tiny_max(self):
+        assert growth_sample_points(3, points=24) == [1, 2, 3]
+
+
+class TestRunGrowth:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_growth(2.0, max_leaves=60, sample_sizes=[20, 40, 60], seed=5)
+
+    def test_snapshots_at_requested_sizes(self, result):
+        assert [s.system_size for s in result.snapshots] == [20, 40, 60]
+
+    def test_snapshot_population_matches_size(self, result):
+        for snap in result.snapshots:
+            assert len(snap.leaf_table_sizes) == snap.system_size
+
+    def test_means_grow(self, result):
+        means = [s.mean for s in result.snapshots]
+        assert means[-1] > means[0]
+
+    def test_snapshot_at_lookup(self, result):
+        assert result.snapshot_at(40).system_size == 40
+        with pytest.raises(KeyError):
+            result.snapshot_at(41)
+
+    def test_oversized_samples_clamped(self):
+        result = run_growth(2.0, max_leaves=10, sample_sizes=[5, 10, 99], seed=6)
+        assert [s.system_size for s in result.snapshots] == [5, 10]
+
+    def test_empty_snapshot_mean(self):
+        assert GrowthSnapshot(system_size=0, leaf_table_sizes=[]).mean == 0.0

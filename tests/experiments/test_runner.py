@@ -1,0 +1,41 @@
+"""The experiments CLI."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.scales import get_scale
+
+
+class TestRunExperiments:
+    def test_subset_runs_and_renders(self):
+        outputs = runner.run_experiments(["dataset", "model"], "small", seed=1)
+        assert set(outputs) == {"dataset", "model"}
+        assert "Dataset statistics" in outputs["dataset"]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            runner.run_experiments(["fig99"], "small")
+
+
+class TestScales:
+    def test_known_scales(self):
+        for name in ("small", "default", "full"):
+            scale = get_scale(name)
+            assert scale.machines > 0
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_full_scale_matches_paper(self):
+        full = get_scale("full")
+        assert full.machines == 585
+        assert full.growth_max_leaves == 10_000
+
+
+class TestCli:
+    def test_main_with_args(self, capsys):
+        assert runner.main(["--scale", "small", "--only", "dataset"]) == 0
+        out = capsys.readouterr().out
+        assert "[dataset]" in out
+        assert "completed 1 experiments" in out

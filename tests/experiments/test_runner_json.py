@@ -1,0 +1,55 @@
+"""The runner's machine-readable JSON output."""
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.runner import _jsonable, run_experiments
+
+
+class TestJsonable:
+    def test_dataclass_to_dict(self):
+        from repro.experiments import dataset_stats
+        from repro.experiments.scales import get_scale
+
+        result = dataset_stats.run(get_scale("small"), seed=1)
+        data = _jsonable(result)
+        assert data["summary"]["machine_count"] == 64
+
+    def test_non_string_keys_become_strings(self):
+        assert _jsonable({1.5: [1, 2]}) == {"1.5": [1, 2]}
+
+    def test_bytes_become_hex(self):
+        assert _jsonable(b"\x01\x02") == "0102"
+
+    def test_unencodable_becomes_repr(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        assert _jsonable(Opaque()) == "<opaque>"
+
+
+class TestRawMode:
+    def test_raw_returns_result_objects(self):
+        raw = run_experiments(["dataset"], "small", seed=1, raw=True)
+        assert hasattr(raw["dataset"], "render")
+
+    def test_rendered_mode_returns_strings(self):
+        outputs = run_experiments(["dataset"], "small", seed=1)
+        assert isinstance(outputs["dataset"], str)
+
+
+class TestCliJson:
+    def test_json_file_written_and_loadable(self, tmp_path, capsys):
+        path = str(tmp_path / "results.json")
+        assert runner.main(
+            ["--scale", "small", "--only", "dataset", "--json", path]
+        ) == 0
+        data = json.load(open(path))
+        assert data["scale"] == "small"
+        assert "dataset" in data["results"]
+        assert data["results"]["dataset"]["summary"]["total_files"] > 0
+        out = capsys.readouterr().out
+        assert "[dataset]" in out  # rendered tables still printed

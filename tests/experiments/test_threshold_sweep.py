@@ -1,0 +1,51 @@
+"""The shared threshold-sweep engine."""
+
+import pytest
+
+from repro.experiments.scales import ExperimentScale
+from repro.experiments.threshold_sweep import run_threshold_sweep
+
+TINY = ExperimentScale(
+    name="tiny",
+    machines=30,
+    mean_files_per_machine=10,
+    growth_max_leaves=30,
+    fig15_small=15,
+    fig15_large=30,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_threshold_sweep(
+        TINY, lambdas=(2.0,), thresholds=(1, 4096, 1 << 20), seed=2
+    )
+
+
+class TestSweepStructure:
+    def test_thresholds_sorted_ascending(self, sweep):
+        assert sweep.thresholds == (1, 4096, 1 << 20)
+        assert [p.min_size for p in sweep.points[2.0]] == [1, 4096, 1 << 20]
+
+    def test_per_machine_series_cover_all_machines(self, sweep):
+        assert len(sweep.message_totals[2.0]) == 30
+        assert len(sweep.database_sizes[2.0]) == 30
+
+    def test_ideal_series_available(self, sweep):
+        ideal = sweep.ideal_consumed
+        assert len(ideal) == 3
+        assert ideal == sorted(ideal)
+
+    def test_series_dictionaries_label_lambdas(self, sweep):
+        assert set(sweep.consumed_series()) == {"ideal", "Lambda=2.0"}
+        assert set(sweep.message_series()) == {"Lambda=2.0"}
+        assert set(sweep.database_series()) == {"Lambda=2.0"}
+
+    def test_corpus_summary_attached(self, sweep):
+        assert sweep.corpus_summary.machine_count == 30
+
+    def test_duplicate_thresholds_deduplicated(self):
+        result = run_threshold_sweep(
+            TINY, lambdas=(2.0,), thresholds=(1, 1, 4096), seed=3
+        )
+        assert result.thresholds == (1, 4096)

@@ -1,0 +1,101 @@
+"""The end-to-end client write/read path."""
+
+import random
+
+import pytest
+
+from repro.core.convergent import NotAuthorizedError
+from repro.farsite.client import FarsiteClient, NoReplicaAvailableError
+from repro.farsite.directory_group import DirectoryGroup
+from repro.farsite.file_host import FileHost
+from repro.farsite.namespace import Namespace
+
+DOCUMENT = b"project plan " * 100
+
+
+@pytest.fixture
+def deployment(user_directory):
+    hosts = {i: FileHost(i) for i in range(1, 7)}
+    namespace = Namespace([DirectoryGroup([1, 2, 3, 4])])
+    return hosts, namespace
+
+
+def client_for(name, user_directory, deployment, seed=0):
+    hosts, namespace = deployment
+    return FarsiteClient(
+        user_directory.get(name),
+        user_directory,
+        namespace,
+        hosts,
+        rng=random.Random(seed),
+    )
+
+
+class TestWriteRead:
+    def test_roundtrip(self, user_directory, deployment):
+        client = client_for("alice", user_directory, deployment)
+        receipt = client.write_file("/home/alice/plan.txt", DOCUMENT)
+        assert len(receipt.replica_hosts) == 3
+        assert client.read_file("/home/alice/plan.txt") == DOCUMENT
+
+    def test_missing_file(self, user_directory, deployment):
+        client = client_for("alice", user_directory, deployment)
+        with pytest.raises(FileNotFoundError):
+            client.read_file("/ghost")
+
+    def test_reader_list_grants_access(self, user_directory, deployment):
+        alice = client_for("alice", user_directory, deployment, seed=1)
+        bob = client_for("bob", user_directory, deployment, seed=2)
+        alice.write_file("/share/x", DOCUMENT, readers=["bob"])
+        assert bob.read_file("/share/x") == DOCUMENT
+
+    def test_non_reader_cannot_decrypt(self, user_directory, deployment):
+        alice = client_for("alice", user_directory, deployment, seed=3)
+        carol = client_for("carol", user_directory, deployment, seed=4)
+        alice.write_file("/private/x", DOCUMENT)
+        with pytest.raises(NotAuthorizedError):
+            carol.read_file("/private/x")
+
+    def test_replicas_on_all_assigned_hosts(self, user_directory, deployment):
+        hosts, _ = deployment
+        client = client_for("alice", user_directory, deployment, seed=5)
+        receipt = client.write_file("/home/alice/y", DOCUMENT, replica_hosts=[1, 2, 3])
+        for host_id in (1, 2, 3):
+            assert receipt.file_id in [info for info in hosts[host_id].replica_ids()]
+
+
+class TestCoalescing:
+    def test_cross_user_writes_coalesce(self, user_directory, deployment):
+        hosts, _ = deployment
+        alice = client_for("alice", user_directory, deployment, seed=6)
+        bob = client_for("bob", user_directory, deployment, seed=7)
+        alice.write_file("/home/alice/same", DOCUMENT, replica_hosts=[1, 2, 3])
+        receipt = bob.write_file("/home/bob/same", DOCUMENT, replica_hosts=[1, 2, 3])
+        assert set(receipt.coalesced_on) == {1, 2, 3}
+        assert hosts[1].reclaimed_bytes == len(DOCUMENT)
+
+
+class TestFailureHandling:
+    def test_read_falls_back_to_surviving_replica(self, user_directory, deployment):
+        hosts, _ = deployment
+        client = client_for("alice", user_directory, deployment, seed=8)
+        client.write_file("/home/alice/z", DOCUMENT, replica_hosts=[1, 2, 3])
+        hosts[1].drop_replica
+        del hosts[1]  # host 1 vanishes entirely
+        assert client.read_file("/home/alice/z") == DOCUMENT
+
+    def test_all_replicas_gone(self, user_directory, deployment):
+        hosts, _ = deployment
+        client = client_for("alice", user_directory, deployment, seed=9)
+        receipt = client.write_file("/home/alice/w", DOCUMENT, replica_hosts=[1, 2])
+        for host_id in (1, 2):
+            hosts[host_id].drop_replica(receipt.file_id)
+        with pytest.raises(NoReplicaAvailableError):
+            client.read_file("/home/alice/w")
+
+    def test_delete_file(self, user_directory, deployment):
+        client = client_for("alice", user_directory, deployment, seed=10)
+        client.write_file("/home/alice/del", DOCUMENT)
+        client.delete_file("/home/alice/del")
+        with pytest.raises(FileNotFoundError):
+            client.read_file("/home/alice/del")

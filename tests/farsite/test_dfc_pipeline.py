@@ -1,0 +1,84 @@
+"""End-to-end DFC pipeline: SALAD discovery -> relocation -> SIS coalescing."""
+
+import pytest
+
+from repro.experiments.dfc_run import DfcConfig
+from repro.farsite.dfc_pipeline import DfcPipeline
+from repro.workload.generator import CorpusSpec, generate_corpus
+
+# Small corpus with capped file sizes: the pipeline materializes bytes.
+SPEC = CorpusSpec(
+    machines=20,
+    mean_files_per_machine=8,
+    max_file_size=64 * 1024,
+    system_contents=3,
+)
+
+
+@pytest.fixture(scope="module")
+def executed_pipeline():
+    corpus = generate_corpus(SPEC, seed=5)
+    pipeline = DfcPipeline(corpus, DfcConfig(target_redundancy=2.5, seed=5))
+    report = pipeline.execute()
+    return corpus, pipeline, report
+
+
+class TestEndToEnd:
+    def test_physical_reclaim_at_least_prediction(self, executed_pipeline):
+        """The SIS layer must realize every discovered coalescing
+        opportunity (it may realize slightly more if discovery was split
+        into components the relocation pass merged)."""
+        _, _, report = executed_pipeline
+        assert report.physically_reclaimed >= report.predicted_reclaimed
+        assert report.predicted_reclaimed > 0
+
+    def test_reclaim_bounded_by_ideal(self, executed_pipeline):
+        corpus, _, report = executed_pipeline
+        assert report.physically_reclaimed <= corpus.ideal_reclaimable_bytes()
+        assert report.total_bytes == corpus.total_bytes
+
+    def test_migrations_moved_real_bytes(self, executed_pipeline):
+        _, pipeline, report = executed_pipeline
+        assert report.migrations > 0
+        assert report.bytes_moved > 0
+
+    def test_duplicates_colocated_after_relocation(self, executed_pipeline):
+        """Every relocated duplicate group must sit on one host, coalesced."""
+        _, pipeline, _ = executed_pipeline
+        by_fingerprint = {}
+        for file_id, (fingerprint, hosts) in pipeline.replicas.items():
+            by_fingerprint.setdefault(fingerprint, []).append((file_id, hosts[0]))
+        for fingerprint, placements in by_fingerprint.items():
+            hosts = {host for _, host in placements}
+            if len(placements) > 1 and len(hosts) == 1:
+                host = pipeline.hosts[hosts.pop()]
+                first = placements[0][0]
+                assert host.sis.link_count(first) == len(placements)
+
+    def test_files_survive_relocation_intact(self, executed_pipeline):
+        """Relocation must preserve every file's content exactly."""
+        from repro.workload.content import synthetic_content
+
+        corpus, pipeline, _ = executed_pipeline
+        for machine in corpus.machines:
+            for index, stat in enumerate(machine.files):
+                file_id = f"m{machine.machine_index}-f{index}"
+                fingerprint, hosts = pipeline.replicas[file_id]
+                blob = pipeline.hosts[hosts[0]].sis.read(file_id)
+                assert blob == synthetic_content(stat.content_id, stat.size)
+
+    def test_consumed_fraction_reasonable(self, executed_pipeline):
+        corpus, _, report = executed_pipeline
+        ideal_fraction = corpus.summary().duplicate_byte_fraction
+        assert report.reclaimed_fraction > 0.4 * ideal_fraction
+
+
+class TestThreshold:
+    def test_min_size_threshold_respected(self):
+        corpus = generate_corpus(SPEC, seed=6)
+        pipeline = DfcPipeline(corpus, DfcConfig(target_redundancy=2.5, seed=6))
+        report = pipeline.execute(min_size=16 * 1024)
+        # No match below the threshold may have been acted upon.
+        for _, payload in pipeline.run.salad.collected_matches():
+            assert payload.fingerprint.size >= 16 * 1024
+        assert report.physically_reclaimed >= report.predicted_reclaimed

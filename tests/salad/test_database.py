@@ -1,0 +1,133 @@
+"""The per-leaf record database and the Fig. 13 eviction policy."""
+
+import pytest
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad.database import RecordDatabase
+from repro.salad.records import SaladRecord
+
+
+def rec(size: int, content: int, location: int = 1) -> SaladRecord:
+    return SaladRecord(synthetic_fingerprint(size, content), location)
+
+
+class TestBasicStorage:
+    def test_insert_and_lookup(self):
+        db = RecordDatabase()
+        record = rec(100, 1, location=7)
+        stored, matches = db.insert(record)
+        assert stored and matches == []
+        assert db.locations(record.fingerprint) == {7}
+        assert len(db) == 1
+
+    def test_matches_returned_for_same_fingerprint(self):
+        db = RecordDatabase()
+        db.insert(rec(100, 1, location=7))
+        stored, matches = db.insert(rec(100, 1, location=8))
+        assert stored
+        assert [m.location for m in matches] == [7]
+
+    def test_duplicate_record_not_stored_twice(self):
+        db = RecordDatabase()
+        db.insert(rec(100, 1, location=7))
+        stored, matches = db.insert(rec(100, 1, location=7))
+        assert not stored
+        assert len(db) == 1
+
+    def test_different_fingerprints_do_not_match(self):
+        db = RecordDatabase()
+        db.insert(rec(100, 1))
+        stored, matches = db.insert(rec(100, 2))
+        assert matches == []
+
+    def test_records_iterates_all(self):
+        db = RecordDatabase()
+        db.insert(rec(100, 1, location=7))
+        db.insert(rec(100, 1, location=8))
+        db.insert(rec(200, 2, location=7))
+        assert len(list(db.records())) == 3
+
+
+class TestCapacityEviction:
+    def test_evicts_lowest_fingerprint(self):
+        """Fig. 13: "discards a record in the database with the lowest
+        fingerprint value (corresponding to the smallest file)"."""
+        db = RecordDatabase(capacity=2)
+        small = rec(10, 1)
+        mid = rec(100, 2)
+        big = rec(1000, 3)
+        db.insert(small)
+        db.insert(mid)
+        stored, _ = db.insert(big)
+        assert stored
+        assert small.fingerprint not in db
+        assert mid.fingerprint in db and big.fingerprint in db
+        assert db.evictions == 1
+
+    def test_rejects_record_lower_than_everything_stored(self):
+        """Fig. 13: "If no record in the database has a lower fingerprint
+        value than the new record, the machine discards the new record"."""
+        db = RecordDatabase(capacity=2)
+        db.insert(rec(100, 1))
+        db.insert(rec(1000, 2))
+        tiny = rec(10, 3)
+        stored, _ = db.insert(tiny)
+        assert not stored
+        assert tiny.fingerprint not in db
+        assert db.rejections == 1
+        assert len(db) == 2
+
+    def test_rejected_record_still_reports_matches(self):
+        db = RecordDatabase(capacity=1)
+        db.insert(rec(1000, 1, location=7))
+        stored, matches = db.insert(rec(1000, 1, location=8))
+        # Same fingerprint as stored record; equal (not lower) sort keys of
+        # other records mean the new one is discarded, but the match is
+        # still visible for notification.
+        assert [m.location for m in matches] == [7]
+
+    def test_capacity_never_exceeded_under_churn(self):
+        db = RecordDatabase(capacity=10)
+        for i in range(200):
+            db.insert(rec(size=(i * 37) % 500 + 1, content=i))
+            assert len(db) <= 10
+
+    def test_surviving_records_are_the_largest(self):
+        db = RecordDatabase(capacity=5)
+        sizes = [10, 500, 30, 400, 50, 300, 70, 200, 90, 100]
+        for i, size in enumerate(sizes):
+            db.insert(rec(size, i))
+        kept = sorted(r.fingerprint.size for r in db.records())
+        assert kept == sorted(sizes)[-5:]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RecordDatabase(capacity=0)
+
+
+class TestRemoveLocation:
+    def test_removes_all_records_for_machine(self):
+        db = RecordDatabase()
+        db.insert(rec(100, 1, location=7))
+        db.insert(rec(200, 2, location=7))
+        db.insert(rec(100, 1, location=8))
+        removed = db.remove_location(7)
+        assert removed == 2
+        assert db.locations(rec(100, 1).fingerprint) == {8}
+        assert len(db) == 1
+
+    def test_heap_consistent_after_removal(self):
+        db = RecordDatabase(capacity=3)
+        db.insert(rec(10, 1, location=7))
+        db.insert(rec(20, 2, location=7))
+        db.insert(rec(30, 3, location=8))
+        db.remove_location(7)
+        # Fill back up and force eviction; stale heap entries must be skipped
+        # and the true lowest survivor (30) is the one evicted.
+        db.insert(rec(40, 4))
+        db.insert(rec(50, 5))
+        stored, _ = db.insert(rec(60, 6))
+        assert stored
+        assert len(db) == 3
+        assert rec(30, 3).fingerprint not in db
+        assert rec(60, 6).fingerprint in db

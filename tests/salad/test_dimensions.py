@@ -1,0 +1,101 @@
+"""SALADs at dimensionalities other than the default D=2.
+
+The paper's machinery is parameterized over D (section 4.3: "Cells in a
+SALAD are organized into a D-dimensional hypercube"); these integration
+tests run whole SALADs at D=1 and D=3.
+"""
+
+import random
+
+import pytest
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad.records import SaladRecord
+from repro.salad.salad import Salad, SaladConfig
+
+
+def build(dimensions, count=60, seed=31):
+    salad = Salad(
+        SaladConfig(target_redundancy=2.5, dimensions=dimensions, seed=seed)
+    )
+    salad.build(count)
+    return salad
+
+
+def insert_and_count_lost(salad, count, tag):
+    rng = random.Random(tag)
+    leaves = salad.alive_leaves()
+    records, batches = [], {}
+    for i in range(count):
+        leaf = rng.choice(leaves)
+        record = SaladRecord(
+            synthetic_fingerprint(2048 + i, tag * 10_000_000 + i), leaf.identifier
+        )
+        records.append(record)
+        batches.setdefault(leaf.identifier, []).append(record)
+    salad.insert_records(batches)
+    stored = set()
+    for leaf in leaves:
+        for record in leaf.database.records():
+            stored.add((record.fingerprint, record.location))
+    return sum(1 for r in records if (r.fingerprint, r.location) not in stored)
+
+
+class TestOneDimension:
+    def test_most_leaves_know_almost_everyone(self):
+        """D=1: a single vector -- the leaf table is the whole system.
+
+        Join lossiness (a join whose single random up-hop finds no target
+        dies, per Fig. 5) leaves occasional stragglers with small tables, so
+        the claim holds for the median, not the minimum.
+        """
+        salad = build(dimensions=1)
+        sizes = sorted(salad.leaf_table_sizes())
+        median = sizes[len(sizes) // 2]
+        assert median >= 0.85 * (len(salad) - 1)
+        assert sum(sizes) / len(sizes) >= 0.7 * (len(salad) - 1)
+
+    def test_single_hop_delivery_rarely_loses(self):
+        salad = build(dimensions=1)
+        lost = insert_and_count_lost(salad, 300, tag=1)
+        assert lost / 300 < 0.10
+
+    def test_duplicates_matched(self):
+        salad = build(dimensions=1)
+        holders = salad.alive_leaves()[:3]
+        fp = synthetic_fingerprint(99_000, 123)
+        salad.insert_records(
+            {h.identifier: [SaladRecord(fp, h.identifier)] for h in holders}
+        )
+        assert any(
+            p.fingerprint == fp for _, p in salad.collected_matches()
+        )
+
+
+class TestThreeDimensions:
+    def test_builds_and_matches(self):
+        salad = build(dimensions=3, count=80)
+        holders = salad.alive_leaves()[:4]
+        fp = synthetic_fingerprint(88_000, 456)
+        salad.insert_records(
+            {h.identifier: [SaladRecord(fp, h.identifier)] for h in holders}
+        )
+        matched = {
+            m for m, p in salad.collected_matches() if p.fingerprint == fp
+        }
+        assert len(matched & {h.identifier for h in holders}) >= 2
+
+    def test_smaller_tables_than_d2(self):
+        d2 = build(dimensions=2, count=80, seed=33)
+        d3 = build(dimensions=3, count=80, seed=33)
+        mean2 = sum(d2.leaf_table_sizes()) / 80
+        mean3 = sum(d3.leaf_table_sizes()) / 80
+        assert mean3 < mean2 * 1.1
+
+    def test_loss_within_model_band(self):
+        from repro.salad.model import loss_probability
+
+        salad = build(dimensions=3, count=80, seed=34)
+        lost = insert_and_count_lost(salad, 400, tag=3)
+        predicted = loss_probability(2.5, 3, 80)
+        assert lost / 400 < max(3 * predicted, 0.3)

@@ -1,0 +1,129 @@
+"""Cell-IDs and coordinate extraction (Eqs. 6, 7, 9, 10; Fig. 2)."""
+
+import pytest
+
+from repro.salad.ids import (
+    cell_id,
+    cell_id_width,
+    compose_cell_id,
+    coordinate,
+    coordinate_width,
+    coordinates,
+    effective_dimensionality,
+)
+
+
+class TestCellIdWidth:
+    def test_eq6_examples(self):
+        # W = floor(lg(L / Lambda))
+        assert cell_id_width(585, 2.0) == 8  # lg(292.5) = 8.19
+        assert cell_id_width(585, 2.5) == 7  # lg(234) = 7.87
+        assert cell_id_width(10_000, 3.0) == 11  # lg(3333) = 11.7
+
+    def test_eq5_redundancy_band(self):
+        """The floor keeps lambda = L / 2^W in [Lambda, 2*Lambda)."""
+        for system_size in (3, 10, 100, 585, 9999):
+            for target in (1.5, 2.0, 2.5, 3.0):
+                width = cell_id_width(system_size, target)
+                lam = system_size / (1 << width)
+                if system_size >= target:
+                    assert target <= lam < 2 * target, (system_size, target)
+
+    def test_tiny_systems_width_zero(self):
+        assert cell_id_width(1, 2.0) == 0
+        assert cell_id_width(3, 2.0) == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            cell_id_width(10, 0)
+        with pytest.raises(ValueError):
+            cell_id_width(0, 2)
+
+
+class TestCellId:
+    def test_low_bits(self):
+        assert cell_id(0b110101, 4) == 0b0101
+        assert cell_id(0b110101, 0) == 0
+        assert cell_id(0b110101, 6) == 0b110101
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            cell_id(5, -1)
+
+
+class TestCoordinateWidth:
+    def test_fig2a_d2(self):
+        # W bits split alternately: c0 gets ceil(W/2), c1 gets floor(W/2).
+        assert coordinate_width(5, 2, 0) == 3
+        assert coordinate_width(5, 2, 1) == 2
+
+    def test_fig2b_d3(self):
+        assert [coordinate_width(7, 3, d) for d in range(3)] == [3, 2, 2]
+
+    def test_widths_sum_to_w(self):
+        for width in range(0, 20):
+            for dims in (1, 2, 3, 4):
+                assert sum(coordinate_width(width, dims, d) for d in range(dims)) == width
+
+    def test_zero_width_axes_when_w_below_d(self):
+        assert coordinate_width(1, 3, 1) == 0
+        assert coordinate_width(1, 3, 2) == 0
+
+    def test_axis_out_of_range(self):
+        with pytest.raises(ValueError):
+            coordinate_width(4, 2, 2)
+
+
+class TestCoordinate:
+    def test_fig2a_worked_example(self):
+        """Fig. 2a: identifier bits ...0110110 with W=5, D=2 ->
+        c0 = bits 0,2,4 = 110b = 6; c1 = bits 1,3 = 01b = 1."""
+        identifier = 0b0110110
+        assert coordinate(identifier, 5, 2, 0) == 0b110
+        assert coordinate(identifier, 5, 2, 1) == 0b01
+
+    def test_interleaving(self):
+        # identifier bits (LSB first): 1,0,1,1,0,1 -> W=6, D=2
+        identifier = 0b101101
+        assert coordinate(identifier, 6, 2, 0) == 0b011  # bits 0,2,4 = 1,1,0
+        assert coordinate(identifier, 6, 2, 1) == 0b110  # bits 1,3,5 = 0,1,1
+
+    def test_growth_changes_coordinate_minimally(self):
+        """Widening W adds one high bit to one coordinate, leaving both
+        coordinates' existing bits unchanged (the Fig. 2 design goal)."""
+        identifier = 0xDEADBEEF
+        for width in range(1, 16):
+            for d in range(2):
+                before = coordinate(identifier, width, 2, d)
+                after = coordinate(identifier, width + 1, 2, d)
+                w_d = coordinate_width(width, 2, d)
+                assert after & ((1 << w_d) - 1) == before
+
+    def test_d1_coordinate_is_cell_id(self):
+        identifier = 0b10110
+        assert coordinate(identifier, 5, 1, 0) == cell_id(identifier, 5)
+
+
+class TestComposition:
+    def test_compose_inverts_coordinates(self):
+        identifier = 0x1234ABCD
+        for width in (0, 1, 5, 8, 13):
+            for dims in (1, 2, 3):
+                coords = coordinates(identifier, width, dims)
+                assert compose_cell_id(coords, width, dims) == cell_id(identifier, width)
+
+    def test_oversized_coordinate_rejected(self):
+        with pytest.raises(ValueError):
+            compose_cell_id([4, 0], 4, 2)  # c0 has 2 bits; 4 needs 3
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            compose_cell_id([1], 4, 2)
+
+
+class TestEffectiveDimensionality:
+    def test_eq16(self):
+        assert effective_dimensionality(0, 2) == 0
+        assert effective_dimensionality(1, 2) == 1
+        assert effective_dimensionality(5, 2) == 2
+        assert effective_dimensionality(2, 3) == 2

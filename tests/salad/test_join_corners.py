@@ -1,0 +1,154 @@
+"""Fig. 5 corner cases, driven with hand-constructed identifiers.
+
+"There are several annoying corner cases, which are handled appositely by
+the pseudo-code in Fig. 5."  These tests pin the branch behavior with
+controlled coordinates: who forwards where, who welcomes, and who stays
+silent.
+"""
+
+import pytest
+
+from repro.salad.ids import compose_cell_id
+from repro.salad.leaf import SaladLeaf
+from repro.salad.protocol import JOIN, WELCOME, JoinPayload
+from repro.sim.events import EventScheduler
+from repro.sim.network import Network
+from repro.sim.tracer import NetworkTracer
+
+W, D = 4, 2
+
+
+def identifier(c0, c1, high=0):
+    return (high << W) | compose_cell_id([c0, c1], W, D)
+
+
+class Harness:
+    """A hand-wired constellation of leaves with pinned width W."""
+
+    def __init__(self):
+        self.network = Network(EventScheduler())
+        self.tracer = NetworkTracer(self.network)
+        self.leaves = {}
+
+    def leaf(self, c0, c1, high=0) -> SaladLeaf:
+        ident = identifier(c0, c1, high)
+        leaf = SaladLeaf(ident, self.network, target_redundancy=2.0, dimensions=D)
+        leaf.width = W
+        leaf._rebuild_index()
+        self.leaves[ident] = leaf
+        return leaf
+
+    def connect(self, a: SaladLeaf, b: SaladLeaf) -> None:
+        a.add_leaf(b.identifier, recalculate=False)
+        b.add_leaf(a.identifier, recalculate=False)
+
+    def deliver_join(self, to: SaladLeaf, sender: int, new_leaf: int) -> None:
+        self.network.send(sender, to.identifier, JOIN, JoinPayload(sender, new_leaf))
+        self.network.run()
+
+    def sent(self, kind):
+        return self.tracer.by_kind(kind)
+
+
+class TestWelcomeDecision:
+    def test_cell_aligned_leaf_welcomes(self):
+        h = Harness()
+        extant = h.leaf(0b10, 0b01)
+        new_id = identifier(0b10, 0b01, high=7)
+        h.deliver_join(extant, sender=new_id, new_leaf=new_id)
+        welcomes = h.sent(WELCOME)
+        assert [m.recipient for m in welcomes] == [new_id]
+
+    def test_vector_aligned_leaf_welcomes(self):
+        h = Harness()
+        extant = h.leaf(0b10, 0b01)
+        new_id = identifier(0b11, 0b01)  # differs on axis 0 only
+        h.deliver_join(extant, sender=new_id, new_leaf=new_id)
+        assert [m.recipient for m in h.sent(WELCOME)] == [new_id]
+
+    def test_unaligned_leaf_does_not_welcome(self):
+        h = Harness()
+        extant = h.leaf(0b10, 0b01)
+        new_id = identifier(0b11, 0b11)  # differs on both axes
+        h.deliver_join(extant, sender=new_id, new_leaf=new_id)
+        assert h.sent(WELCOME) == []
+
+
+class TestForwardingDirections:
+    def test_minimally_aligned_leaf_initiates_batches(self):
+        """delta = effective D: one batch per mismatching dimension, each to
+        leaves matching the new leaf's coordinate on that axis."""
+        h = Harness()
+        black = h.leaf(0b10, 0b01)
+        column_peer = h.leaf(0b00, 0b01)  # axis-0 vector of black, c0 = 00
+        row_peer = h.leaf(0b10, 0b11)  # axis-1 vector of black, c1 = 11
+        h.connect(black, column_peer)
+        h.connect(black, row_peer)
+        new_id = identifier(0b00, 0b11)  # differs from black on both axes
+        h.deliver_join(black, sender=new_id, new_leaf=new_id)
+        joins = [m for m in h.sent(JOIN) if m.sender == black.identifier]
+        targets = {m.recipient for m in joins}
+        assert targets == {column_peer.identifier, row_peer.identifier}
+
+    def test_vector_aligned_leaf_broadcasts_whole_vector(self):
+        """delta = 1 receiving from a less-aligned sender: forward to every
+        leaf in the shared vector (that vector will contain the new leaf)."""
+        h = Harness()
+        target_vector_leaf = h.leaf(0b00, 0b11)
+        peer_same_vector = h.leaf(0b01, 0b11)  # axis-0 vector
+        peer_other_vector = h.leaf(0b00, 0b01)  # axis-1 vector: must not get it
+        h.connect(target_vector_leaf, peer_same_vector)
+        h.connect(target_vector_leaf, peer_other_vector)
+        new_id = identifier(0b10, 0b11)  # in target's axis-0 vector
+        # Sender: a leaf aligned with n on neither axis (delta' = 2 > 1).
+        sender = identifier(0b01, 0b00)
+        h.deliver_join(target_vector_leaf, sender=sender, new_leaf=new_id)
+        joins = [m for m in h.sent(JOIN) if m.sender == target_vector_leaf.identifier]
+        assert {m.recipient for m in joins} == {peer_same_vector.identifier}
+
+    def test_equal_alignment_forwards_nothing(self):
+        """delta' == delta: the sender's other recipients cover the paths."""
+        h = Harness()
+        extant = h.leaf(0b00, 0b11)
+        peer = h.leaf(0b01, 0b11)
+        h.connect(extant, peer)
+        new_id = identifier(0b10, 0b11)
+        sender = identifier(0b11, 0b11)  # also delta = 1 with n, same axis
+        h.deliver_join(extant, sender=sender, new_leaf=new_id)
+        joins = [m for m in h.sent(JOIN) if m.sender == extant.identifier]
+        assert joins == []
+
+    def test_cell_aligned_contact_forwards_up(self):
+        """The initially contacted leaf being cell-aligned with the new leaf
+        must kick the join *up* one degree (to leaves in a foreign cell),
+        never directly out to its own vectors."""
+        h = Harness()
+        extant = h.leaf(0b10, 0b01)
+        foreign_row = h.leaf(0b10, 0b00)  # axis-1 vector, c1 = 00
+        foreign_col = h.leaf(0b01, 0b01)  # axis-0 vector, c0 = 01
+        h.connect(extant, foreign_row)
+        h.connect(extant, foreign_col)
+        new_id = identifier(0b10, 0b01, high=3)  # same cell as extant
+        h.deliver_join(extant, sender=new_id, new_leaf=new_id)
+        joins = [m for m in h.sent(JOIN) if m.sender == extant.identifier]
+        assert len(joins) > 0
+        for m in joins:
+            # Every up-hop target is NOT cell-aligned with the new leaf.
+            assert (m.recipient & ((1 << W) - 1)) != (new_id & ((1 << W) - 1))
+
+    def test_duplicate_join_suppressed(self):
+        h = Harness()
+        extant = h.leaf(0b10, 0b01)
+        new_id = identifier(0b10, 0b01, high=9)
+        h.deliver_join(extant, sender=new_id, new_leaf=new_id)
+        first = len(h.sent(WELCOME))
+        h.deliver_join(extant, sender=new_id, new_leaf=new_id)
+        assert len(h.sent(WELCOME)) == first  # no second welcome
+
+    def test_own_join_echo_ignored(self):
+        h = Harness()
+        leaf = h.leaf(0b10, 0b01)
+        h.deliver_join(leaf, sender=leaf.identifier, new_leaf=leaf.identifier)
+        assert h.sent(WELCOME) == []
+        # Only the injected join appears in the trace; the leaf sent nothing.
+        assert len(h.sent(JOIN)) == 1

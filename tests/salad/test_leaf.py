@@ -1,0 +1,113 @@
+"""SaladLeaf unit behavior: leaf table, index, width recalculation."""
+
+import pytest
+
+from repro.salad.ids import compose_cell_id
+from repro.salad.leaf import SaladLeaf
+from repro.sim.events import EventScheduler
+from repro.sim.network import Network
+
+
+def make_leaf(identifier=0b0110, target_redundancy=2.0, dimensions=2, **kwargs):
+    network = Network(EventScheduler())
+    leaf = SaladLeaf(
+        identifier,
+        network,
+        target_redundancy=target_redundancy,
+        dimensions=dimensions,
+        **kwargs,
+    )
+    return leaf, network
+
+
+def with_coords(c0: int, c1: int, width: int, high: int = 0) -> int:
+    return (high << width) | compose_cell_id([c0, c1], width, 2)
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        leaf, _ = make_leaf()
+        assert leaf.width == 0
+        assert leaf.table_size == 0
+        assert leaf.estimated_system_size == 1.0
+
+    def test_invalid_parameters(self):
+        network = Network(EventScheduler())
+        with pytest.raises(ValueError):
+            SaladLeaf(1, network, dimensions=0)
+        network2 = Network(EventScheduler())
+        with pytest.raises(ValueError):
+            SaladLeaf(2, network2, target_redundancy=0.5)
+
+
+class TestLeafTable:
+    def test_add_and_remove(self):
+        leaf, _ = make_leaf()
+        assert leaf.add_leaf(99, recalculate=False)
+        assert leaf.knows(99)
+        assert leaf.remove_leaf(99, recalculate=False)
+        assert not leaf.knows(99)
+
+    def test_add_self_rejected(self):
+        leaf, _ = make_leaf(identifier=5)
+        assert not leaf.add_leaf(5)
+
+    def test_add_duplicate_rejected(self):
+        leaf, _ = make_leaf()
+        leaf.add_leaf(99, recalculate=False)
+        assert not leaf.add_leaf(99, recalculate=False)
+
+    def test_non_aligned_leaf_rejected(self):
+        leaf, _ = make_leaf(identifier=0b0000)
+        leaf.width = 4  # force a width where alignment matters
+        leaf._rebuild_index()
+        # Identifier differing in both coordinates is not vector-aligned.
+        stranger = with_coords(0b11, 0b11, 4)
+        assert not leaf.add_leaf(stranger, recalculate=False)
+
+    def test_width_grows_with_table(self):
+        """Adding many leaves raises the system-size estimate and W."""
+        leaf, _ = make_leaf(target_redundancy=2.0)
+        for i in range(1, 40):
+            leaf.add_leaf(i << 8 | leaf.identifier & 0xFF or i)  # arbitrary ids
+        assert leaf.width >= 3
+        assert leaf.estimated_system_size > 20
+
+    def test_width_change_count_tracked(self):
+        leaf, _ = make_leaf()
+        for i in range(1, 30):
+            leaf.add_leaf(1000 + i)
+        assert leaf.width_changes > 0
+
+
+class TestVectorIndex:
+    def test_cellmates_and_vectors(self):
+        leaf, _ = make_leaf(identifier=with_coords(0b10, 0b01, 4))
+        leaf.width = 4
+        leaf._rebuild_index()
+        cellmate = with_coords(0b10, 0b01, 4, high=1)
+        same_column = with_coords(0b11, 0b01, 4)
+        leaf.add_leaf(cellmate, recalculate=False)
+        leaf.add_leaf(same_column, recalculate=False)
+        assert cellmate in leaf._cellmates
+        assert same_column in leaf._vector_members(0, 0b11)
+        # Cellmates appear in vector queries for the leaf's own coordinate.
+        assert cellmate in leaf._vector_members(0, 0b10)
+        assert cellmate in leaf._axis_members(0)
+        assert same_column in leaf._axis_members(0)
+        assert same_column not in leaf._axis_members(1)
+
+
+class TestRefreshAndDeparture:
+    def test_flush_stale_entries(self):
+        leaf, network = make_leaf()
+        leaf.add_leaf(42, recalculate=False)
+        network.scheduler.now = 100.0
+        assert leaf.flush_stale_entries(timeout=50.0) == 1
+        assert not leaf.knows(42)
+
+    def test_fresh_entries_survive_flush(self):
+        leaf, network = make_leaf()
+        leaf.add_leaf(42, recalculate=False)
+        assert leaf.flush_stale_entries(timeout=50.0) == 0
+        assert leaf.knows(42)

@@ -1,0 +1,107 @@
+"""Periodic refresh maintenance (section 4.5)."""
+
+import pytest
+
+from repro.salad.maintenance import RefreshDriver
+from repro.salad.salad import Salad, SaladConfig
+
+
+def build_salad(count=40, seed=41):
+    salad = Salad(SaladConfig(target_redundancy=2.5, seed=seed))
+    salad.build(count)
+    return salad
+
+
+class TestConfiguration:
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            RefreshDriver(build_salad(5), period=0)
+
+    def test_timeout_must_exceed_period(self):
+        with pytest.raises(ValueError):
+            RefreshDriver(build_salad(5), period=10, timeout=5)
+
+    def test_start_is_idempotent(self):
+        driver = RefreshDriver(build_salad(10), period=5)
+        driver.start()
+        driver.start()
+        driver.stop()
+
+
+class TestSteadyState:
+    def test_healthy_salad_flushes_only_asymmetric_entries(self):
+        """With every machine alive, the only entries that age out are the
+        one-way ones (A knows B but B's width says A is not vector-aligned,
+        so B never refreshes A).  Those are a small minority; mutual entries
+        must all survive."""
+        salad = build_salad()
+        total_entries = sum(leaf.table_size for leaf in salad.alive_leaves())
+        mutual = {
+            (leaf.identifier, other)
+            for leaf in salad.alive_leaves()
+            for other in leaf.leaf_table
+            if salad.leaves[other].knows(leaf.identifier)
+        }
+        driver = RefreshDriver(salad, period=5.0)
+        stats = driver.run_rounds(4)
+        assert stats.rounds == 4
+        assert stats.refreshes_sent > 0
+        assert stats.entries_flushed < 0.15 * total_entries
+        for leaf_id, other in mutual:
+            assert salad.leaves[leaf_id].knows(other)
+
+    def test_refreshes_touch_every_table_entry(self):
+        salad = build_salad(count=20)
+        table_entries = sum(leaf.table_size for leaf in salad.alive_leaves())
+        driver = RefreshDriver(salad, period=5.0)
+        stats = driver.run_rounds(1)
+        assert stats.refreshes_sent == table_entries
+
+
+class TestCrashDetection:
+    def test_crashed_leaf_ages_out_everywhere(self):
+        salad = build_salad()
+        victim = salad.alive_leaves()[0]
+        victim_id = victim.identifier
+        knowers = [l for l in salad.alive_leaves() if l.knows(victim_id)]
+        assert knowers
+        victim.fail()
+        driver = RefreshDriver(salad, period=5.0, timeout=12.0)
+        driver.run_rounds(5)
+        for leaf in salad.alive_leaves():
+            assert not leaf.knows(victim_id)
+
+    def test_flush_count_matches_departures(self):
+        salad = build_salad()
+        victims = salad.alive_leaves()[:3]
+        stale_entries = sum(
+            1
+            for leaf in salad.alive_leaves()
+            for v in victims
+            if leaf is not v and leaf.knows(v.identifier)
+        )
+        for v in victims:
+            v.fail()
+        driver = RefreshDriver(salad, period=5.0, timeout=12.0)
+        stats = driver.run_rounds(5)
+        assert stats.entries_flushed >= stale_entries
+
+    def test_recovered_leaf_is_relearned(self):
+        salad = build_salad()
+        victim = salad.alive_leaves()[0]
+        victim_id = victim.identifier
+        victim.fail()
+        driver = RefreshDriver(salad, period=5.0, timeout=12.0)
+        driver.run_rounds(5)
+        assert not any(l.knows(victim_id) for l in salad.alive_leaves() if l is not victim)
+        victim.recover()
+        # The recovered leaf still has its own table; its next refresh round
+        # re-introduces it to vector-aligned peers.
+        driver2 = RefreshDriver(salad, period=5.0, timeout=1000.0)
+        driver2.run_rounds(2)
+        relearned = sum(
+            1
+            for leaf in salad.alive_leaves()
+            if leaf is not victim and leaf.knows(victim_id)
+        )
+        assert relearned > 0

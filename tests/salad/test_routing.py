@@ -1,0 +1,125 @@
+"""Record insertion and multi-hop routing (Fig. 4) on a real SALAD."""
+
+import random
+
+import pytest
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad.ids import cell_id
+from repro.salad.records import SaladRecord
+from repro.salad.salad import Salad, SaladConfig
+
+
+@pytest.fixture(scope="module")
+def salad():
+    s = Salad(SaladConfig(target_redundancy=2.5, dimensions=2, seed=17))
+    s.build(100)
+    return s
+
+
+def insert_unique_records(salad, count, tag):
+    rng = random.Random(tag)
+    leaves = salad.alive_leaves()
+    records = []
+    batches = {}
+    for i in range(count):
+        leaf = rng.choice(leaves)
+        record = SaladRecord(synthetic_fingerprint(1000 + i, tag * 1_000_000 + i), leaf.identifier)
+        records.append(record)
+        batches.setdefault(leaf.identifier, []).append(record)
+    salad.insert_records(batches)
+    return records
+
+
+class TestDelivery:
+    def test_records_stored_on_cell_aligned_leaves_only(self, salad):
+        records = insert_unique_records(salad, 150, tag=1)
+        for leaf in salad.alive_leaves():
+            for record in leaf.database.records():
+                assert cell_id(record.routing_id, leaf.width) == cell_id(
+                    leaf.identifier, leaf.width
+                )
+
+    def test_most_records_stored_redundantly(self, salad):
+        records = insert_unique_records(salad, 150, tag=2)
+        copies = []
+        for record in records:
+            stored_on = sum(
+                1
+                for leaf in salad.alive_leaves()
+                if record.location in leaf.database.locations(record.fingerprint)
+            )
+            copies.append(stored_on)
+        mean_copies = sum(copies) / len(copies)
+        assert mean_copies > 1.5  # redundancy close to lambda
+
+    def test_loss_rate_within_model_band(self, salad):
+        """Eq. 14 predicts the loss; measured loss should be comparable."""
+        from repro.salad.model import loss_probability
+
+        records = insert_unique_records(salad, 300, tag=3)
+        lost = 0
+        for record in records:
+            if not any(
+                record.location in leaf.database.locations(record.fingerprint)
+                for leaf in salad.alive_leaves()
+            ):
+                lost += 1
+        predicted = loss_probability(2.5, 2, 100)
+        assert lost / len(records) < max(3 * predicted, 0.25)
+
+
+class TestMatching:
+    def test_duplicates_are_notified(self, salad):
+        leaves = salad.alive_leaves()[:4]
+        fingerprint = synthetic_fingerprint(77_000, 999_999)
+        salad.insert_records(
+            {leaf.identifier: [SaladRecord(fingerprint, leaf.identifier)] for leaf in leaves}
+        )
+        notified = {
+            machine
+            for machine, payload in salad.collected_matches()
+            if payload.fingerprint == fingerprint
+        }
+        holders = {leaf.identifier for leaf in leaves}
+        assert len(notified & holders) >= 2  # most holders learn of the others
+
+    def test_unique_content_never_notified(self, salad):
+        fingerprint = synthetic_fingerprint(88_000, 888_888)
+        holder = salad.alive_leaves()[5]
+        salad.insert_records({holder.identifier: [SaladRecord(fingerprint, holder.identifier)]})
+        assert not any(
+            payload.fingerprint == fingerprint
+            for _, payload in salad.collected_matches()
+        )
+
+    def test_no_self_match_notifications(self, salad):
+        for machine, payload in salad.collected_matches():
+            assert payload.other_machine != machine
+
+
+class TestIdempotence:
+    def test_reinsertion_is_harmless(self):
+        salad = Salad(SaladConfig(target_redundancy=2.0, seed=23))
+        salad.build(30)
+        leaf = salad.alive_leaves()[0]
+        record = SaladRecord(synthetic_fingerprint(500, 1), leaf.identifier)
+        salad.insert_records({leaf.identifier: [record]})
+        before = salad.total_stored_records()
+        matches_before = len(salad.collected_matches())
+        salad.insert_records({leaf.identifier: [record]})
+        assert salad.total_stored_records() == before
+        assert len(salad.collected_matches()) == matches_before
+
+
+class TestHopLimit:
+    def test_forwarding_always_terminates(self):
+        """Even with wildly disagreeing widths, records cannot cycle."""
+        salad = Salad(SaladConfig(target_redundancy=2.0, seed=29))
+        salad.build(40)
+        # Sabotage width agreement to provoke disagreement-induced cycles.
+        for i, leaf in enumerate(salad.alive_leaves()):
+            leaf.width = max(0, leaf.width + (i % 5) - 2)
+            leaf._rebuild_index()
+        insert_unique_records(salad, 100, tag=31)  # must not hang
+        assert salad.network.scheduler.events_executed < 2_000_000

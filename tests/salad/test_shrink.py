@@ -1,0 +1,106 @@
+"""System shrinkage: the Fig. 6 width-decrease path with leaf requests.
+
+Growth exercises only the width-increase loop; these tests drive the
+decrease loop (fold the hypercube, request newly vector-aligned leaves from
+new cellmates) by removing most of a SALAD.
+"""
+
+import random
+
+import pytest
+
+from repro.salad.ids import cell_id_width
+from repro.salad.model import expected_leaf_table_size
+from repro.salad.salad import Salad, SaladConfig
+
+
+@pytest.fixture(scope="module")
+def shrunk_salad():
+    salad = Salad(SaladConfig(target_redundancy=2.5, seed=13))
+    salad.build(200)
+    widths_before = salad.width_distribution()
+    rng = random.Random(2)
+    for victim in rng.sample(salad.alive_leaves(), 150):
+        victim.depart_cleanly()
+    salad.network.run()
+    return salad, widths_before
+
+
+class TestWidthDecrease:
+    def test_widths_fold_toward_new_target(self, shrunk_salad):
+        salad, widths_before = shrunk_salad
+        target = cell_id_width(50, 2.5)  # 4
+        widths_after = salad.width_distribution()
+        assert max(widths_before) > max(widths_after)
+        near_target = sum(
+            count for width, count in widths_after.items() if abs(width - target) <= 1
+        )
+        assert near_target / 50 > 0.8
+
+    def test_tables_recover_to_eq13(self, shrunk_salad):
+        salad, _ = shrunk_salad
+        sizes = salad.leaf_table_sizes()
+        mean = sum(sizes) / len(sizes)
+        expected = expected_leaf_table_size(50, 2.5, 2)
+        assert 0.6 * expected < mean < 1.6 * expected
+
+    def test_departed_leaves_mostly_forgotten_then_flushed(self, shrunk_salad):
+        """Departure messages purge most entries immediately; the few stale
+        ones that leak back in via fold-time leaf responses (a response can
+        carry a peer's not-yet-purged entry) are bounded, and one refresh
+        timeout removes them all."""
+        salad, _ = shrunk_salad
+        alive = {leaf.identifier for leaf in salad.alive_leaves()}
+        stale = sum(
+            1
+            for leaf in salad.alive_leaves()
+            for other in leaf.leaf_table
+            if other not in alive
+        )
+        total = sum(leaf.table_size for leaf in salad.alive_leaves())
+        assert stale <= 0.10 * total
+
+        from repro.salad.maintenance import RefreshDriver
+
+        RefreshDriver(salad, period=5.0, timeout=12.0).run_rounds(4)
+        for leaf in salad.alive_leaves():
+            for other in leaf.leaf_table:
+                assert other in alive
+
+    def test_records_still_routable_after_shrink(self, shrunk_salad):
+        """The folded SALAD must still store and match records."""
+        from repro.core.fingerprint import synthetic_fingerprint
+        from repro.salad.records import SaladRecord
+
+        salad, _ = shrunk_salad
+        holders = salad.alive_leaves()[:3]
+        fingerprint = synthetic_fingerprint(123_456, 777_777)
+        salad.insert_records(
+            {h.identifier: [SaladRecord(fingerprint, h.identifier)] for h in holders}
+        )
+        matched = {
+            machine
+            for machine, payload in salad.collected_matches()
+            if payload.fingerprint == fingerprint
+        }
+        assert len(matched & {h.identifier for h in holders}) >= 2
+
+
+class TestRepeatedResize:
+    def test_grow_shrink_grow_is_stable(self):
+        """Oscillating membership must not wedge widths or tables."""
+        salad = Salad(SaladConfig(target_redundancy=2.0, seed=21))
+        salad.build(80)
+        rng = random.Random(5)
+        for victim in rng.sample(salad.alive_leaves(), 50):
+            victim.depart_cleanly()
+        salad.network.run()
+        salad.build(120)  # regrow past the original size
+        widths = salad.width_distribution()
+        target = cell_id_width(120, 2.0)
+        near = sum(c for w, c in widths.items() if abs(w - target) <= 1)
+        assert near / 120 > 0.6
+        sizes = salad.leaf_table_sizes()
+        mean = sum(sizes) / len(sizes)
+        expected = expected_leaf_table_size(120, 2.0, 2)
+        assert 0.4 * expected < mean < 1.8 * expected

@@ -1,0 +1,77 @@
+"""ASCII visualization of SALAD state."""
+
+import random
+
+import pytest
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad.records import SaladRecord
+from repro.salad.salad import Salad, SaladConfig
+from repro.salad.visualize import cell_grid, leaf_view, load_histogram
+
+
+@pytest.fixture(scope="module")
+def salad():
+    s = Salad(SaladConfig(target_redundancy=2.5, seed=61))
+    s.build(60)
+    rng = random.Random(1)
+    leaves = s.alive_leaves()
+    batches = {}
+    for i in range(400):
+        leaf = rng.choice(leaves)
+        batches.setdefault(leaf.identifier, []).append(
+            SaladRecord(synthetic_fingerprint(1000 + i, i), leaf.identifier)
+        )
+    s.insert_records(batches)
+    return s
+
+
+class TestCellGrid:
+    def test_counts_sum_to_population(self, salad):
+        grid = cell_grid(salad)
+        numbers = [
+            int(token)
+            for line in grid.splitlines()[2:]
+            for token in line.split()[1:]
+        ]
+        assert sum(numbers) == len(salad.alive_leaves())
+
+    def test_grid_dimensions_match_width(self, salad):
+        grid = cell_grid(salad, width=4)
+        # 4 rows of cells plus 2 header lines.
+        assert len(grid.splitlines()) == 2 + 4
+
+    def test_rejects_non_2d(self):
+        s = Salad(SaladConfig(dimensions=3, seed=62))
+        s.build(8)
+        with pytest.raises(ValueError):
+            cell_grid(s)
+
+
+class TestLeafView:
+    def test_exactly_one_own_cell_marker(self, salad):
+        view = leaf_view(salad, salad.alive_leaves()[0].identifier)
+        assert view.count("#") == 1
+
+    def test_vector_markers_form_cross(self, salad):
+        view = leaf_view(salad, salad.alive_leaves()[0].identifier, width=4)
+        rows = [line for line in view.splitlines()[1:-1]]
+        assert sum(1 for row in rows if "#" in row or "-" in row) >= 1
+        column_markers = sum(row.count("|") for row in rows)
+        assert column_markers == 3  # 4-row grid: 3 cells above/below own
+
+    def test_coverage_line_present(self, salad):
+        view = leaf_view(salad, salad.alive_leaves()[0].identifier)
+        assert "vector coverage" in view
+
+
+class TestLoadHistogram:
+    def test_bin_counts_sum_to_leaves(self, salad):
+        histogram = load_histogram(salad)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in histogram.splitlines()[1:]]
+        assert sum(counts) == len(salad.alive_leaves())
+
+    def test_empty_salad(self):
+        s = Salad(SaladConfig(seed=63))
+        s.build(3)
+        assert load_histogram(s) == "no records stored"

@@ -1,0 +1,103 @@
+"""The discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.events import EventScheduler, SimulationError
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule(3.0, lambda: log.append("c"))
+        sched.schedule(1.0, lambda: log.append("a"))
+        sched.schedule(2.0, lambda: log.append("b"))
+        sched.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        sched = EventScheduler()
+        log = []
+        for tag in "abc":
+            sched.schedule(1.0, lambda t=tag: log.append(t))
+        sched.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule(5.0, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [5.0]
+        assert sched.now == 5.0
+
+    def test_events_can_schedule_events(self):
+        sched = EventScheduler()
+        log = []
+
+        def first():
+            log.append("first")
+            sched.schedule(1.0, lambda: log.append("second"))
+
+        sched.schedule(1.0, first)
+        sched.run()
+        assert log == ["first", "second"]
+        assert sched.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+
+class TestRunLimits:
+    def test_until_stops_before_later_events(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule(1.0, lambda: log.append(1))
+        sched.schedule(10.0, lambda: log.append(10))
+        sched.run(until=5.0)
+        assert log == [1]
+        assert sched.now == 5.0
+        sched.run()
+        assert log == [1, 10]
+
+    def test_max_events(self):
+        sched = EventScheduler()
+        log = []
+        for i in range(5):
+            sched.schedule(float(i + 1), lambda i=i: log.append(i))
+        executed = sched.run(max_events=3)
+        assert executed == 3
+        assert log == [0, 1, 2]
+
+    def test_run_returns_count(self):
+        sched = EventScheduler()
+        for i in range(4):
+            sched.schedule(1.0, lambda: None)
+        assert sched.run() == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sched = EventScheduler()
+        log = []
+        handle = sched.schedule(1.0, lambda: log.append("x"))
+        handle.cancel()
+        sched.run()
+        assert log == []
+        assert handle.cancelled
+
+    def test_len_ignores_cancelled(self):
+        sched = EventScheduler()
+        keep = sched.schedule(1.0, lambda: None)
+        drop = sched.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert len(sched) == 1
+
+    def test_step_skips_cancelled(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule(1.0, lambda: log.append("a")).cancel()
+        sched.schedule(2.0, lambda: log.append("b"))
+        assert sched.step() is True
+        assert log == ["b"]

@@ -1,0 +1,84 @@
+"""Failure injection helpers."""
+
+import random
+
+import pytest
+
+from repro.sim.events import EventScheduler
+from repro.sim.failure import ChurnSchedule, fail_exact_fraction, fail_randomly
+from repro.sim.machine import SimMachine
+from repro.sim.network import Network
+
+
+def make_machines(count):
+    net = Network(EventScheduler())
+    return [SimMachine(i + 1, net) for i in range(count)], net
+
+
+class TestFailRandomly:
+    def test_probability_zero_fails_none(self):
+        machines, _ = make_machines(20)
+        assert fail_randomly(machines, 0.0, random.Random(1)) == []
+        assert all(m.alive for m in machines)
+
+    def test_probability_one_fails_all(self):
+        machines, _ = make_machines(20)
+        failed = fail_randomly(machines, 1.0, random.Random(1))
+        assert len(failed) == 20
+        assert not any(m.alive for m in machines)
+
+    def test_invalid_probability(self):
+        machines, _ = make_machines(2)
+        with pytest.raises(ValueError):
+            fail_randomly(machines, 1.5, random.Random(1))
+
+
+class TestFailExactFraction:
+    def test_exact_count(self):
+        machines, _ = make_machines(40)
+        failed = fail_exact_fraction(machines, 0.25, random.Random(2))
+        assert len(failed) == 10
+        assert sum(1 for m in machines if not m.alive) == 10
+
+    def test_deterministic_for_seed(self):
+        machines_a, _ = make_machines(10)
+        machines_b, _ = make_machines(10)
+        failed_a = fail_exact_fraction(machines_a, 0.5, random.Random(3))
+        failed_b = fail_exact_fraction(machines_b, 0.5, random.Random(3))
+        assert [m.identifier for m in failed_a] == [m.identifier for m in failed_b]
+
+
+class TestChurnSchedule:
+    def test_scheduled_fail_and_recover(self):
+        machines, net = make_machines(1)
+        churn = ChurnSchedule(net.scheduler)
+        churn.at(1.0, "fail", machines[0])
+        churn.at(2.0, "recover", machines[0])
+        net.scheduler.run(until=1.5)
+        assert not machines[0].alive
+        net.scheduler.run()
+        assert machines[0].alive
+        assert [e.action for e in churn.history] == ["fail", "recover"]
+
+    def test_depart_removes_from_network(self):
+        machines, net = make_machines(1)
+        churn = ChurnSchedule(net.scheduler)
+        churn.at(1.0, "depart", machines[0])
+        net.scheduler.run()
+        assert net.machine(machines[0].identifier) is None
+
+    def test_unknown_action_rejected(self):
+        machines, net = make_machines(1)
+        churn = ChurnSchedule(net.scheduler)
+        churn.at(1.0, "explode", machines[0])
+        with pytest.raises(ValueError):
+            net.scheduler.run()
+
+    def test_poisson_failures_rate(self):
+        machines, net = make_machines(50)
+        churn = ChurnSchedule(net.scheduler)
+        scheduled = churn.poisson_failures(
+            machines, rate=0.1, horizon=100.0, rng=random.Random(5)
+        )
+        # Expect ~50 machines * 0.1 * 100 = 500 failures, +-4 sigma.
+        assert 400 < scheduled < 600

@@ -1,0 +1,134 @@
+"""The message-passing network: delivery, counters, loss, failure drops."""
+
+import random
+
+import pytest
+
+from repro.sim.events import EventScheduler
+from repro.sim.machine import SimMachine
+from repro.sim.network import Network
+
+
+class Echo(SimMachine):
+    """Test machine that logs pings and answers with pongs."""
+
+    def __init__(self, identifier, network):
+        super().__init__(identifier, network)
+        self.log = []
+        self.on("ping", self._ping)
+        self.on("pong", lambda msg: self.log.append(("pong", msg.sender)))
+
+    def _ping(self, msg):
+        self.log.append(("ping", msg.sender))
+        self.send(msg.sender, "pong")
+
+
+def make_net(loss=0.0):
+    return Network(EventScheduler(), latency=1.0, loss_probability=loss, rng=random.Random(1))
+
+
+class TestDelivery:
+    def test_roundtrip(self):
+        net = make_net()
+        a, b = Echo(1, net), Echo(2, net)
+        a.send(2, "ping")
+        net.run()
+        assert b.log == [("ping", 1)]
+        assert a.log == [("pong", 2)]
+
+    def test_traffic_counters(self):
+        net = make_net()
+        a, b = Echo(1, net), Echo(2, net)
+        a.send(2, "ping")
+        net.run()
+        assert net.traffic[1].sent == 1 and net.traffic[1].received == 1
+        assert net.traffic[2].sent == 1 and net.traffic[2].received == 1
+        assert net.traffic[1].total == 2
+        assert net.traffic[1].by_kind_sent == {"ping": 1}
+        assert net.traffic[2].by_kind_received == {"ping": 1}
+
+    def test_latency_orders_delivery(self):
+        net = make_net()
+        a, b = Echo(1, net), Echo(2, net)
+        a.send(2, "ping")
+        assert b.log == []  # not yet delivered
+        net.run()
+        assert b.log
+
+
+class TestDrops:
+    def test_message_to_unknown_machine_dropped(self):
+        net = make_net()
+        a = Echo(1, net)
+        a.send(99, "ping")
+        net.run()
+        assert net.messages_dropped == 1
+        assert net.traffic[1].dropped_to == 1
+
+    def test_message_to_failed_machine_dropped(self):
+        net = make_net()
+        a, b = Echo(1, net), Echo(2, net)
+        b.fail()
+        a.send(2, "ping")
+        net.run()
+        assert b.log == []
+        assert net.messages_dropped == 1
+
+    def test_failed_machine_sends_nothing(self):
+        net = make_net()
+        a, b = Echo(1, net), Echo(2, net)
+        a.fail()
+        a.send(2, "ping")
+        net.run()
+        assert b.log == []
+        assert net.messages_sent == 0
+
+    def test_recovered_machine_receives_again(self):
+        net = make_net()
+        a, b = Echo(1, net), Echo(2, net)
+        b.fail()
+        b.recover()
+        a.send(2, "ping")
+        net.run()
+        assert b.log == [("ping", 1)]
+
+    def test_departed_machine_deregistered(self):
+        net = make_net()
+        a, b = Echo(1, net), Echo(2, net)
+        b.depart()
+        assert net.machine(2) is None
+        a.send(2, "ping")
+        net.run()
+        assert net.messages_dropped == 1
+
+
+class TestLoss:
+    def test_loss_probability_one_drops_everything(self):
+        net = make_net(loss=1.0)
+        a, b = Echo(1, net), Echo(2, net)
+        for _ in range(20):
+            a.send(2, "ping")
+        net.run()
+        assert b.log == []
+        assert net.messages_dropped == 20
+
+    def test_loss_probability_statistics(self):
+        net = make_net(loss=0.5)
+        a, b = Echo(1, net), Echo(2, net)
+        for _ in range(400):
+            net.send(1, 2, "ping", None)
+        net.run()
+        delivered = len(b.log)
+        assert 140 < delivered < 260  # ~200 +- 3 sigma
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            Network(EventScheduler(), loss_probability=1.5)
+
+
+class TestRegistration:
+    def test_duplicate_identifier_rejected(self):
+        net = make_net()
+        Echo(1, net)
+        with pytest.raises(ValueError):
+            Echo(1, net)

@@ -1,0 +1,43 @@
+"""The workload command-line interface."""
+
+import pytest
+
+from repro.workload.__main__ import main
+
+
+class TestGenerate:
+    def test_generate_prints_stats(self, capsys):
+        assert main(["generate", "--machines", "20", "--files", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "duplicate byte fraction" in out
+
+    def test_generate_writes_file(self, tmp_path, capsys):
+        path = str(tmp_path / "c.json.gz")
+        assert main(["generate", "--machines", "10", "--files", "5", "-o", path]) == 0
+        from repro.workload.serialization import load_corpus
+
+        corpus = load_corpus(path)
+        assert len(corpus) == 10
+
+
+class TestStats:
+    def test_stats_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "c.json")
+        main(["generate", "--machines", "6", "--files", "4", "-o", path])
+        capsys.readouterr()
+        assert main(["stats", path]) == 0
+        out = capsys.readouterr().out
+        assert "machines" in out and "6" in out
+
+
+class TestScan:
+    def test_scan_directory(self, tmp_path, capsys):
+        (tmp_path / "x.txt").write_bytes(b"hello" * 100)
+        (tmp_path / "y.txt").write_bytes(b"hello" * 100)
+        assert main(["scan", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "total files" in out and "2" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,90 @@
+"""Size and duplication distributions."""
+
+import math
+import random
+
+import pytest
+
+from repro.workload.distributions import (
+    BoundedZipf,
+    lognormal_size,
+    machine_file_count,
+)
+
+
+class TestLognormalSize:
+    def test_clamped_to_bounds(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            size = lognormal_size(rng, median=4096, sigma=3.0, min_size=1, max_size=10_000)
+            assert 1 <= size <= 10_000
+
+    def test_median_approximately_respected(self):
+        rng = random.Random(2)
+        samples = sorted(
+            lognormal_size(rng, median=4096, sigma=2.0) for _ in range(4000)
+        )
+        measured_median = samples[len(samples) // 2]
+        assert 2500 < measured_median < 6500
+
+    def test_mean_follows_lognormal_formula(self):
+        rng = random.Random(3)
+        sigma = 1.0
+        samples = [lognormal_size(rng, 1000, sigma) for _ in range(20_000)]
+        expected_mean = 1000 * math.exp(sigma**2 / 2)
+        assert sum(samples) / len(samples) == pytest.approx(expected_mean, rel=0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            lognormal_size(random.Random(4), median=0, sigma=1)
+
+
+class TestBoundedZipf:
+    def test_bounds_respected(self):
+        zipf = BoundedZipf(2, 50, 2.0)
+        rng = random.Random(5)
+        samples = [zipf.sample(rng) for _ in range(2000)]
+        assert min(samples) >= 2 and max(samples) <= 50
+
+    def test_skew_toward_low_values(self):
+        zipf = BoundedZipf(2, 100, 2.0)
+        rng = random.Random(6)
+        samples = [zipf.sample(rng) for _ in range(5000)]
+        assert sum(1 for s in samples if s <= 4) > len(samples) / 2
+
+    def test_empirical_mean_matches_exact(self):
+        zipf = BoundedZipf(2, 200, 2.2)
+        rng = random.Random(7)
+        samples = [zipf.sample(rng) for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(zipf.mean(), rel=0.1)
+
+    def test_heavier_tail_with_smaller_alpha(self):
+        assert BoundedZipf(2, 500, 1.5).mean() > BoundedZipf(2, 500, 2.5).mean()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BoundedZipf(0, 10, 2.0)
+        with pytest.raises(ValueError):
+            BoundedZipf(2, 1, 2.0)
+        with pytest.raises(ValueError):
+            BoundedZipf(2, 10, 0)
+
+
+class TestMachineFileCount:
+    def test_positive(self):
+        rng = random.Random(8)
+        assert all(machine_file_count(rng, 30) >= 1 for _ in range(100))
+
+    def test_mean_preserved(self):
+        rng = random.Random(9)
+        counts = [machine_file_count(rng, 100, spread_sigma=0.5) for _ in range(5000)]
+        assert sum(counts) / len(counts) == pytest.approx(100, rel=0.1)
+
+    def test_spread_creates_variation(self):
+        rng = random.Random(10)
+        counts = {machine_file_count(rng, 100, spread_sigma=0.5) for _ in range(100)}
+        assert len(counts) > 20
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            machine_file_count(random.Random(11), 0)

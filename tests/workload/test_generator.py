@@ -1,0 +1,106 @@
+"""The calibrated corpus generator: shapes must match the paper's dataset."""
+
+import pytest
+
+from repro.workload.generator import CorpusSpec, generate_corpus, paper_scale_spec
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self, small_corpus):
+        from repro.workload.generator import CorpusSpec
+
+        spec = CorpusSpec(machines=60, mean_files_per_machine=20)
+        again = generate_corpus(spec, seed=7)
+        assert again.summary() == small_corpus.summary()
+
+    def test_different_seeds_differ(self):
+        spec = CorpusSpec(machines=20, mean_files_per_machine=10)
+        a = generate_corpus(spec, seed=1).summary()
+        b = generate_corpus(spec, seed=2).summary()
+        assert a != b
+
+
+class TestCalibration:
+    """The paper's aggregates: 46% duplicate bytes, 38.6% distinct files,
+    ~65 KB mean file size.  At moderate scale the synthetic corpus must land
+    in bands around those values."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        spec = CorpusSpec(machines=200, mean_files_per_machine=50)
+        return generate_corpus(spec, seed=11)
+
+    def test_duplicate_byte_fraction(self, corpus):
+        assert 0.36 <= corpus.summary().duplicate_byte_fraction <= 0.56
+
+    def test_distinct_file_fraction(self, corpus):
+        distinct = 1 - corpus.summary().duplicate_file_fraction
+        assert 0.30 <= distinct <= 0.48
+
+    def test_mean_file_size(self, corpus):
+        mean_kb = corpus.summary().mean_file_size / 1024
+        assert 30 <= mean_kb <= 130
+
+    def test_small_files_dominate_count_not_bytes(self, corpus):
+        """The Fig. 7/9 premise: files below 4KB are most of the count but
+        few of the bytes."""
+        small_count = small_bytes = total_count = total_bytes = 0
+        for machine in corpus:
+            for f in machine.files:
+                total_count += 1
+                total_bytes += f.size
+                if f.size < 4096:
+                    small_count += 1
+                    small_bytes += f.size
+        assert small_count / total_count > 0.3
+        assert small_bytes / total_bytes < 0.05
+
+
+class TestStructure:
+    def test_machine_count(self, small_corpus):
+        assert len(small_corpus) == 60
+
+    def test_system_contents_on_every_machine(self, small_corpus):
+        instances = small_corpus.content_instances()
+        universal = [c for c, (_, machines) in instances.items() if len(machines) == 60]
+        assert len(universal) >= CorpusSpec().system_contents // 2
+
+    def test_no_content_twice_on_one_machine(self, small_corpus):
+        for machine in small_corpus:
+            ids = [f.content_id for f in machine.files]
+            assert len(ids) == len(set(ids))
+
+    def test_zipf_duplication_exists(self, small_corpus):
+        copy_counts = [
+            len(machines)
+            for _, machines in small_corpus.content_instances().values()
+        ]
+        assert max(copy_counts) >= 10  # heavy-tailed duplication
+        assert sum(1 for c in copy_counts if c == 1) > 0  # and unique files
+
+    def test_single_machine_corpus(self):
+        corpus = generate_corpus(CorpusSpec(machines=1, mean_files_per_machine=10), seed=1)
+        assert len(corpus) == 1
+        assert corpus.total_files >= 1
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            CorpusSpec(machines=0)
+        with pytest.raises(ValueError):
+            CorpusSpec(unique_fraction=1.5)
+
+
+class TestPaperScaleSpec:
+    def test_full_scale_matches_paper_machine_count(self):
+        spec = paper_scale_spec(1.0)
+        assert spec.machines == 585
+        assert spec.mean_files_per_machine == pytest.approx(17_972)
+
+    def test_scaled_down(self):
+        spec = paper_scale_spec(0.01)
+        assert spec.machines == 585
+        assert spec.mean_files_per_machine < 200
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            paper_scale_spec(0)

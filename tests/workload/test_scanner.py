@@ -1,0 +1,48 @@
+"""Real-directory scanning into a MachineScan."""
+
+import os
+
+from repro.workload.scanner import scan_directory
+
+
+def populate(tmp_path):
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "a.txt").write_bytes(b"identical content")
+    (tmp_path / "sub" / "b.txt").write_bytes(b"identical content")
+    (tmp_path / "c.bin").write_bytes(b"different " * 100)
+    return tmp_path
+
+
+class TestScanDirectory:
+    def test_finds_all_files(self, tmp_path):
+        scan = scan_directory(str(populate(tmp_path)))
+        assert scan.file_count == 3
+
+    def test_identical_files_share_content_id(self, tmp_path):
+        scan = scan_directory(str(populate(tmp_path)))
+        by_size = {}
+        for f in scan.files:
+            by_size.setdefault(f.size, []).append(f.content_id)
+        dup_ids = by_size[len(b"identical content")]
+        assert len(dup_ids) == 2
+        assert dup_ids[0] == dup_ids[1]
+
+    def test_sizes_recorded(self, tmp_path):
+        scan = scan_directory(str(populate(tmp_path)))
+        assert sorted(f.size for f in scan.files) == [17, 17, 1000]
+
+    def test_max_files_cap(self, tmp_path):
+        scan = scan_directory(str(populate(tmp_path)), max_files=2)
+        assert scan.file_count == 2
+
+    def test_corpus_statistics_from_scan(self, tmp_path):
+        from repro.workload.corpus import Corpus
+
+        scan = scan_directory(str(populate(tmp_path)))
+        summary = Corpus(machines=[scan]).summary()
+        assert summary.distinct_contents == 2
+        assert summary.duplicate_byte_fraction > 0
+
+    def test_empty_directory(self, tmp_path):
+        scan = scan_directory(str(tmp_path))
+        assert scan.file_count == 0

@@ -1,0 +1,64 @@
+"""Corpus persistence."""
+
+import json
+
+import pytest
+
+from repro.workload.serialization import (
+    CorpusFormatError,
+    corpus_from_dict,
+    corpus_to_dict,
+    load_corpus,
+    save_corpus,
+)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_summary(self, small_corpus):
+        restored = corpus_from_dict(corpus_to_dict(small_corpus))
+        assert restored.summary() == small_corpus.summary()
+
+    def test_file_roundtrip(self, small_corpus, tmp_path):
+        path = str(tmp_path / "corpus.json")
+        save_corpus(small_corpus, path)
+        assert load_corpus(path).summary() == small_corpus.summary()
+
+    def test_gzip_roundtrip_and_smaller(self, small_corpus, tmp_path):
+        import os
+
+        plain = str(tmp_path / "corpus.json")
+        gz = str(tmp_path / "corpus.json.gz")
+        save_corpus(small_corpus, plain)
+        save_corpus(small_corpus, gz)
+        assert load_corpus(gz).summary() == small_corpus.summary()
+        assert os.path.getsize(gz) < os.path.getsize(plain)
+
+    def test_machine_structure_preserved(self, small_corpus, tmp_path):
+        path = str(tmp_path / "c.json")
+        save_corpus(small_corpus, path)
+        restored = load_corpus(path)
+        assert len(restored) == len(small_corpus)
+        for original, loaded in zip(small_corpus.machines, restored.machines):
+            assert original.machine_index == loaded.machine_index
+            assert original.files == loaded.files
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(CorpusFormatError):
+            corpus_from_dict({"format": "something-else"})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(CorpusFormatError):
+            corpus_from_dict({"format": "repro-corpus", "version": 99, "machines": []})
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(CorpusFormatError):
+            corpus_from_dict([1, 2, 3])
+
+    def test_dump_is_plain_json(self, small_corpus, tmp_path):
+        path = str(tmp_path / "c.json")
+        save_corpus(small_corpus, path)
+        with open(path) as f:
+            data = json.load(f)
+        assert data["format"] == "repro-corpus"
