@@ -1,0 +1,209 @@
+"""Record a performance-trajectory snapshot as ``BENCH_<date>.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_trajectory.py [--output PATH]
+
+Each snapshot captures throughput for the four hot paths the perf work
+targets, with the seed's scalar implementations measured alongside the
+current fast paths so every snapshot carries its own before/after ratio:
+
+- ``aes_ctr``: bytes/sec encrypting 1 MiB in CTR mode -- the seed path
+  (per-byte rounds, one block per call) vs the bulk vectorized path, plus
+  the warm-keystream-cache repeat;
+- ``fingerprints``: fingerprints/sec over 4 KiB blobs, per-item vs batched;
+- ``salad_inserts``: records/sec routed to quiescence through a SALAD,
+  plus messages per record (the Fig. 9 currency) under batched routing;
+- ``pipeline``: wall seconds for an end-to-end DfcPipeline pass on a small
+  corpus, serial vs parallel workers, with the reclaimed-byte accounting
+  asserted identical.
+
+Snapshots are append-only history: commit each new file, never overwrite an
+old one.  ``docs/PERFORMANCE.md`` explains how to read the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.fingerprint import fingerprint_many, fingerprint_of
+from repro.crypto.aes import AES
+from repro.crypto.modes import (
+    BLOCK_SIZE,
+    bulk_encrypt_ctr,
+    encrypt_ctr_scalar,
+    keystream_cache,
+)
+from repro.experiments.dfc_run import DfcConfig
+from repro.farsite.dfc_pipeline import DfcPipeline
+from repro.salad.records import SaladRecord
+from repro.salad.salad import Salad, SaladConfig
+from repro.workload.generator import CorpusSpec, generate_corpus
+
+MIB = 1 << 20
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best wall time over *repeats* runs (least-noise estimator)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _seed_encrypt_ctr(key: bytes, plaintext: bytes, nonce: int = 0) -> bytes:
+    """The seed's CTR path: per-byte AES rounds, one block per call."""
+    cipher = AES(key)
+    out = bytearray()
+    for offset in range(0, len(plaintext), BLOCK_SIZE):
+        counter = (nonce + offset // BLOCK_SIZE) % (1 << 128)
+        block = cipher.encrypt_block_scalar(counter.to_bytes(BLOCK_SIZE, "big"))
+        chunk = plaintext[offset : offset + BLOCK_SIZE]
+        out.extend(b ^ k for b, k in zip(chunk, block))
+    return bytes(out)
+
+
+def bench_aes_ctr() -> dict:
+    key = bytes(range(16))
+    payload = bytes(MIB)
+    expected = encrypt_ctr_scalar(key, payload)
+    assert _seed_encrypt_ctr(key, payload[: 4 * BLOCK_SIZE]) == expected[: 4 * BLOCK_SIZE]
+    assert bulk_encrypt_ctr(key, payload) == expected
+
+    seed_seconds = _best_of(lambda: _seed_encrypt_ctr(key, payload), repeats=1)
+
+    def bulk_cold() -> bytes:
+        keystream_cache().clear()  # else repeats would hit the cache
+        return bulk_encrypt_ctr(key, payload)
+
+    bulk_seconds = _best_of(bulk_cold)
+    bulk_encrypt_ctr(key, payload)  # warm the (key, nonce) cache entry
+    cached_seconds = _best_of(lambda: bulk_encrypt_ctr(key, payload))
+    return {
+        "payload_bytes": MIB,
+        "seed_scalar_bytes_per_sec": MIB / seed_seconds,
+        "bulk_bytes_per_sec": MIB / bulk_seconds,
+        "bulk_cached_bytes_per_sec": MIB / cached_seconds,
+        "speedup_bulk_over_seed": seed_seconds / bulk_seconds,
+    }
+
+
+def bench_fingerprints() -> dict:
+    blobs = [bytes([i % 256]) * 4096 for i in range(512)]
+    assert fingerprint_many(blobs) == [fingerprint_of(b) for b in blobs]
+    per_item = _best_of(lambda: [fingerprint_of(b) for b in blobs])
+    batched = _best_of(lambda: fingerprint_many(blobs))
+    return {
+        "blob_bytes": 4096,
+        "count": len(blobs),
+        "per_item_fingerprints_per_sec": len(blobs) / per_item,
+        "batched_fingerprints_per_sec": len(blobs) / batched,
+    }
+
+
+def bench_salad_inserts(leaves: int = 64, records: int = 2000) -> dict:
+    def build() -> Salad:
+        salad = Salad(SaladConfig(dimensions=2, seed=7))
+        salad.build(leaves)
+        return salad
+
+    salad = build()
+    leaf_ids = [leaf.identifier for leaf in salad.alive_leaves()]
+    batches = {
+        leaf_ids[i % len(leaf_ids)]: [
+            SaladRecord(
+                fingerprint=fingerprint_of(b"trajectory:%d" % j),
+                location=leaf_ids[i % len(leaf_ids)],
+            )
+            for j in range(i, records, len(leaf_ids))
+        ]
+        for i in range(len(leaf_ids))
+    }
+
+    def run() -> int:
+        fresh = build()
+        before = sum(fresh.message_totals())
+        inserted = fresh.insert_records(batches)
+        run.messages = sum(fresh.message_totals()) - before  # type: ignore[attr-defined]
+        return inserted
+
+    seconds = _best_of(run, repeats=2)
+    return {
+        "leaves": leaves,
+        "records": records,
+        "inserts_per_sec": records / seconds,
+        "messages_per_record": run.messages / records,
+    }
+
+
+def bench_pipeline() -> dict:
+    spec = CorpusSpec(machines=48, mean_files_per_machine=24.0)
+    corpus = generate_corpus(spec, seed=3)
+
+    def run(workers: int):
+        pipeline = DfcPipeline(corpus, DfcConfig(seed=3, workers=workers))
+        return pipeline.execute()
+
+    start = time.perf_counter()
+    serial = run(workers=1)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run(workers=0)
+    parallel_seconds = time.perf_counter() - start
+    assert serial == parallel, "parallel pipeline changed the accounting"
+    return {
+        "machines": spec.machines,
+        "total_bytes": serial.total_bytes,
+        "physically_reclaimed": serial.physically_reclaimed,
+        "serial_wall_seconds": serial_seconds,
+        "parallel_wall_seconds": parallel_seconds,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="snapshot path (default: BENCH_<today>.json in the repo root)",
+    )
+    args = parser.parse_args(argv)
+    today = datetime.date.today().isoformat()
+    output = Path(args.output) if args.output else (
+        Path(__file__).resolve().parent.parent / f"BENCH_{today}.json"
+    )
+
+    snapshot = {
+        "date": today,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": {},
+    }
+    for name, bench in [
+        ("aes_ctr", bench_aes_ctr),
+        ("fingerprints", bench_fingerprints),
+        ("salad_inserts", bench_salad_inserts),
+        ("pipeline", bench_pipeline),
+    ]:
+        print(f"[{name}] ...", flush=True)
+        snapshot["results"][name] = bench()
+        for key, value in snapshot["results"][name].items():
+            rendered = f"{value:.3f}" if isinstance(value, float) else value
+            print(f"  {key}: {rendered}")
+
+    output.write_text(json.dumps(snapshot, indent=1) + "\n", encoding="utf-8")
+    print(f"snapshot written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,14 +9,16 @@ import random
 import pytest
 
 from repro.core.convergent import convergent_encrypt
+from repro.core.fingerprint import fingerprint_many
 from repro.core.keyring import User
 from repro.crypto.aes import AES
 from repro.crypto.hashing import content_hash, convergence_key
-from repro.crypto.modes import encrypt_ctr
+from repro.crypto.modes import bulk_encrypt_ctr, encrypt_ctr, encrypt_ctr_scalar
 
 KEY = bytes(range(16))
 BLOCK = bytes(range(16))
 PAYLOAD = bytes(256) * 16  # 4 KiB, the paper's pivotal file size
+PAYLOAD_1M = bytes(1024) * 1024  # 1 MiB, the bulk-path showcase size
 
 
 def test_bench_aes_block(benchmark):
@@ -24,8 +26,28 @@ def test_bench_aes_block(benchmark):
     benchmark(cipher.encrypt_block, BLOCK)
 
 
+def test_bench_aes_block_scalar(benchmark):
+    """The seed's per-byte rounds; the T-table baseline comparison."""
+    cipher = AES(KEY)
+    benchmark(cipher.encrypt_block_scalar, BLOCK)
+
+
 def test_bench_ctr_4k(benchmark):
     benchmark(encrypt_ctr, KEY, PAYLOAD)
+
+
+def test_bench_ctr_4k_scalar(benchmark):
+    """The seed's block-at-a-time CTR; the vectorized baseline comparison."""
+    benchmark(encrypt_ctr_scalar, KEY, PAYLOAD)
+
+
+def test_bench_bulk_ctr_1m(benchmark):
+    benchmark(bulk_encrypt_ctr, KEY, PAYLOAD_1M)
+
+
+def test_bench_fingerprint_many_4k(benchmark):
+    contents = [PAYLOAD] * 64
+    benchmark(fingerprint_many, contents)
 
 
 def test_bench_sha_fingerprint_4k(benchmark):

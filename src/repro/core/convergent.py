@@ -22,12 +22,13 @@ key).
 
 from __future__ import annotations
 
-import random
+import hashlib
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional
+from random import Random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.crypto.hashing import CONVERGENCE_KEY_BYTES, convergence_key
-from repro.crypto.modes import decrypt_ctr, encrypt_ctr
+from repro.crypto.modes import bulk_encrypt_ctr, decrypt_ctr, encrypt_ctr
 from repro.crypto.rsa import RSAPublicKey
 
 from repro.core.keyring import User
@@ -35,6 +36,22 @@ from repro.core.keyring import User
 
 class NotAuthorizedError(Exception):
     """Raised when a user without a metadata entry attempts decryption."""
+
+
+def metadata_rng(plaintext: bytes, reader: str) -> Random:
+    """A deterministic RNG for one reader's metadata encryption.
+
+    The RSA padding nonce in ``mu_u`` needs randomness, but seeding it from
+    process-global entropy makes pipeline runs irreproducible -- and under a
+    parallel executor, dependent on worker scheduling.  Deriving the stream
+    from ``(plaintext, reader)`` keeps every metadata entry deterministic and
+    *independent of execution order*, so serial and parallel batch
+    encryptions produce byte-identical ciphertext tuples.  (Determinism here
+    costs nothing the construction did not already concede: the data
+    ciphertext is deterministic by design, Eq. 2.)
+    """
+    digest = hashlib.sha256(b"metadata-rng:" + reader.encode() + b":" + plaintext)
+    return Random(int.from_bytes(digest.digest()[:16], "big"))
 
 
 @dataclass(frozen=True)
@@ -75,24 +92,55 @@ class ConvergentCiphertext:
 def convergent_encrypt(
     plaintext: bytes,
     reader_keys: Mapping[str, RSAPublicKey],
-    rng: Optional[random.Random] = None,
+    rng: Optional[Random] = None,
     key_bytes: int = CONVERGENCE_KEY_BYTES,
 ) -> ConvergentCiphertext:
     """Encrypt *plaintext* so every reader in *reader_keys* can decrypt it.
 
-    The data ciphertext depends only on the plaintext; the metadata entries
-    are randomized per-reader RSA encryptions of the hash key.
+    The data ciphertext depends only on the plaintext and uses the bulk CTR
+    kernel; the metadata entries are randomized per-reader RSA encryptions of
+    the hash key.  When no *rng* is supplied, each entry draws from a
+    deterministic per-``(plaintext, reader)`` stream (:func:`metadata_rng`),
+    so repeated and parallel runs reproduce exactly.
     """
     if not reader_keys:
         raise ValueError("a convergently encrypted file needs at least one reader")
     hash_key = convergence_key(plaintext, key_bytes=key_bytes)
-    data = encrypt_ctr(hash_key, plaintext)
-    rng = rng or random.Random()
+    data = bulk_encrypt_ctr(hash_key, plaintext)
     metadata: Dict[str, bytes] = {
-        name: public_key.encrypt(hash_key, rng=rng)
+        name: public_key.encrypt(
+            hash_key, rng=rng if rng is not None else metadata_rng(plaintext, name)
+        )
         for name, public_key in reader_keys.items()
     }
     return ConvergentCiphertext(data=data, metadata=metadata)
+
+
+def _encrypt_one(args: Tuple[bytes, Mapping[str, RSAPublicKey], int]) -> ConvergentCiphertext:
+    plaintext, reader_keys, key_bytes = args
+    return convergent_encrypt(plaintext, reader_keys, key_bytes=key_bytes)
+
+
+def convergent_encrypt_many(
+    plaintexts: Sequence[bytes],
+    reader_keys: Mapping[str, RSAPublicKey],
+    key_bytes: int = CONVERGENCE_KEY_BYTES,
+    workers: Optional[int] = 1,
+) -> List[ConvergentCiphertext]:
+    """Batch-encrypt many files for one reader set.
+
+    With ``workers > 1`` the batch fans out over a process pool; because
+    every per-file ciphertext (data *and* metadata, via :func:`metadata_rng`)
+    is a pure function of the plaintext, the result list is byte-identical to
+    the serial loop, in input order.
+    """
+    from repro.perf import parallel_map
+
+    return parallel_map(
+        _encrypt_one,
+        [(plaintext, reader_keys, key_bytes) for plaintext in plaintexts],
+        workers=workers,
+    )
 
 
 def convergent_decrypt(ciphertext: ConvergentCiphertext, user: User) -> bytes:
@@ -127,7 +175,7 @@ def _infer_key_bytes(ciphertext: ConvergentCiphertext) -> int:
 def reencrypt_key_for(
     plaintext: bytes,
     new_reader: RSAPublicKey,
-    rng: Optional[random.Random] = None,
+    rng: Optional[Random] = None,
     key_bytes: int = CONVERGENCE_KEY_BYTES,
 ) -> bytes:
     """Produce ``mu_u`` for a new authorized reader, given the plaintext.
@@ -136,4 +184,6 @@ def reencrypt_key_for(
     can grant access to another user by publishing this value.
     """
     hash_key = convergence_key(plaintext, key_bytes=key_bytes)
+    if rng is None:
+        rng = metadata_rng(plaintext, f"reencrypt:{new_reader.n}:{new_reader.e}")
     return new_reader.encrypt(hash_key, rng=rng)

@@ -7,6 +7,18 @@ permutation family; any standard block cipher realizes it.  We implement AES
 expansion, SubBytes/ShiftRows/MixColumns rounds, and their inverses -- so the
 repository has no external crypto dependency.
 
+Two encryption paths share the key schedule:
+
+- a *scalar reference* path (:meth:`AES.encrypt_block_scalar`) that applies
+  SubBytes/ShiftRows/MixColumns byte by byte, straight from the spec; and
+- a *T-table* fast path (:meth:`AES.encrypt_block`, the default) that fuses
+  the three key-agnostic round functions into four precomputed 256-entry
+  tables of 32-bit words, so each round costs 16 table lookups and 20 XORs
+  instead of ~60 byte operations.  The tables are derived from the same
+  S-box and GF(2^8) arithmetic as the scalar path, and the property suite
+  (``tests/property/test_prop_bulk_crypto.py``) asserts byte-identical
+  output.
+
 Verified against the FIPS-197 appendix test vectors in
 ``tests/crypto/test_aes.py``.
 """
@@ -76,6 +88,31 @@ _MUL14 = [_gf_mul(x, 14) for x in range(256)]
 
 _ROUNDS_BY_KEY_BYTES = {16: 10, 24: 12, 32: 14}
 
+# --- T-tables ---------------------------------------------------------------
+#
+# SubBytes, ShiftRows, and MixColumns are all key-agnostic, so their
+# composition over one input byte is a pure function of that byte: a 256-entry
+# table of 32-bit column contributions.  Four tables (one per row position)
+# reduce a full round to 16 lookups and 20 XORs.  Each entry packs the
+# MixColumns column (b0, b1, b2, b3) produced by S[x] big-endian, matching the
+# big-endian word packing of the state columns.
+
+
+def _build_t_tables() -> List[List[int]]:
+    t0 = []
+    for x in range(256):
+        s = _SBOX[x]
+        t0.append((_MUL2[s] << 24) | (s << 16) | (s << 8) | _MUL3[s])
+    # T1..T3 are byte rotations of T0 (the contribution pattern shifts with
+    # the row position).
+    t1 = [((w >> 8) | ((w & 0xFF) << 24)) & 0xFFFFFFFF for w in t0]
+    t2 = [((w >> 8) | ((w & 0xFF) << 24)) & 0xFFFFFFFF for w in t1]
+    t3 = [((w >> 8) | ((w & 0xFF) << 24)) & 0xFFFFFFFF for w in t2]
+    return [t0, t1, t2, t3]
+
+
+_T0, _T1, _T2, _T3 = _build_t_tables()
+
 
 class AES:
     """The AES block cipher over 16-byte blocks.
@@ -95,6 +132,15 @@ class AES:
         self.key = bytes(key)
         self.rounds = _ROUNDS_BY_KEY_BYTES[len(key)]
         self._round_keys = self._expand_key(key)
+        # Round keys packed as four big-endian 32-bit column words each, for
+        # the T-table path.
+        self._round_key_words = [
+            [
+                (rk[c] << 24) | (rk[c + 1] << 16) | (rk[c + 2] << 8) | rk[c + 3]
+                for c in (0, 4, 8, 12)
+            ]
+            for rk in self._round_keys
+        ]
 
     def _expand_key(self, key: bytes) -> List[List[int]]:
         """FIPS-197 key expansion; returns one 16-int round key per round."""
@@ -162,8 +208,12 @@ class AES:
             state[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
             state[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
 
-    def encrypt_block(self, block: bytes) -> bytes:
-        """Encrypt one 16-byte block."""
+    def encrypt_block_scalar(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block via the per-byte reference rounds.
+
+        This is the FIPS-197 spec transcribed literally; it exists as the
+        ground truth the T-table path is property-tested against.
+        """
         if len(block) != BLOCK_SIZE:
             raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
         state = list(block)
@@ -177,6 +227,58 @@ class AES:
         self._shift_rows(state)
         self._add_round_key(state, self._round_keys[self.rounds])
         return bytes(state)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block (T-table fast path)."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        words = self._round_key_words
+        rk = words[0]
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        for r in range(1, self.rounds):
+            rk = words[r]
+            u0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF] ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ rk[0]
+            u1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF] ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ rk[1]
+            u2 = t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF] ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ rk[2]
+            u3 = t0[s3 >> 24] ^ t1[(s0 >> 16) & 0xFF] ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ rk[3]
+            s0, s1, s2, s3 = u0, u1, u2, u3
+        # Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        rk = words[self.rounds]
+        sbox = _SBOX
+        u0 = (
+            (sbox[s0 >> 24] << 24)
+            | (sbox[(s1 >> 16) & 0xFF] << 16)
+            | (sbox[(s2 >> 8) & 0xFF] << 8)
+            | sbox[s3 & 0xFF]
+        ) ^ rk[0]
+        u1 = (
+            (sbox[s1 >> 24] << 24)
+            | (sbox[(s2 >> 16) & 0xFF] << 16)
+            | (sbox[(s3 >> 8) & 0xFF] << 8)
+            | sbox[s0 & 0xFF]
+        ) ^ rk[1]
+        u2 = (
+            (sbox[s2 >> 24] << 24)
+            | (sbox[(s3 >> 16) & 0xFF] << 16)
+            | (sbox[(s0 >> 8) & 0xFF] << 8)
+            | sbox[s1 & 0xFF]
+        ) ^ rk[2]
+        u3 = (
+            (sbox[s3 >> 24] << 24)
+            | (sbox[(s0 >> 16) & 0xFF] << 16)
+            | (sbox[(s1 >> 8) & 0xFF] << 8)
+            | sbox[s2 & 0xFF]
+        ) ^ rk[3]
+        return (
+            u0.to_bytes(4, "big")
+            + u1.to_bytes(4, "big")
+            + u2.to_bytes(4, "big")
+            + u3.to_bytes(4, "big")
+        )
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt one 16-byte block."""

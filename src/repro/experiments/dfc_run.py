@@ -35,6 +35,14 @@ class DfcConfig:
     #: default to the scalable policy.
     notify_limit: Optional[int] = 4
     seed: int = 0
+    #: Worker processes for the batch-parallel phases (content
+    #: materialization, encryption, fingerprinting).  1 = serial; 0 = one per
+    #: CPU; None = the session default (``repro.perf.set_default_workers``,
+    #: wired to the experiment CLI's ``--workers``).  Parallel runs are
+    #: byte-identical to serial runs -- every parallelized unit is a pure
+    #: per-item function -- so this knob never changes any reported number,
+    #: only wall time.
+    workers: Optional[int] = None
 
     def salad_config(self) -> SaladConfig:
         return SaladConfig(

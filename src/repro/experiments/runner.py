@@ -37,6 +37,7 @@ from repro.experiments import (
     model_check,
 )
 from repro.experiments.growth import growth_sample_points, run_growth_suite
+from repro.perf import set_default_workers
 from repro.experiments.scales import PAPER_LAMBDAS, SCALES, get_scale
 from repro.experiments.threshold_sweep import run_threshold_sweep
 
@@ -167,12 +168,22 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for batch-parallel phases (0 = one per CPU); "
+        "results are byte-identical at any worker count",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
         help="also write the raw result data (series, not just tables) as JSON",
     )
     args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0 (0 = auto): {args.workers}")
+    set_default_workers(args.workers)
 
     names = args.only or ALL_EXPERIMENTS
     start = time.time()

@@ -27,12 +27,26 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.space import reclaimed_bytes_from_matches
-from repro.core.fingerprint import Fingerprint
+from repro.core.fingerprint import Fingerprint, synthetic_fingerprint
 from repro.experiments.dfc_run import DfcConfig, DfcRun
 from repro.farsite.file_host import FileHost
 from repro.farsite.relocation import RelocationPlan, RelocationPlanner
+from repro.perf import parallel_map
 from repro.workload.content import synthetic_content
 from repro.workload.corpus import Corpus
+
+
+def _materialize_file(args: Tuple[int, int]) -> Tuple[bytes, Fingerprint]:
+    """Per-file unit of work: produce the (encrypted) blob and its fingerprint.
+
+    The blob stands in for the convergent ciphertext ``c_f``; both it and the
+    fingerprint (the same ``synthetic_fingerprint`` the SALAD records carry)
+    are pure functions of ``(content_id, size)``, so a pool worker and the
+    serial loop produce identical results.
+    """
+    content_id, size = args
+    blob = synthetic_content(content_id, size)
+    return blob, synthetic_fingerprint(size, content_id)
 
 
 @dataclass
@@ -73,18 +87,27 @@ class DfcPipeline:
 
         Each file's blob is the deterministic stand-in for its convergently
         encrypted content; identical contents yield identical blobs, which
-        is the property SIS coalescing keys on.
+        is the property SIS coalescing keys on.  Materialization and
+        fingerprinting fan out over ``config.workers`` processes; results
+        are applied in file order, so the loaded state is independent of the
+        worker count.
         """
         self.run.build()
+        tasks: List[Tuple[str, int, Tuple[int, int]]] = []
         for machine in self.corpus.machines:
             host_id = self.run.leaf_of_machine[machine.machine_index]
-            host = FileHost(host_id)
-            self.hosts[host_id] = host
+            self.hosts[host_id] = FileHost(host_id)
             for index, stat in enumerate(machine.files):
                 file_id = f"m{machine.machine_index}-f{index}"
-                blob = synthetic_content(stat.content_id, stat.size)
-                host.sis.store(file_id, blob)
-                self.replicas[file_id] = (stat.fingerprint(), [host_id])
+                tasks.append((file_id, host_id, (stat.content_id, stat.size)))
+        materialized = parallel_map(
+            _materialize_file,
+            [task[2] for task in tasks],
+            workers=self.config.workers,
+        )
+        for (file_id, host_id, _), (blob, fingerprint) in zip(tasks, materialized):
+            self.hosts[host_id].sis.store(file_id, blob)
+            self.replicas[file_id] = (fingerprint, [host_id])
 
     # -- phase 2: SALAD discovery -----------------------------------------------
 

@@ -1,0 +1,26 @@
+"""Performance substrate: batch-parallel execution for the DFC hot paths.
+
+The paper's thesis (sections 3 and 7) is that convergent encryption and
+duplicate detection are cheap enough to run opportunistically on desktop
+machines; this package is where the reproduction makes that true in wall
+clock, not just in argument.  It provides:
+
+- :class:`ParallelMap` / :func:`parallel_map` -- a process-pool map with a
+  deterministic serial fallback, used by convergent batch encryption, corpus
+  synthesis, and the DFC pipeline's per-file encrypt+fingerprint phase;
+- :func:`resolve_workers` -- one interpretation of the ``workers`` knob for
+  every subsystem (``DfcConfig.workers``, experiment CLIs, benchmarks).
+
+Everything dispatched through this package must be *order-independent and
+deterministic per item*, so parallel runs are byte-identical to serial runs;
+see ``docs/PERFORMANCE.md``.
+"""
+
+from repro.perf.parallel import (
+    ParallelMap,
+    parallel_map,
+    resolve_workers,
+    set_default_workers,
+)
+
+__all__ = ["ParallelMap", "parallel_map", "resolve_workers", "set_default_workers"]

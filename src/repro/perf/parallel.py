@@ -1,0 +1,151 @@
+"""A process-pool map with a deterministic serial fallback.
+
+Design constraints, in order:
+
+1. **Identical results.**  A parallel map must return exactly what the serial
+   loop returns, in input order.  That restricts eligible work to pure
+   per-item functions (encryption, hashing, content materialization) and is
+   why result collection uses ordered chunks rather than
+   completion-order streaming.
+2. **Graceful degradation.**  Sandboxes, restricted containers, and
+   single-CPU machines must not crash or hang: any failure to *create* the
+   pool silently downgrades to the serial path.  (Failures *inside* a worker
+   propagate -- degradation hides environmental limits, never bugs.)
+3. **No dependency.**  Only the standard library's :mod:`multiprocessing`.
+
+Workers receive chunks, not single items, so per-item dispatch overhead is
+amortized; the chunk size defaults to ``ceil(len(items) / (4 * workers))``,
+balancing load against pickling cost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Below this many items a pool costs more than it saves.
+MIN_PARALLEL_ITEMS = 32
+
+#: Session-wide default worker count; the experiments/benchmark CLIs set it
+#: once (``--workers``) and every `workers=None` call site inherits it.
+_DEFAULT_WORKERS = 1
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the session default used when a ``workers`` knob is ``None``."""
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = resolve_workers(workers)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` knob to an effective worker count.
+
+    ``None`` means "whatever the session default is" (1 unless
+    :func:`set_default_workers` was called); ``0`` means "use the machine":
+    one worker per available CPU.  Negative values are an error.
+    """
+    if workers is None:
+        return _DEFAULT_WORKERS
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 = auto): {workers}")
+    return workers
+
+
+def _apply_chunk(args):
+    fn, chunk = args
+    return [fn(item) for item in chunk]
+
+
+class ParallelMap:
+    """Map a pure function over items with *workers* processes.
+
+    >>> with ParallelMap(workers=1) as pm:
+    ...     pm.map(abs, [-1, -2, 3])
+    [1, 2, 3]
+
+    With ``workers > 1`` the items are chunked across a process pool; with
+    ``workers <= 1`` (or when a pool cannot be created in this environment)
+    the map runs serially in-process.  Results are always in input order, so
+    both modes are interchangeable wherever the mapped function is pure.
+    """
+
+    def __init__(self, workers: Optional[int] = None, chunksize: Optional[int] = None):
+        self.workers = resolve_workers(workers)
+        self.chunksize = chunksize
+        self._pool = None
+        #: True when a pool was requested but could not be created.
+        self.degraded = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "ParallelMap":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None and not self.degraded:
+            try:
+                # fork shares the parent's lookup tables (AES T-tables, sbox)
+                # for free; spawn re-imports, which is correct but slower.
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+                )
+                self._pool = context.Pool(processes=self.workers)
+            except (OSError, ValueError, ImportError):
+                self.degraded = True
+        return self._pool
+
+    # -- mapping -------------------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        """``[fn(item) for item in items]``, possibly across processes."""
+        items = list(items)
+        if self.workers <= 1 or len(items) < MIN_PARALLEL_ITEMS:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        if pool is None:
+            return [fn(item) for item in items]
+        chunks = self._chunks(items)
+        try:
+            results = pool.map(_apply_chunk, [(fn, chunk) for chunk in chunks])
+        except (OSError, multiprocessing.ProcessError):
+            # The pool died under us (e.g. container resource limits hit at
+            # dispatch time): degrade for the rest of this executor's life.
+            self.close()
+            self.degraded = True
+            return [fn(item) for item in items]
+        out: List[R] = []
+        for chunk_result in results:
+            out.extend(chunk_result)
+        return out
+
+    def _chunks(self, items: Sequence[T]) -> List[Sequence[T]]:
+        size = self.chunksize
+        if size is None:
+            size = max(1, -(-len(items) // (4 * self.workers)))
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """One-shot :class:`ParallelMap`; serial when the resolved count is 1."""
+    with ParallelMap(workers=workers, chunksize=chunksize) as pm:
+        return pm.map(fn, items)

@@ -18,7 +18,7 @@ O(log n) amortized even under heavy eviction churn.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.fingerprint import Fingerprint
 from repro.salad.records import SaladRecord
@@ -125,6 +125,18 @@ class RecordDatabase:
             self._heap, (record.sort_key(), record.fingerprint.to_bytes(), record.location)
         )
         return True, matches
+
+    def insert_many(
+        self, records: Iterable[SaladRecord]
+    ) -> List[Tuple[SaladRecord, bool, List[SaladRecord]]]:
+        """Insert a batch of records in order; one result triple per record.
+
+        Equivalent to calling :meth:`insert` per record (the capacity policy
+        is applied record by record, so a batch observes exactly the same
+        eviction decisions as a sequence of singles), but saves the
+        per-message dispatch when a coalesced RECORD_BATCH arrives.
+        """
+        return [(record, *self.insert(record)) for record in records]
 
     def remove_location(self, location: int) -> int:
         """Drop every record pointing at *location* (a departed machine).

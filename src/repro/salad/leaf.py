@@ -107,6 +107,7 @@ class SaladLeaf(SimMachine):
         self.width_changes = 0
 
         self.on(protocol.RECORD, self._on_record)
+        self.on(protocol.RECORD_BATCH, self._on_record_batch)
         self.on(protocol.JOIN, self._on_join)
         self.on(protocol.WELCOME, self._on_welcome)
         self.on(protocol.WELCOME_ACK, self._on_welcome_ack)
@@ -228,13 +229,48 @@ class SaladLeaf(SimMachine):
 
     def insert_record(self, record: SaladRecord) -> None:
         """Locally initiate insertion of a record for one of this machine's files."""
-        self._process_record(record, hops=0)
+        self._process_batch([(record, 0)])
+
+    def insert_records(self, records: Iterable[SaladRecord]) -> int:
+        """Locally initiate a batch of records in one pass (Fig. 4, batched).
+
+        Records bound for the same next hop coalesce into a single
+        RECORD_BATCH envelope per neighbor, so a machine publishing its whole
+        file scan pays one message per neighbor per hop instead of one per
+        record.  Routing decisions, storage, and match notifications are
+        per-record identical to :meth:`insert_record`.
+        """
+        pairs = [(record, 0) for record in records]
+        self._process_batch(pairs)
+        return len(pairs)
 
     def _on_record(self, message: Message) -> None:
         record, hops = message.payload
-        self._process_record(record, hops)
+        self._process_batch([(record, hops)])
 
-    def _process_record(self, record: SaladRecord, hops: int) -> None:
+    def _on_record_batch(self, message: Message) -> None:
+        self._process_batch(list(message.payload))
+
+    def _process_batch(self, pairs: List[tuple]) -> None:
+        """Route/store a batch of ``(record, hops)`` pairs, coalescing forwards.
+
+        Each record follows the Fig. 4 procedure independently; the batch
+        layer only merges same-destination forwards into one envelope.  A
+        destination owed a single record receives a legacy RECORD message,
+        so aggregation never *adds* overhead.
+        """
+        forwards: Dict[int, List[tuple]] = {}
+        for record, hops in pairs:
+            self._route_record(record, hops, forwards)
+        for target, batch in forwards.items():
+            if len(batch) == 1:
+                self.send(target, protocol.RECORD, batch[0])
+            else:
+                self.send(target, protocol.RECORD_BATCH, tuple(batch))
+
+    def _route_record(
+        self, record: SaladRecord, hops: int, forwards: Dict[int, List[tuple]]
+    ) -> None:
         """The Fig. 4 procedure for record `<f, l>` at leaf I.
 
         Nominal delivery takes at most D hops (section 4.3), but leaves with
@@ -242,6 +278,9 @@ class SaladLeaf(SimMachine):
         can bounce a record between vectors indefinitely.  A hop budget of
         2*D forwards every nominal path (plus slack for mild disagreement)
         while converting pathological cycles into ordinary lossiness.
+
+        Outbound forwards are appended to *forwards* (target -> pairs) for
+        the caller to coalesce; match notifications are sent immediately.
         """
         routing_id = record.routing_id
         for d in range(self.dimensions):
@@ -251,7 +290,7 @@ class SaladLeaf(SimMachine):
                 # Forward along my d-axis vector to leaves whose d-coordinate
                 # matches the fingerprint's, then exit.
                 for target in self._vector_members(d, self.coord(routing_id, d)):
-                    self.send(target, protocol.RECORD, (record, hops + 1))
+                    forwards.setdefault(target, []).append((record, hops + 1))
                 return
         # This leaf is cell-aligned with the record's fingerprint.
         if record.location == self.identifier and hops == 0:
@@ -259,7 +298,7 @@ class SaladLeaf(SimMachine):
             # local initiation; a copy returning over the network must not
             # re-broadcast).  Replicate to the rest of the cell.
             for target in self._cellmates:
-                self.send(target, protocol.RECORD, (record, hops + 1))
+                forwards.setdefault(target, []).append((record, hops + 1))
         if record.location in self.database.locations(record.fingerprint):
             return  # idempotent redelivery (multiple forwarders reach us)
         stored, matching = self.database.insert(record)

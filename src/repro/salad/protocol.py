@@ -16,6 +16,12 @@ from repro.salad.records import SaladRecord
 #: A fingerprint record on its way to cell-aligned leaves (Fig. 4).
 RECORD = "record"
 
+#: A coalesced batch of records sharing one hop to the same neighbor.
+#: Payload: tuple of ``(record, hops)`` pairs.  Aggregation changes only the
+#: message *count* (one envelope per neighbor per hop instead of one per
+#: record); the per-record routing decisions are exactly those of Fig. 4.
+RECORD_BATCH = "record_batch"
+
 #: Join propagation for a new leaf (Fig. 5).
 JOIN = "join"
 
@@ -42,6 +48,7 @@ MATCH = "match"
 
 ALL_KINDS = (
     RECORD,
+    RECORD_BATCH,
     JOIN,
     WELCOME,
     WELCOME_ACK,
@@ -70,4 +77,6 @@ class MatchPayload:
 
 
 RecordPayload = SaladRecord
+#: Payload of a RECORD_BATCH message: ``(record, hops)`` pairs.
+RecordBatchPayload = Tuple[Tuple[SaladRecord, int], ...]
 LeafResponsePayload = Tuple[int, ...]

@@ -161,9 +161,9 @@ class Salad:
                 raise KeyError(f"no such leaf: {leaf_id:#x}")
             if not leaf.alive:
                 continue
-            for record in records:
-                leaf.insert_record(record)
-                inserted += 1
+            # Batched initiation: records sharing a first hop leave in one
+            # coalesced envelope (see SaladLeaf.insert_records).
+            inserted += leaf.insert_records(records)
         if settle:
             self.network.run()
         return inserted

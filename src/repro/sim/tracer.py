@@ -66,13 +66,27 @@ class NetworkTracer:
     def count_by_kind(self) -> Dict[str, int]:
         return dict(Counter(m.kind for m in self.messages))
 
+    def record_pairs(self) -> List[Tuple[TracedMessage, Any, int]]:
+        """Every routed record as ``(message, record, hops)``.
+
+        Expands coalesced ``record_batch`` envelopes, so invariant checks see
+        each record exactly once whether or not it shared an envelope.
+        """
+        out: List[Tuple[TracedMessage, Any, int]] = []
+        for message in self.by_kind("record"):
+            record, hops = message.payload
+            out.append((message, record, hops))
+        for message in self.by_kind("record_batch"):
+            for record, hops in message.payload:
+                out.append((message, record, hops))
+        return out
+
     # -- invariants ------------------------------------------------------------
 
     def check_record_hop_bound(self, dimensions: int) -> List[str]:
-        """No record message may carry more than 2*D hops."""
+        """No routed record may carry more than 2*D hops."""
         violations = []
-        for message in self.by_kind("record"):
-            record, hops = message.payload
+        for message, record, hops in self.record_pairs():
             if hops > 2 * dimensions:
                 violations.append(
                     f"record msg #{message.index} carries {hops} hops "
@@ -92,8 +106,7 @@ class NetworkTracer:
         if len(widths) != 1:
             return []  # divergent widths: progress is not guaranteed
         violations = []
-        for message in self.by_kind("record"):
-            record, hops = message.payload
+        for message, record, hops in self.record_pairs():
             sender = leaves.get(message.sender)
             recipient = leaves.get(message.recipient)
             if sender is None or recipient is None:

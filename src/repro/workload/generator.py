@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
+from repro.sim.rng import SeedSequence
 from repro.workload.corpus import Corpus, FileStat, MachineScan
 from repro.workload.distributions import (
     BoundedZipf,
@@ -68,8 +70,35 @@ class CorpusSpec:
             raise ValueError(f"system contents cannot be negative: {self.system_contents}")
 
 
-def generate_corpus(spec: CorpusSpec, seed: int = 0) -> Corpus:
-    """Generate a corpus matching *spec*; deterministic for a given seed."""
+def _unique_files_for_machine(
+    args: Tuple[int, int, int, int, float, int, int],
+) -> List[FileStat]:
+    """Phase-3 worker: the unique (never-duplicated) files of one machine.
+
+    Each machine draws from its own seed-derived stream
+    (``unique-files/<machine>``), so machines are independent: the same
+    machine always produces the same files whether this runs in the main
+    process or a pool worker, and in any machine order.
+    """
+    count, first_content_id, stream_seed, median, sigma, min_size, max_size = args
+    rng = random.Random(stream_seed)
+    return [
+        FileStat(
+            content_id=first_content_id + i,
+            size=lognormal_size(rng, median, sigma, min_size, max_size),
+        )
+        for i in range(count)
+    ]
+
+
+def generate_corpus(spec: CorpusSpec, seed: int = 0, workers: Optional[int] = None) -> Corpus:
+    """Generate a corpus matching *spec*; deterministic for a given seed.
+
+    The shared/system phases are sequential (cross-machine Zipf placement is
+    inherently so), but unique-content synthesis -- the bulk of the files --
+    runs per machine on independent derived streams, so ``workers > 1``
+    parallelizes it with byte-identical output.
+    """
     rng = random.Random(seed)
     next_content_id = 0
 
@@ -128,18 +157,31 @@ def generate_corpus(spec: CorpusSpec, seed: int = 0) -> Corpus:
                 scans[index].files.append(stat)
             placed += copies
 
-    # 3) Unique contents: top each machine up to its target count.
+    # 3) Unique contents: top each machine up to its target count.  Every
+    #    machine gets a pre-allocated content-id range and its own derived
+    #    stream, making the phase order-independent (and hence
+    #    pool-parallelizable with identical output).
+    seeds = SeedSequence(seed)
+    tasks: List[Tuple[int, int, int, int, float, int, int]] = []
     for scan, target in zip(scans, targets):
-        while scan.file_count < target:
-            content = fresh_content()
-            size = lognormal_size(
-                rng,
+        need = max(0, target - scan.file_count)
+        first_id = next_content_id + 1
+        next_content_id += need
+        tasks.append(
+            (
+                need,
+                first_id,
+                seeds.derive(f"unique-files/{scan.machine_index}"),
                 spec.unique_median_size,
                 spec.unique_sigma,
                 spec.min_file_size,
                 spec.max_file_size,
             )
-            scan.files.append(FileStat(content_id=content, size=size))
+        )
+    from repro.perf import parallel_map
+
+    for scan, files in zip(scans, parallel_map(_unique_files_for_machine, tasks, workers=workers)):
+        scan.files.extend(files)
 
     return Corpus(machines=scans)
 

@@ -1,0 +1,165 @@
+"""Property tests: the vectorized/batched fast paths are bit-identical.
+
+Every performance path in the crypto and fingerprint layers keeps its slow
+reference implementation alive precisely so these tests can pin them
+together: T-table AES against the textbook per-byte rounds, the numpy CTR
+keystream against the one-block-at-a-time loop, and the batched fingerprint
+helpers against their per-item originals.  A fast path that diverges by a
+single bit anywhere breaks convergent encryption's core property (identical
+plaintext -> identical ciphertext across machines), so these run under
+hypothesis rather than a handful of fixed vectors.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fingerprint import (
+    fingerprint_many,
+    fingerprint_of,
+    synthetic_fingerprint,
+    synthetic_fingerprint_many,
+)
+from repro.crypto.aes import AES
+from repro.crypto.modes import (
+    BLOCK_SIZE,
+    KeystreamCache,
+    bulk_decrypt_ctr,
+    bulk_encrypt_ctr,
+    ctr_keystream,
+    encrypt_ctr,
+    encrypt_ctr_scalar,
+    keystream_blocks,
+)
+
+keys = (
+    st.binary(min_size=16, max_size=16)
+    | st.binary(min_size=24, max_size=24)
+    | st.binary(min_size=32, max_size=32)
+)
+blocks = st.binary(min_size=16, max_size=16)
+payloads = st.binary(min_size=0, max_size=4096)
+nonces = st.integers(min_value=0, max_value=(1 << 128) - 1)
+#: Nonces near the low-64-bit rollover, where the vectorized counter path
+#: must fall back to exact integer arithmetic.
+straddle_nonces = st.integers(
+    min_value=(1 << 64) - 64, max_value=(1 << 64) + 64
+) | st.integers(min_value=(1 << 128) - 64, max_value=(1 << 128) - 1)
+
+
+class TestTTableAes:
+    """The T-table round function equals the per-byte reference rounds."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys, blocks)
+    def test_fast_equals_scalar(self, key, block):
+        cipher = AES(key)
+        assert cipher.encrypt_block(block) == cipher.encrypt_block_scalar(block)
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys, blocks)
+    def test_decrypt_inverts_fast_path(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @pytest.mark.parametrize(
+        "key_hex,expected_hex",
+        [
+            # FIPS-197 appendix C known-answer vectors, all three key sizes,
+            # exercised through the T-table fast path.
+            ("000102030405060708090a0b0c0d0e0f", "69c4e0d86a7b0430d8cdb78070b4c55a"),
+            (
+                "000102030405060708090a0b0c0d0e0f1011121314151617",
+                "dda97ca4864cdfe06eaf70a0ec0d7191",
+            ),
+            (
+                "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+                "8ea2b7ca516745bfeafc49904b496089",
+            ),
+        ],
+    )
+    def test_fips197_vectors(self, key_hex, expected_hex):
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        cipher = AES(bytes.fromhex(key_hex))
+        assert cipher.encrypt_block(plaintext) == bytes.fromhex(expected_hex)
+        assert cipher.encrypt_block_scalar(plaintext) == bytes.fromhex(expected_hex)
+
+
+class TestVectorKeystream:
+    """The numpy keystream equals the scalar block-loop keystream."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys, nonces, st.integers(min_value=0, max_value=64))
+    def test_keystream_blocks_equals_reference(self, key, nonce, blocks_):
+        cipher = AES(key)
+        assert keystream_blocks(cipher, nonce, blocks_) == ctr_keystream(
+            cipher, nonce, blocks_
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys, straddle_nonces, st.integers(min_value=8, max_value=96))
+    def test_counter_rollover(self, key, nonce, blocks_):
+        """Counters straddling 2^64 (and 2^128 wraparound) stay exact."""
+        cipher = AES(key)
+        assert keystream_blocks(cipher, nonce, blocks_) == ctr_keystream(
+            cipher, nonce, blocks_
+        )
+
+
+class TestBulkCtr:
+    """bulk_encrypt_ctr == the seed's scalar encrypt_ctr, byte for byte."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(keys, payloads, st.integers(min_value=0, max_value=(1 << 64) + 8))
+    def test_bulk_equals_scalar(self, key, payload, nonce):
+        assert bulk_encrypt_ctr(key, payload, nonce) == encrypt_ctr_scalar(
+            key, payload, nonce
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys, payloads, nonces)
+    def test_bulk_roundtrip(self, key, payload, nonce):
+        assert bulk_decrypt_ctr(key, bulk_encrypt_ctr(key, payload, nonce), nonce) == payload
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys, payloads)
+    def test_public_ctr_is_bulk(self, key, payload):
+        assert encrypt_ctr(key, payload) == bulk_encrypt_ctr(key, payload)
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys, payloads, st.integers(min_value=0, max_value=1 << 40))
+    def test_cache_never_changes_bytes(self, key, payload, nonce):
+        """A warm cache entry yields the same ciphertext as a cold one."""
+        cold = KeystreamCache()
+        warm = KeystreamCache()
+        nbytes = len(payload)
+        if nbytes:
+            warm.keystream(key, nonce, max(1, nbytes // 2))  # partial prefix
+        assert cold.keystream(key, nonce, nbytes) == warm.keystream(key, nonce, nbytes)
+        assert warm.keystream(key, nonce, nbytes) == ctr_keystream(
+            AES(key), nonce, -(-nbytes // BLOCK_SIZE)
+        )[:nbytes]
+
+
+class TestBatchedFingerprints:
+    """Batched helpers equal their per-item originals, in order."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.binary(min_size=0, max_size=256), max_size=20))
+    def test_fingerprint_many(self, contents):
+        assert fingerprint_many(contents) == [fingerprint_of(c) for c in contents]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 40),
+                st.integers(min_value=0, max_value=1 << 40),
+            ),
+            max_size=20,
+        )
+    )
+    def test_synthetic_fingerprint_many(self, descriptors):
+        assert synthetic_fingerprint_many(descriptors) == [
+            synthetic_fingerprint(size, content_id) for size, content_id in descriptors
+        ]

@@ -9,6 +9,7 @@ class TestVocabulary:
     def test_all_kinds_enumerated(self):
         assert set(ALL_KINDS) == {
             "record",
+            "record_batch",
             "join",
             "welcome",
             "welcome_ack",
