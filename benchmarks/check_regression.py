@@ -1,0 +1,83 @@
+"""Fail when a fresh benchmark snapshot regresses against committed history.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_trajectory.py --smoke --output /tmp/smoke.json
+    python benchmarks/check_regression.py /tmp/smoke.json
+
+Compares the fresh snapshot's ``salad_inserts.inserts_per_sec`` against the
+newest committed ``BENCH_*.json`` in the repo root and exits nonzero when the
+fresh number falls more than ``--tolerance`` (default 30%) below the
+baseline.  The wide tolerance absorbs machine-to-machine variance (the
+committed baselines and the CI runner are different hardware); the gate
+exists to catch order-of-magnitude routing regressions -- an accidental
+fallback to an O(D) per-record scan, a broken cache -- not single-digit
+noise.  Snapshot history is append-only, so the baseline automatically
+advances whenever a PR commits a new snapshot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The gated metric: records routed to quiescence per second.
+METRIC_SECTION = "salad_inserts"
+METRIC_KEY = "inserts_per_sec"
+
+
+def newest_baseline(exclude: Path) -> Path:
+    """The latest committed snapshot (dated names sort chronologically)."""
+    candidates = sorted(
+        p
+        for p in REPO_ROOT.glob("BENCH_*.json")
+        if p.resolve() != exclude.resolve()
+    )
+    if not candidates:
+        raise FileNotFoundError(f"no BENCH_*.json baselines in {REPO_ROOT}")
+    return candidates[-1]
+
+
+def read_metric(path: Path) -> float:
+    snapshot = json.loads(path.read_text(encoding="utf-8"))
+    try:
+        return float(snapshot["results"][METRIC_SECTION][METRIC_KEY])
+    except KeyError as exc:
+        raise KeyError(
+            f"{path} has no results.{METRIC_SECTION}.{METRIC_KEY}"
+        ) from exc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshot", metavar="PATH", help="fresh snapshot to check")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below baseline (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_path = Path(args.snapshot)
+    baseline_path = newest_baseline(exclude=fresh_path)
+    fresh = read_metric(fresh_path)
+    baseline = read_metric(baseline_path)
+    floor = baseline * (1.0 - args.tolerance)
+
+    print(f"baseline  {baseline_path.name}: {baseline:,.0f} {METRIC_KEY}")
+    print(f"fresh     {fresh_path.name}: {fresh:,.0f} {METRIC_KEY}")
+    print(f"floor     {floor:,.0f} ({args.tolerance:.0%} below baseline)")
+    if fresh < floor:
+        print("FAIL: salad insert throughput regressed past tolerance")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,12 +14,23 @@ current fast paths so every snapshot carries its own before/after ratio:
 - ``fingerprints``: fingerprints/sec over 4 KiB blobs, per-item vs batched;
 - ``salad_inserts``: records/sec routed to quiescence through a SALAD,
   plus messages per record (the Fig. 9 currency) under batched routing;
+- ``salad_routing``: the same insert workload under the reference
+  (per-axis scan) vs the indexed (next-hop cache) routing path, with the
+  message totals asserted equal and the cache hit rate reported;
+- ``experiment_sweep``: wall seconds for a small threshold sweep, serial vs
+  ``--workers 0``, with the consumed-space series asserted identical (the
+  speedup only materializes on multi-core machines; ``cpu_count`` is
+  recorded so single-core snapshots read honestly);
 - ``pipeline``: wall seconds for an end-to-end DfcPipeline pass on a small
   corpus, serial vs parallel workers, with the reclaimed-byte accounting
   asserted identical.
 
+``--smoke`` runs only the two salad benchmarks (the CI regression gate's
+input) and writes wherever ``--output`` points.
+
 Snapshots are append-only history: commit each new file, never overwrite an
-old one.  ``docs/PERFORMANCE.md`` explains how to read the numbers.
+old one -- a second snapshot on the same date gets a ``_2`` suffix.
+``docs/PERFORMANCE.md`` explains how to read the numbers.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import platform
 import sys
 import time
@@ -144,6 +156,94 @@ def bench_salad_inserts(leaves: int = 64, records: int = 2000) -> dict:
     }
 
 
+def _insert_batches(salad: Salad, records: int) -> dict:
+    """The bench_salad_inserts workload keyed to a built SALAD's leaf ids."""
+    leaf_ids = [leaf.identifier for leaf in salad.alive_leaves()]
+    return {
+        leaf_ids[i % len(leaf_ids)]: [
+            SaladRecord(
+                fingerprint=fingerprint_of(b"trajectory:%d" % j),
+                location=leaf_ids[i % len(leaf_ids)],
+            )
+            for j in range(i, records, len(leaf_ids))
+        ]
+        for i in range(len(leaf_ids))
+    }
+
+
+def bench_salad_routing(leaves: int = 64, records: int = 2000) -> dict:
+    """Reference (per-axis scan) vs indexed (next-hop cache) routing.
+
+    Both paths run the identical seeded workload; the message totals must
+    match exactly (the golden-trace tests assert the stronger ordered
+    property), so the ratio is a pure same-work speedup.
+    """
+
+    def build(reference: bool) -> Salad:
+        salad = Salad(
+            SaladConfig(dimensions=2, seed=7, reference_routing=reference)
+        )
+        salad.build(leaves)
+        return salad
+
+    batches = _insert_batches(build(False), records)
+    state: dict = {}
+
+    def run(reference: bool) -> None:
+        fresh = build(reference)
+        before = sum(fresh.message_totals())
+        fresh.insert_records(batches)
+        state["messages"] = sum(fresh.message_totals()) - before
+        if not reference:
+            state["hits"] = sum(l.next_hop_hits for l in fresh.alive_leaves())
+            state["misses"] = sum(l.next_hop_misses for l in fresh.alive_leaves())
+
+    reference_seconds = _best_of(lambda: run(True), repeats=2)
+    reference_messages = state["messages"]
+    indexed_seconds = _best_of(lambda: run(False), repeats=2)
+    assert state["messages"] == reference_messages, "routing paths diverged"
+    lookups = state["hits"] + state["misses"]
+    return {
+        "leaves": leaves,
+        "records": records,
+        "reference_inserts_per_sec": records / reference_seconds,
+        "indexed_inserts_per_sec": records / indexed_seconds,
+        "speedup_indexed_over_reference": reference_seconds / indexed_seconds,
+        "messages_per_record": state["messages"] / records,
+        "next_hop_cache_hit_rate": state["hits"] / lookups if lookups else 0.0,
+    }
+
+
+def bench_experiment_sweep() -> dict:
+    """Small threshold sweep, serial vs all-core workers.
+
+    Each Lambda is an independent simulation, so the sweep fans out across a
+    process pool.  On a single-CPU machine (cpu_count == 1) the two times
+    are the same run twice -- the recorded cpu_count says which regime a
+    snapshot measured.
+    """
+    from repro.experiments.scales import SMALL
+    from repro.experiments.threshold_sweep import run_threshold_sweep
+
+    start = time.perf_counter()
+    serial = run_threshold_sweep(SMALL, seed=0, workers=1)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_threshold_sweep(SMALL, seed=0, workers=0)
+    parallel_seconds = time.perf_counter() - start
+    assert serial.consumed_series() == parallel.consumed_series(), (
+        "parallel sweep changed the results"
+    )
+    return {
+        "scale": "small",
+        "lambdas": len(serial.lambdas),
+        "cpu_count": os.cpu_count() or 1,
+        "serial_wall_seconds": serial_seconds,
+        "parallel_wall_seconds": parallel_seconds,
+        "speedup_parallel_over_serial": serial_seconds / parallel_seconds,
+    }
+
+
 def bench_pipeline() -> dict:
     spec = CorpusSpec(machines=48, mean_files_per_machine=24.0)
     corpus = generate_corpus(spec, seed=3)
@@ -174,26 +274,47 @@ def main(argv=None) -> int:
         "--output",
         metavar="PATH",
         default=None,
-        help="snapshot path (default: BENCH_<today>.json in the repo root)",
+        help="snapshot path (default: BENCH_<today>.json in the repo root, "
+        "suffixed _2, _3, ... rather than overwriting an existing snapshot)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the salad benchmarks (the CI regression gate's input)",
     )
     args = parser.parse_args(argv)
     today = datetime.date.today().isoformat()
-    output = Path(args.output) if args.output else (
-        Path(__file__).resolve().parent.parent / f"BENCH_{today}.json"
-    )
+    if args.output:
+        output = Path(args.output)
+    else:
+        root = Path(__file__).resolve().parent.parent
+        output = root / f"BENCH_{today}.json"
+        suffix = 2
+        while output.exists():  # append-only history: never clobber
+            output = root / f"BENCH_{today}_{suffix}.json"
+            suffix += 1
 
     snapshot = {
         "date": today,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
         "results": {},
     }
-    for name, bench in [
+    benches = [
         ("aes_ctr", bench_aes_ctr),
         ("fingerprints", bench_fingerprints),
         ("salad_inserts", bench_salad_inserts),
+        ("salad_routing", bench_salad_routing),
+        ("experiment_sweep", bench_experiment_sweep),
         ("pipeline", bench_pipeline),
-    ]:
+    ]
+    if args.smoke:
+        benches = [
+            ("salad_inserts", bench_salad_inserts),
+            ("salad_routing", bench_salad_routing),
+        ]
+    for name, bench in benches:
         print(f"[{name}] ...", flush=True)
         snapshot["results"][name] = bench()
         for key, value in snapshot["results"][name].items():

@@ -1,0 +1,135 @@
+"""ParallelMap chunking properties and multi-core speedup regression.
+
+The chunk-heuristic assertions run everywhere; the wall-clock speedup
+assertions need real cores and are skipped on machines with fewer than 4
+CPUs (a single-core container can only measure pool overhead, not
+parallelism).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.scales import SMALL
+from repro.experiments.threshold_sweep import run_threshold_sweep
+from repro.farsite.dfc_pipeline import DfcPipeline
+from repro.experiments.dfc_run import DfcConfig
+from repro.perf.parallel import MIN_CHUNK_ITEMS, ParallelMap, parallel_map
+from repro.workload.generator import CorpusSpec, generate_corpus
+
+needs_cores = pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup only materializes with >= 4 CPUs",
+)
+
+
+class TestChunkHeuristic:
+    def _sizes(self, n, workers):
+        pm = ParallelMap(workers=workers)
+        chunks = pm._chunks(list(range(n)))
+        assert [x for c in chunks for x in c] == list(range(n))  # order kept
+        return [len(c) for c in chunks]
+
+    def test_large_inputs_get_four_chunks_per_worker(self):
+        sizes = self._sizes(4096, workers=4)
+        assert len(sizes) == 16
+        assert all(s == 256 for s in sizes)
+
+    def test_mid_inputs_do_not_degenerate_to_tiny_chunks(self):
+        # The old ceil(n / 4w) rule gave 60/16 -> 4-item chunks here; the
+        # floor keeps chunks at MIN_CHUNK_ITEMS so dispatch cost stays
+        # amortized.
+        sizes = self._sizes(60, workers=4)
+        assert min(sizes[:-1], default=sizes[-1]) >= min(MIN_CHUNK_ITEMS, 60 // 4)
+        assert max(sizes) <= MIN_CHUNK_ITEMS
+
+    def test_small_inputs_still_occupy_every_worker(self):
+        # Flooring must not starve workers: 8 coarse items on 4 workers
+        # should produce >= 4 chunks, not one 8-item chunk.
+        sizes = self._sizes(8, workers=4)
+        assert len(sizes) >= 4
+
+    def test_explicit_chunksize_wins(self):
+        pm = ParallelMap(workers=4, chunksize=5)
+        assert [len(c) for c in pm._chunks(list(range(17)))] == [5, 5, 5, 2]
+
+    def test_min_items_gate_overridable(self):
+        # Two coarse items justify a pool when the caller says so.
+        pm = ParallelMap(workers=1, min_items=2)
+        assert pm.map(lambda x: x * 2, [1, 2]) == [2, 4]
+        out = parallel_map(lambda x: x + 1, [1, 2, 3], workers=1, min_items=2)
+        assert out == [2, 3, 4]
+
+
+def _square(x):
+    return x * x
+
+
+def _spin(seconds):
+    deadline = time.perf_counter() + seconds
+    n = 0
+    while time.perf_counter() < deadline:
+        n += 1
+    return n
+
+
+class TestParallelSpeedup:
+    @needs_cores
+    def test_map_speedup_on_cpu_bound_items(self):
+        items = [0.05] * 16  # 0.8s serial work
+
+        start = time.perf_counter()
+        serial = parallel_map(_spin, items, workers=1)
+        serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = parallel_map(_spin, items, workers=4, min_items=2)
+        parallel_seconds = time.perf_counter() - start
+
+        assert len(serial) == len(parallel) == len(items)
+        assert serial_seconds / parallel_seconds > 1.5
+
+    @needs_cores
+    def test_pipeline_speedup(self):
+        corpus = generate_corpus(
+            CorpusSpec(machines=48, mean_files_per_machine=24.0), seed=3
+        )
+
+        def run(workers):
+            pipeline = DfcPipeline(corpus, DfcConfig(seed=3, workers=workers))
+            return pipeline.execute()
+
+        start = time.perf_counter()
+        serial = run(1)
+        serial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = run(4)
+        parallel_seconds = time.perf_counter() - start
+        assert serial == parallel
+        assert serial_seconds / parallel_seconds > 1.5
+
+    @needs_cores
+    def test_sweep_speedup(self):
+        start = time.perf_counter()
+        serial = run_threshold_sweep(SMALL, seed=0, workers=1)
+        serial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel = run_threshold_sweep(SMALL, seed=0, workers=4)
+        parallel_seconds = time.perf_counter() - start
+        assert serial.consumed_series() == parallel.consumed_series()
+        assert serial_seconds / parallel_seconds > 1.5
+
+
+class TestParallelCorrectness:
+    """Result identity holds in every environment, cores or not."""
+
+    def test_map_results_match_serial(self):
+        items = list(range(100))
+        assert parallel_map(_square, items, workers=2) == [x * x for x in items]
+
+    def test_sweep_results_match_serial(self):
+        serial = run_threshold_sweep(SMALL, seed=0, workers=1)
+        parallel = run_threshold_sweep(SMALL, seed=0, workers=2)
+        assert serial.consumed_series() == parallel.consumed_series()
+        assert serial.message_series() == parallel.message_series()

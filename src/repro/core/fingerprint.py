@@ -58,10 +58,21 @@ class Fingerprint:
                 f"content digest must be {FINGERPRINT_HASH_BYTES} bytes, "
                 f"got {len(self.content_digest)}"
             )
+        # Fingerprints key every database dict; precompute the hash once
+        # instead of re-hashing (size, digest) per lookup.  object.__setattr__
+        # sidesteps the frozen guard; equality still compares the fields.
+        object.__setattr__(self, "_hash", hash((self.size, self.content_digest)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def to_bytes(self) -> bytes:
         """Encode as ``size (8 bytes, big-endian) || digest (20 bytes)``."""
-        return self.size.to_bytes(SIZE_PREFIX_BYTES, "big") + self.content_digest
+        encoded = self.__dict__.get("_encoded")
+        if encoded is None:
+            encoded = self.size.to_bytes(SIZE_PREFIX_BYTES, "big") + self.content_digest
+            object.__setattr__(self, "_encoded", encoded)
+        return encoded
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Fingerprint":

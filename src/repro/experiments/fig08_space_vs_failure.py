@@ -15,11 +15,12 @@ The :func:`run_crash_ablation` variant measures that harsher model too.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_bytes, render_table
 from repro.experiments.dfc_run import DfcConfig, DfcRun
 from repro.experiments.scales import PAPER_LAMBDAS, ExperimentScale
+from repro.perf.parallel import parallel_map
 from repro.workload.corpus import Corpus
 from repro.workload.generator import generate_corpus
 
@@ -53,36 +54,63 @@ class Fig08Result:
         return f"{table}\nreclaimed at p=0.5 (paper: 38% at Lambda=2.5): {extra}"
 
 
+def _run_one_point(task):
+    """One (Lambda, p) simulation point (module-level for process pools).
+
+    Each point is a fully independent DFC run, so the whole lambdas x
+    probabilities grid fans out across workers without any shared state.
+    """
+    corpus, lam, i, p, seed, crash = task
+    run_ = DfcRun(corpus, DfcConfig(target_redundancy=lam, seed=seed + i))
+    run_.build()
+    if crash:
+        run_.crash_machines(p)
+    else:
+        run_.set_failure_probability(p)
+    run_.insert_all()
+    return lam, i, run_.consumed_bytes(), run_.reclaimed_fraction()
+
+
+def _run_grid(
+    corpus: Corpus,
+    lambdas: Sequence[float],
+    probabilities: Sequence[float],
+    seed: int,
+    crash: bool,
+    workers: Optional[int],
+) -> Fig08Result:
+    tasks = [
+        (corpus, lam, i, p, seed, crash)
+        for lam in lambdas
+        for i, p in enumerate(probabilities)
+    ]
+    results = parallel_map(_run_one_point, tasks, workers=workers, min_items=2)
+    consumed: Dict[float, List[int]] = {lam: [0] * len(probabilities) for lam in lambdas}
+    reclaimed_at_half: Dict[float, float] = {}
+    for lam, i, bytes_, reclaimed in results:
+        consumed[lam][i] = bytes_
+        if abs(probabilities[i] - 0.5) < 1e-9:
+            reclaimed_at_half[lam] = reclaimed
+    return Fig08Result(
+        probabilities=tuple(probabilities),
+        lambdas=tuple(lambdas),
+        consumed=consumed,
+        total_bytes=corpus.total_bytes,
+        reclaimed_at_half=reclaimed_at_half,
+    )
+
+
 def run(
     scale: ExperimentScale,
     lambdas: Sequence[float] = PAPER_LAMBDAS,
     probabilities: Sequence[float] = PAPER_FAILURE_PROBABILITIES,
     seed: int = 0,
     corpus: Corpus = None,
+    workers: Optional[int] = None,
 ) -> Fig08Result:
     if corpus is None:
         corpus = generate_corpus(scale.corpus_spec(), seed=seed)
-    total = corpus.total_bytes
-    consumed: Dict[float, List[int]] = {}
-    reclaimed_at_half: Dict[float, float] = {}
-    for lam in lambdas:
-        series: List[int] = []
-        for i, p in enumerate(probabilities):
-            run_ = DfcRun(corpus, DfcConfig(target_redundancy=lam, seed=seed + i))
-            run_.build()
-            run_.set_failure_probability(p)
-            run_.insert_all()
-            series.append(run_.consumed_bytes())
-            if abs(p - 0.5) < 1e-9:
-                reclaimed_at_half[lam] = run_.reclaimed_fraction()
-        consumed[lam] = series
-    return Fig08Result(
-        probabilities=tuple(probabilities),
-        lambdas=tuple(lambdas),
-        consumed=consumed,
-        total_bytes=total,
-        reclaimed_at_half=reclaimed_at_half,
-    )
+    return _run_grid(corpus, lambdas, probabilities, seed, crash=False, workers=workers)
 
 
 def run_crash_ablation(
@@ -91,6 +119,7 @@ def run_crash_ablation(
     probabilities: Sequence[float] = PAPER_FAILURE_PROBABILITIES,
     seed: int = 0,
     corpus: Corpus = None,
+    workers: Optional[int] = None,
 ) -> Fig08Result:
     """Ablation: permanent crash-stop failures instead of duty-cycle loss.
 
@@ -99,23 +128,4 @@ def run_crash_ablation(
     """
     if corpus is None:
         corpus = generate_corpus(scale.corpus_spec(), seed=seed)
-    consumed: Dict[float, List[int]] = {}
-    reclaimed_at_half: Dict[float, float] = {}
-    for lam in lambdas:
-        series: List[int] = []
-        for i, p in enumerate(probabilities):
-            run_ = DfcRun(corpus, DfcConfig(target_redundancy=lam, seed=seed + i))
-            run_.build()
-            run_.crash_machines(p)
-            run_.insert_all()
-            series.append(run_.consumed_bytes())
-            if abs(p - 0.5) < 1e-9:
-                reclaimed_at_half[lam] = run_.reclaimed_fraction()
-        consumed[lam] = series
-    return Fig08Result(
-        probabilities=tuple(probabilities),
-        lambdas=tuple(lambdas),
-        consumed=consumed,
-        total_bytes=corpus.total_bytes,
-        reclaimed_at_half=reclaimed_at_half,
-    )
+    return _run_grid(corpus, lambdas, probabilities, seed, crash=True, workers=workers)

@@ -18,11 +18,12 @@ table shows the absolute record limits used.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_bytes, render_table
 from repro.experiments.dfc_run import DfcConfig, DfcRun
 from repro.experiments.scales import PAPER_LAMBDAS, ExperimentScale
+from repro.perf.parallel import parallel_map
 from repro.salad.model import expected_records_per_leaf
 from repro.workload.corpus import Corpus
 from repro.workload.generator import generate_corpus
@@ -61,12 +62,29 @@ class Fig13Result:
         )
 
 
+def _run_one_limit(task):
+    """One (Lambda, db-limit) point; limit ``None`` = unlimited baseline.
+
+    Module-level so process pools can pickle it; every point is an
+    independent simulation over the shared (read-only) corpus.
+    """
+    corpus, lam, limit, seed = task
+    run_ = DfcRun(
+        corpus,
+        DfcConfig(target_redundancy=lam, database_capacity=limit, seed=seed),
+    )
+    run_.build()
+    run_.insert_all()
+    return lam, limit, run_.consumed_bytes()
+
+
 def run(
     scale: ExperimentScale,
     lambdas: Sequence[float] = PAPER_LAMBDAS,
     limit_fractions: Sequence[float] = DEFAULT_LIMIT_FRACTIONS,
     seed: int = 0,
     corpus: Corpus = None,
+    workers: Optional[int] = None,
 ) -> Fig13Result:
     if corpus is None:
         corpus = generate_corpus(scale.corpus_spec(), seed=seed)
@@ -76,23 +94,20 @@ def run(
     limits = tuple(
         sorted({max(1, int(round(mean_records * frac))) for frac in limit_fractions})
     )
-    consumed: Dict[float, List[int]] = {}
+    tasks = [
+        (corpus, lam, limit, seed)
+        for lam in lambdas
+        for limit in (*limits, None)  # None = the no-limit baseline run
+    ]
+    results = parallel_map(_run_one_limit, tasks, workers=workers, min_items=2)
+    index = {limit: i for i, limit in enumerate(limits)}
+    consumed: Dict[float, List[int]] = {lam: [0] * len(limits) for lam in lambdas}
     unlimited: Dict[float, int] = {}
-    for lam in lambdas:
-        series: List[int] = []
-        for limit in limits:
-            run_ = DfcRun(
-                corpus,
-                DfcConfig(target_redundancy=lam, database_capacity=limit, seed=seed),
-            )
-            run_.build()
-            run_.insert_all()
-            series.append(run_.consumed_bytes())
-        consumed[lam] = series
-        run_ = DfcRun(corpus, DfcConfig(target_redundancy=lam, seed=seed))
-        run_.build()
-        run_.insert_all()
-        unlimited[lam] = run_.consumed_bytes()
+    for lam, limit, bytes_ in results:
+        if limit is None:
+            unlimited[lam] = bytes_
+        else:
+            consumed[lam][index[limit]] = bytes_
     return Fig13Result(
         limits=limits,
         lambdas=tuple(lambdas),

@@ -9,8 +9,9 @@ two particular values of L.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.perf.parallel import parallel_map
 from repro.salad.salad import Salad, SaladConfig
 
 
@@ -75,14 +76,22 @@ def run_growth(
     )
 
 
+def _growth_one(task):
+    """One Lambda's growth run (module-level so process pools can pickle it)."""
+    lam, max_leaves, sample_sizes, dimensions, seed = task
+    return run_growth(lam, max_leaves, sample_sizes, dimensions, seed)
+
+
 def run_growth_suite(
     lambdas: Sequence[float],
     max_leaves: int,
     sample_sizes: Sequence[int] = None,
     dimensions: int = 2,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Dict[float, GrowthResult]:
-    return {
-        lam: run_growth(lam, max_leaves, sample_sizes, dimensions, seed)
-        for lam in lambdas
-    }
+    """Per-Lambda growth runs; independent, so ``workers`` fans them out."""
+    sizes = tuple(sample_sizes) if sample_sizes is not None else None
+    tasks = [(lam, max_leaves, sizes, dimensions, seed) for lam in lambdas]
+    results = parallel_map(_growth_one, tasks, workers=workers, min_items=2)
+    return dict(zip(lambdas, results))

@@ -12,10 +12,11 @@ Figs. 10 and 12.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.dfc_run import DfcConfig, DfcRun, SweepPoint
 from repro.experiments.scales import PAPER_LAMBDAS, PAPER_THRESHOLDS, ExperimentScale
+from repro.perf.parallel import parallel_map
 from repro.workload.corpus import Corpus, CorpusSummary
 from repro.workload.generator import generate_corpus
 
@@ -59,25 +60,40 @@ class ThresholdSweepResult:
         }
 
 
+def _sweep_one_lambda(task):
+    """One Lambda's full DFC run (module-level so process pools can pickle it)."""
+    corpus, lam, thresholds, seed = task
+    run = DfcRun(corpus, DfcConfig(target_redundancy=lam, seed=seed))
+    run.build()
+    points = run.insert_sweep(list(thresholds))
+    return lam, points, run.message_totals(), run.database_sizes()
+
+
 def run_threshold_sweep(
     scale: ExperimentScale,
     lambdas: Sequence[float] = PAPER_LAMBDAS,
     thresholds: Sequence[int] = PAPER_THRESHOLDS,
     seed: int = 0,
     corpus: Corpus = None,
+    workers: Optional[int] = None,
 ) -> ThresholdSweepResult:
-    """Run the sweep at the given scale (shared by Figs. 7, 9, 10, 11, 12)."""
+    """Run the sweep at the given scale (shared by Figs. 7, 9, 10, 11, 12).
+
+    The per-Lambda runs are independent simulations (each builds its own
+    SALAD from the shared corpus), so with ``workers`` they fan out across a
+    process pool; results are identical to the serial loop in any mode.
+    """
     if corpus is None:
         corpus = generate_corpus(scale.corpus_spec(), seed=seed)
+    tasks = [(corpus, lam, tuple(thresholds), seed) for lam in lambdas]
+    results = parallel_map(_sweep_one_lambda, tasks, workers=workers, min_items=2)
     points: Dict[float, List[SweepPoint]] = {}
     message_totals: Dict[float, List[int]] = {}
     database_sizes: Dict[float, List[int]] = {}
-    for lam in lambdas:
-        run = DfcRun(corpus, DfcConfig(target_redundancy=lam, seed=seed))
-        run.build()
-        points[lam] = run.insert_sweep(list(thresholds))
-        message_totals[lam] = run.message_totals()
-        database_sizes[lam] = run.database_sizes()
+    for lam, pts, totals, sizes in results:
+        points[lam] = pts
+        message_totals[lam] = totals
+        database_sizes[lam] = sizes
     return ThresholdSweepResult(
         corpus_summary=corpus.summary(),
         thresholds=tuple(sorted(set(thresholds))),

@@ -14,8 +14,16 @@ Design constraints, in order:
 3. **No dependency.**  Only the standard library's :mod:`multiprocessing`.
 
 Workers receive chunks, not single items, so per-item dispatch overhead is
-amortized; the chunk size defaults to ``ceil(len(items) / (4 * workers))``,
-balancing load against pickling cost.
+amortized.  The default chunk size targets ~4 chunks per worker for load
+balance, floored at :data:`MIN_CHUNK_ITEMS` items per chunk (unless that
+would leave workers idle) so that cheap per-item functions are not drowned
+in per-chunk pickling -- the old ``ceil(n / (4 * workers))`` rule degenerated
+to 1-2 item chunks on mid-sized inputs, where dispatch overhead erased the
+parallel win.
+
+Coarse-grained work (a handful of multi-second experiment runs) opts in with
+``min_items``: the :data:`MIN_PARALLEL_ITEMS` gate assumes per-item cost is
+tiny, which is wrong for sweep points, so sweeps pass ``min_items=2``.
 """
 
 from __future__ import annotations
@@ -27,8 +35,13 @@ from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Below this many items a pool costs more than it saves.
+#: Below this many items a pool costs more than it saves (for cheap items;
+#: coarse tasks override via ``min_items``).
 MIN_PARALLEL_ITEMS = 32
+
+#: Chunks smaller than this pay more in pickling/dispatch than they win in
+#: load balance, so the default heuristic never goes below it voluntarily.
+MIN_CHUNK_ITEMS = 16
 
 #: Session-wide default worker count; the experiments/benchmark CLIs set it
 #: once (``--workers``) and every `workers=None` call site inherits it.
@@ -75,9 +88,18 @@ class ParallelMap:
     both modes are interchangeable wherever the mapped function is pure.
     """
 
-    def __init__(self, workers: Optional[int] = None, chunksize: Optional[int] = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        min_items: int = MIN_PARALLEL_ITEMS,
+    ):
         self.workers = resolve_workers(workers)
         self.chunksize = chunksize
+        #: Smallest input length worth a pool.  The default assumes cheap
+        #: per-item functions; callers mapping multi-second tasks (sweep
+        #: points) lower it -- two slow items already justify two workers.
+        self.min_items = min_items
         self._pool = None
         #: True when a pool was requested but could not be created.
         self.degraded = False
@@ -114,7 +136,7 @@ class ParallelMap:
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
         """``[fn(item) for item in items]``, possibly across processes."""
         items = list(items)
-        if self.workers <= 1 or len(items) < MIN_PARALLEL_ITEMS:
+        if self.workers <= 1 or len(items) < self.min_items:
             return [fn(item) for item in items]
         pool = self._ensure_pool()
         if pool is None:
@@ -136,7 +158,14 @@ class ParallelMap:
     def _chunks(self, items: Sequence[T]) -> List[Sequence[T]]:
         size = self.chunksize
         if size is None:
-            size = max(1, -(-len(items) // (4 * self.workers)))
+            n = len(items)
+            # ~4 chunks per worker for load balance against uneven items ...
+            size = -(-n // (4 * self.workers))
+            if size < MIN_CHUNK_ITEMS:
+                # ... but no tiny chunks: per-chunk pickling would dominate.
+                # Cap at one chunk per worker so nobody idles on small inputs.
+                size = min(MIN_CHUNK_ITEMS, -(-n // self.workers))
+            size = max(1, size)
         return [items[i : i + size] for i in range(0, len(items), size)]
 
 
@@ -145,7 +174,8 @@ def parallel_map(
     items: Iterable[T],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    min_items: int = MIN_PARALLEL_ITEMS,
 ) -> List[R]:
     """One-shot :class:`ParallelMap`; serial when the resolved count is 1."""
-    with ParallelMap(workers=workers, chunksize=chunksize) as pm:
+    with ParallelMap(workers=workers, chunksize=chunksize, min_items=min_items) as pm:
         return pm.map(fn, items)

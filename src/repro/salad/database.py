@@ -50,6 +50,11 @@ class RecordDatabase:
         """Machines known to hold a file with this fingerprint."""
         return set(self._by_fingerprint.get(fingerprint, ()))
 
+    def has_location(self, fingerprint: Fingerprint, location: int) -> bool:
+        """Whether this exact record is stored (no set copy; hot-path probe)."""
+        locations = self._by_fingerprint.get(fingerprint)
+        return locations is not None and location in locations
+
     def records(self) -> Iterator[SaladRecord]:
         for fingerprint, locations in self._by_fingerprint.items():
             for location in locations:
@@ -101,13 +106,27 @@ class RecordDatabase:
         regardless of whether the new record is stored -- a leaf that rejects
         a record for capacity can still report matches it knows about).
         """
-        matches = [
-            SaladRecord(fingerprint=record.fingerprint, location=location)
-            for location in self._by_fingerprint.get(record.fingerprint, ())
-        ]
         existing = self._by_fingerprint.get(record.fingerprint)
-        if existing is not None and record.location in existing:
-            return False, matches  # duplicate record; nothing to do
+        if existing is None:
+            matches: List[SaladRecord] = []
+            if self.capacity is None:
+                # Uncapped database (the common configuration): no eviction
+                # can ever occur, so skip the heap and encoding-index
+                # bookkeeping that exists only to serve the Fig. 13 policy.
+                self._by_fingerprint[record.fingerprint] = {record.location}
+                self._count += 1
+                return True, matches
+        else:
+            matches = [
+                SaladRecord(fingerprint=record.fingerprint, location=location)
+                for location in existing
+            ]
+            if record.location in existing:
+                return False, matches  # duplicate record; nothing to do
+            if self.capacity is None:
+                existing.add(record.location)
+                self._count += 1
+                return True, matches
 
         if self.capacity is not None and self._count >= self.capacity:
             lowest_key = self._peek_lowest_key()

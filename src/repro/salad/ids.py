@@ -19,7 +19,8 @@ the system grows and W increments, each coordinate's value changes minimally
 from __future__ import annotations
 
 import math
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 
 def cell_id_width(system_size: float, target_redundancy: float) -> int:
@@ -68,6 +69,49 @@ def coordinate(identifier: int, width: int, dimensions: int, axis: int) -> int:
         value |= ((identifier >> bit_index) & 1) << out_bit
         bit_index += dimensions
         out_bit += 1
+    return value
+
+
+@lru_cache(maxsize=4096)
+def axis_masks(width: int, dimensions: int) -> Tuple[int, ...]:
+    """Per-axis bit masks over a cell-ID (the indexed-routing workhorse).
+
+    ``axis_masks(W, D)[d]`` selects exactly the cell-ID bit positions owned
+    by coordinate d (positions d, D+d, 2D+d, ... below W, per Eq. 10 /
+    Fig. 2).  Because :func:`coordinate` is a pure bit permutation, two
+    identifiers agree on coordinate d iff ``(i ^ j) & axis_masks(W, D)[d]``
+    is zero -- which turns every alignment predicate into a handful of
+    integer ANDs with no per-bit extraction loop.  Cached per (W, D); the
+    handful of widths a run ever uses stay resident.
+    """
+    if width < 0:
+        raise ValueError(f"cell-ID width cannot be negative: {width}")
+    if dimensions < 1:
+        raise ValueError(f"dimensionality must be at least 1: {dimensions}")
+    masks = [0] * dimensions
+    for bit in range(width):
+        masks[bit % dimensions] |= 1 << bit
+    return tuple(masks)
+
+
+def spread_coordinate(coord: int, dimensions: int, axis: int) -> int:
+    """Inverse of the per-axis extraction: place coordinate bits on axis bits.
+
+    Returns the cell-ID-positioned image of *coord* on *axis* -- bit k of
+    *coord* lands at position ``dimensions * k + axis`` -- i.e. the value of
+    ``identifier & axis_masks(W, D)[axis]`` for any identifier whose d-axis
+    coordinate is *coord*.  This converts a coordinate *value* into the
+    masked-bits bucket key the leaf-table index uses.
+    """
+    if not 0 <= axis < dimensions:
+        raise ValueError(f"axis {axis} out of range for D={dimensions}")
+    value = 0
+    bit = 0
+    while coord:
+        if coord & 1:
+            value |= 1 << (dimensions * bit + axis)
+        coord >>= 1
+        bit += 1
     return value
 
 

@@ -29,7 +29,14 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.salad import protocol
 from repro.salad.alignment import mismatching_dimensions
 from repro.salad.database import RecordDatabase
-from repro.salad.ids import cell_id, coordinate, coordinate_width, effective_dimensionality
+from repro.salad.ids import (
+    axis_masks,
+    cell_id,
+    coordinate,
+    coordinate_width,
+    effective_dimensionality,
+    spread_coordinate,
+)
 from repro.salad.protocol import JoinPayload, MatchPayload
 from repro.salad.records import SaladRecord
 from repro.salad.width import (
@@ -40,6 +47,9 @@ from repro.salad.width import (
 )
 from repro.sim.machine import SimMachine
 from repro.sim.network import Message, Network
+
+#: Next-hop cache sentinel: "this record's cell is mine; handle locally".
+_LOCAL = object()
 
 
 class SaladLeaf(SimMachine):
@@ -55,6 +65,7 @@ class SaladLeaf(SimMachine):
         database_capacity: Optional[int] = None,
         notify_limit: Optional[int] = None,
         rng: Optional[random.Random] = None,
+        reference_routing: bool = False,
     ):
         super().__init__(identifier, network)
         if dimensions < 1:
@@ -85,12 +96,32 @@ class SaladLeaf(SimMachine):
         # Index over the table, rebuilt on width changes and updated
         # incrementally on adds/removes:
         #   _cellmates: leaves cell-aligned with me;
-        #   _vectors[d][c]: leaves differing from me only on axis d, with
-        #   d-coordinate c.
+        #   _vectors[d][k]: leaves differing from me only on axis d, keyed
+        #   by their masked d-axis bits k = j & axis_masks(W, D)[d] (a
+        #   bijective image of the d-coordinate that needs no extraction).
         self._cellmates: Set[int] = set()
         self._vectors: Dict[int, Dict[int, Set[int]]] = {
             d: {} for d in range(dimensions)
         }
+        # Routing acceleration state, all derived from the current width:
+        # the cell-ID mask, per-axis masks, and a next-hop cache mapping a
+        # record's cell-ID to its forwarding targets (or _LOCAL).  The cache
+        # is invalidated on every leaf-table or width change; masks are
+        # recomputed by _rebuild_index.
+        self._cell_mask = 0
+        self._axis_masks = axis_masks(0, dimensions)
+        self._next_hop_cache: Dict[int, object] = {}
+        self.next_hop_hits = 0
+        self.next_hop_misses = 0
+        # Routing-path selection: the indexed path is the default; the
+        # reference path keeps the seed's per-axis coordinate scan alive as
+        # the golden-trace oracle (message-for-message identical).
+        self.reference_routing = reference_routing
+        self._route_record = (
+            self._route_record_reference
+            if reference_routing
+            else self._route_record_indexed
+        )
 
         # Duplicate notifications received for this machine's own files.
         self.matches: List[MatchPayload] = []
@@ -162,24 +193,35 @@ class SaladLeaf(SimMachine):
         Returns False if the leaf is not vector-aligned under the current
         width (in which case it does not belong in the table at all).
         """
-        delta = self._mismatches(identifier)
-        if len(delta) == 0:
+        # Inline of the Delta-set scan over the leaf's cached masks: coords
+        # on axis d agree iff the xor has no bits under that axis's mask.
+        diff = (identifier ^ self.identifier) & self._cell_mask
+        if not diff:
             self._cellmates.add(identifier)
+            self._next_hop_cache.clear()
             return True
-        if len(delta) == 1:
-            axis = delta[0]
-            coord_value = self.coord(identifier, axis)
-            self._vectors[axis].setdefault(coord_value, set()).add(identifier)
-            return True
-        return False
+        axis = -1
+        for d, mask in enumerate(self._axis_masks):
+            if diff & mask:
+                if axis >= 0:
+                    return False  # two mismatching axes: not vector-aligned
+                axis = d
+        key = identifier & self._axis_masks[axis]
+        self._vectors[axis].setdefault(key, set()).add(identifier)
+        self._next_hop_cache.clear()
+        return True
 
     def _index_remove(self, identifier: int) -> None:
         self._cellmates.discard(identifier)
-        for by_coord in self._vectors.values():
-            for members in by_coord.values():
+        for by_key in self._vectors.values():
+            for members in by_key.values():
                 members.discard(identifier)
+        self._next_hop_cache.clear()
 
     def _rebuild_index(self) -> None:
+        self._cell_mask = (1 << self.width) - 1
+        self._axis_masks = axis_masks(self.width, self.dimensions)
+        self._next_hop_cache.clear()
         self._cellmates = set()
         self._vectors = {d: {} for d in range(self.dimensions)}
         for identifier in self.leaf_table:
@@ -209,10 +251,23 @@ class SaladLeaf(SimMachine):
         """Known leaves j with ``a_axis(I, j)`` and ``c_axis(j) == coord``.
 
         Excludes cellmates automatically when coord differs from mine, which
-        is the only way these sets are used for routing.
+        is the only way these sets are used for routing.  Takes a coordinate
+        *value* (the Eq. 10 extraction); hot paths that already hold an
+        identifier use :meth:`_vector_members_key` directly.
         """
-        members = set(self._vectors[axis].get(coord_value, ()))
-        if coord_value == self.coord(self.identifier, axis):
+        return self._vector_members_key(
+            axis, spread_coordinate(coord_value, self.dimensions, axis)
+        )
+
+    def _vector_members_key(self, axis: int, key: int) -> Set[int]:
+        """Same as :meth:`_vector_members`, keyed by masked axis bits.
+
+        *key* is ``j & axis_masks(W, D)[axis]`` for any identifier j whose
+        axis-coordinate is wanted -- computable from an identifier with one
+        AND, no bit-extraction loop.
+        """
+        members = set(self._vectors[axis].get(key, ()))
+        if key == self.identifier & self._axis_masks[axis]:
             members |= self._cellmates
         return members
 
@@ -260,18 +315,22 @@ class SaladLeaf(SimMachine):
         so aggregation never *adds* overhead.
         """
         forwards: Dict[int, List[tuple]] = {}
-        for record, hops in pairs:
-            self._route_record(record, hops, forwards)
+        if self.reference_routing:
+            route = self._route_record
+            for record, hops in pairs:
+                route(record, hops, forwards)
+        else:
+            self._route_batch_indexed(pairs, forwards)
         for target, batch in forwards.items():
             if len(batch) == 1:
                 self.send(target, protocol.RECORD, batch[0])
             else:
                 self.send(target, protocol.RECORD_BATCH, tuple(batch))
 
-    def _route_record(
+    def _route_record_reference(
         self, record: SaladRecord, hops: int, forwards: Dict[int, List[tuple]]
     ) -> None:
-        """The Fig. 4 procedure for record `<f, l>` at leaf I.
+        """The Fig. 4 procedure for record `<f, l>` at leaf I (oracle path).
 
         Nominal delivery takes at most D hops (section 4.3), but leaves with
         different system-size estimates compute different coordinates, which
@@ -281,6 +340,10 @@ class SaladLeaf(SimMachine):
 
         Outbound forwards are appended to *forwards* (target -> pairs) for
         the caller to coalesce; match notifications are sent immediately.
+
+        This is the seed's implementation -- per-axis coordinate extraction
+        on every record, no caching.  It stays in-tree as the oracle the
+        golden-trace tests compare :meth:`_route_record_indexed` against.
         """
         routing_id = record.routing_id
         for d in range(self.dimensions):
@@ -292,14 +355,108 @@ class SaladLeaf(SimMachine):
                 for target in self._vector_members(d, self.coord(routing_id, d)):
                     forwards.setdefault(target, []).append((record, hops + 1))
                 return
-        # This leaf is cell-aligned with the record's fingerprint.
+        self._store_record(record, hops, forwards)
+
+    def _route_record_indexed(
+        self, record: SaladRecord, hops: int, forwards: Dict[int, List[tuple]]
+    ) -> None:
+        """Fig. 4 routing through the next-hop cache (default path).
+
+        Message-for-message identical to :meth:`_route_record_reference`:
+        the cache memoizes, per record cell-ID, the first mismatching axis's
+        forwarding targets (computed once with mask arithmetic instead of
+        per-axis extraction), so every further record bound for the same
+        cell costs one AND plus one dict probe.  Invalidation: the cache is
+        cleared whenever the leaf table gains or loses an entry or the width
+        changes (see :meth:`_index_add` / :meth:`_rebuild_index`), which are
+        exactly the events that can alter any cell's next hop.
+        """
+        cell = record.routing_id & self._cell_mask
+        targets = self._next_hop_cache.get(cell)
+        if targets is None:
+            targets = self._compute_next_hop(record.routing_id)
+            self._next_hop_cache[cell] = targets
+            self.next_hop_misses += 1
+        else:
+            self.next_hop_hits += 1
+        if targets is _LOCAL:
+            self._store_record(record, hops, forwards)
+            return
+        if hops >= 2 * self.dimensions:
+            return  # hop budget exhausted: the record is lost
+        for target in targets:
+            forwards.setdefault(target, []).append((record, hops + 1))
+
+    def _route_batch_indexed(
+        self, pairs: List[tuple], forwards: Dict[int, List[tuple]]
+    ) -> None:
+        """Batch form of :meth:`_route_record_indexed` with locals bound.
+
+        Per-record behavior is identical (same cache, same order, same
+        counters); hoisting the cache/mask/budget lookups out of the loop
+        matters because this loop runs once per record per hop.  The cache
+        dict cannot be invalidated mid-batch: routing only stores records
+        and sends messages (sends are scheduled, never synchronous), and
+        only leaf-table/width changes clear the cache.
+        """
+        cache = self._next_hop_cache
+        mask = self._cell_mask
+        hop_budget = 2 * self.dimensions
+        store = self._store_record
+        hits = misses = 0
+        for record, hops in pairs:
+            rid = record._rid  # precomputed routing_id; property skipped
+            cell = rid & mask
+            targets = cache.get(cell)
+            if targets is None:
+                targets = self._compute_next_hop(rid)
+                cache[cell] = targets
+                misses += 1
+            else:
+                hits += 1
+            if targets is _LOCAL:
+                store(record, hops, forwards)
+                continue
+            if hops >= hop_budget:
+                continue  # hop budget exhausted: the record is lost
+            forwarded = (record, hops + 1)
+            for target in targets:
+                bucket = forwards.get(target)
+                if bucket is None:
+                    forwards[target] = [forwarded]
+                else:
+                    bucket.append(forwarded)
+        self.next_hop_hits += hits
+        self.next_hop_misses += misses
+
+    def _compute_next_hop(self, routing_id: int) -> object:
+        """First-mismatching-axis targets for a cell, or _LOCAL if mine.
+
+        The tuple is materialized from the same member set the reference
+        path iterates, so forwarding order is identical on a cache miss and
+        (because the cache is cleared on any membership change) on every
+        hit thereafter.
+        """
+        diff = (routing_id ^ self.identifier) & self._cell_mask
+        if not diff:
+            return _LOCAL
+        masks = self._axis_masks
+        for d in range(self.dimensions):
+            if diff & masks[d]:
+                return tuple(self._vector_members_key(d, routing_id & masks[d]))
+        return _LOCAL  # unreachable: every cell-ID bit belongs to some axis
+
+    def _store_record(
+        self, record: SaladRecord, hops: int, forwards: Dict[int, List[tuple]]
+    ) -> None:
+        """Cell-aligned arrival: replicate if self-initiated, store, notify."""
         if record.location == self.identifier and hops == 0:
             # Special case: this leaf generated the record (hops == 0 marks
             # local initiation; a copy returning over the network must not
             # re-broadcast).  Replicate to the rest of the cell.
             for target in self._cellmates:
                 forwards.setdefault(target, []).append((record, hops + 1))
-        if record.location in self.database.locations(record.fingerprint):
+        if self.database.has_location(record.fingerprint, record.location):
             return  # idempotent redelivery (multiple forwarders reach us)
         stored, matching = self.database.insert(record)
         matching = [m for m in matching if m.location != record.location]
@@ -344,14 +501,20 @@ class SaladLeaf(SimMachine):
         self._seen_joins.add(n)
         eff = self.effective_dimensions
 
-        delta_set = [d for d in range(eff) if self.coord(n, d) != self.coord(self.identifier, d)]
+        # Mask arithmetic: coordinate d of two identifiers differs iff their
+        # XOR has a set bit among axis d's interleaved positions (Eq. 10 is
+        # a bit permutation), so each delta computation is one XOR + D ANDs.
+        masks = self._axis_masks
+        n_diff = (n ^ self.identifier) & self._cell_mask
+        delta_set = [d for d in range(eff) if n_diff & masks[d]]
         delta = len(delta_set)
         if s == n:
             # Join received directly from the new leaf: the sender's
             # dimensional alignment is considered lower than all others'.
             sender_delta = -1
         else:
-            sender_delta = sum(1 for d in range(eff) if self.coord(n, d) != self.coord(s, d))
+            s_diff = (n ^ s) & self._cell_mask
+            sender_delta = sum(1 for d in range(eff) if s_diff & masks[d])
 
         forward = JoinPayload(sender=self.identifier, new_leaf=n)
         if sender_delta > delta:
@@ -360,7 +523,7 @@ class SaladLeaf(SimMachine):
                 for d in delta_set:
                     if (d + 1) % eff in delta_set:
                         continue
-                    for target in self._vector_members(d, self.coord(n, d)):
+                    for target in self._vector_members_key(d, n & masks[d]):
                         self.send(target, protocol.JOIN, forward)
             elif delta == 1:
                 # I am vector-aligned: forward to every leaf in my vector.
@@ -383,7 +546,7 @@ class SaladLeaf(SimMachine):
                 # I have minimal alignment with n: initiate the batches, one
                 # per mismatching dimension.
                 for d in delta_set:
-                    for target in self._vector_members(d, self.coord(n, d)):
+                    for target in self._vector_members_key(d, n & masks[d]):
                         self.send(target, protocol.JOIN, forward)
             else:
                 # I'm vector-aligned and effective dimensionality is 1:

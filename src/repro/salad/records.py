@@ -21,6 +21,13 @@ class SaladRecord:
     fingerprint: Fingerprint
     location: int  # machine identifier of the file's host
 
+    def __post_init__(self) -> None:
+        # The routing id is consulted at every hop; precompute it so hot
+        # paths read a plain attribute (``_rid``) instead of re-deriving the
+        # integer from digest bytes.  object.__setattr__ sidesteps the
+        # frozen guard; equality still compares only the declared fields.
+        object.__setattr__(self, "_rid", self.fingerprint.hash_as_int())
+
     @property
     def routing_id(self) -> int:
         """The integer whose low bits form this record's cell-ID.
@@ -30,7 +37,7 @@ class SaladRecord:
         hash, which are cryptographically uniform.  (The size prefix sits in
         the most significant bytes and never reaches the cell-ID.)
         """
-        return self.fingerprint.hash_as_int()
+        return self._rid
 
     def sort_key(self) -> bytes:
         """Total order used by the Fig. 13 eviction policy.

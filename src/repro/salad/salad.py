@@ -42,6 +42,10 @@ class SaladConfig:
     bootstrap_count: int = 1  # extant leaves contacted per join
     latency: float = 1.0
     seed: int = 0
+    #: Route with the seed's per-axis coordinate scan instead of the indexed
+    #: next-hop cache.  Message-for-message identical (the golden-trace tests
+    #: assert it); only useful as the oracle side of that comparison.
+    reference_routing: bool = False
 
     def __post_init__(self) -> None:
         if self.dimensions < 1:
@@ -99,6 +103,7 @@ class Salad:
             database_capacity=self.config.database_capacity,
             notify_limit=self.config.notify_limit,
             rng=random.Random(self._rng.getrandbits(64)),
+            reference_routing=self.config.reference_routing,
         )
         self.leaves[identifier] = leaf
         return leaf

@@ -20,10 +20,12 @@ this module holds the pure calculations.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 from repro.salad.ids import coordinate_width
 
 
+@lru_cache(maxsize=4096)
 def known_leaf_ratio(width: int, dimensions: int) -> float:
     """Eq. 18: expected fraction of all leaves in a leaf's own leaf table.
 

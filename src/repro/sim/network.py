@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.sim.events import EventScheduler
 
@@ -20,13 +20,19 @@ if TYPE_CHECKING:
     from repro.sim.machine import SimMachine
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False, slots=True)
 class Message:
-    """A network message.
+    """A network message (immutable by convention; never mutated after send).
 
     ``kind`` is a protocol-level tag (e.g. ``"record"``, ``"join"``);
     ``payload`` is arbitrary protocol data.  Sender/recipient are machine
     identifiers (large integers, per paper section 2).
+
+    A plain slots dataclass rather than a frozen one: one Message is built
+    per send on the simulator's hottest path, and the frozen guard turns
+    every field assignment in ``__init__`` into an ``object.__setattr__``
+    call.  Nothing compares or hashes messages (``eq=False`` keeps default
+    identity semantics explicit).
     """
 
     sender: int
@@ -57,6 +63,17 @@ class Network:
     Machines register under their identifier; :meth:`send` schedules delivery
     after a (possibly jittered) latency.  A message to an unknown, failed, or
     departed machine is counted as sent and then dropped.
+
+    With *batch_delivery* (the default), messages sharing a delivery
+    timestamp are queued on one scheduler event per timestep instead of one
+    closure-carrying event each, and delivered in send order when that
+    timestep fires.  Relative delivery order among messages is exactly that
+    of per-message scheduling (time, then send order), so traces and
+    counters are unchanged; the only observable difference is against
+    non-message events a driver schedules *between* sends at the very same
+    timestamp, which SALAD workloads never do (drivers schedule between
+    quiescent rounds).  ``batch_delivery=False`` restores the seed's
+    one-event-per-message behavior for oracle comparisons.
     """
 
     def __init__(
@@ -66,6 +83,7 @@ class Network:
         jitter: float = 0.0,
         loss_probability: float = 0.0,
         rng: Optional[random.Random] = None,
+        batch_delivery: bool = True,
     ):
         if not 0.0 <= loss_probability <= 1.0:
             raise ValueError(f"loss probability must be in [0,1]: {loss_probability}")
@@ -73,12 +91,15 @@ class Network:
         self.latency = latency
         self.jitter = jitter
         self.loss_probability = loss_probability
+        self.batch_delivery = batch_delivery
         self._rng = rng or random.Random(0)
         self._machines: Dict[int, "SimMachine"] = {}
         self.traffic: Dict[int, MachineTraffic] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: In-flight messages per delivery timestamp (batch_delivery mode).
+        self._pending: Dict[float, List[Message]] = {}
         # Partition map: machine id -> partition label.  Messages crossing
         # partition labels are dropped.  Unlabeled machines share the
         # implicit default partition.
@@ -124,12 +145,19 @@ class Network:
     # -- traffic -------------------------------------------------------------
 
     def _traffic(self, identifier: int) -> MachineTraffic:
-        return self.traffic.setdefault(identifier, MachineTraffic())
+        # Hot path: avoid constructing a throwaway MachineTraffic per call
+        # (setdefault evaluates its default eagerly).
+        traffic = self.traffic.get(identifier)
+        if traffic is None:
+            traffic = self.traffic[identifier] = MachineTraffic()
+        return traffic
 
     def send(self, sender: int, recipient: int, kind: str, payload: Any) -> None:
         """Send a message; delivery is scheduled on the event loop."""
         message = Message(sender=sender, recipient=recipient, kind=kind, payload=payload)
-        traffic = self._traffic(sender)
+        traffic = self.traffic.get(sender)
+        if traffic is None:
+            traffic = self.traffic[sender] = MachineTraffic()
         traffic.sent += 1
         traffic.by_kind_sent[kind] = traffic.by_kind_sent.get(kind, 0) + 1
         self.messages_sent += 1
@@ -147,7 +175,24 @@ class Network:
         delay = self.latency
         if self.jitter:
             delay += self._rng.random() * self.jitter
-        self.scheduler.schedule(delay, lambda: self._deliver(message))
+        if self.batch_delivery:
+            # One scheduler event per delivery timestep: queue the message
+            # on its timestamp's batch; the first message of a timestep
+            # schedules the flush.  FIFO within the batch preserves send
+            # order, so delivery order matches per-message scheduling.
+            time = self.scheduler.now + delay
+            pending = self._pending.get(time)
+            if pending is None:
+                self._pending[time] = [message]
+                self.scheduler.schedule(delay, lambda: self._deliver_pending(time))
+            else:
+                pending.append(message)
+        else:
+            self.scheduler.schedule(delay, lambda: self._deliver(message))
+
+    def _deliver_pending(self, time: float) -> None:
+        for message in self._pending.pop(time):
+            self._deliver(message)
 
     def _deliver(self, message: Message) -> None:
         machine = self._machines.get(message.recipient)
@@ -155,7 +200,9 @@ class Network:
             self._traffic(message.sender).dropped_to += 1
             self.messages_dropped += 1
             return
-        traffic = self._traffic(message.recipient)
+        traffic = self.traffic.get(message.recipient)
+        if traffic is None:
+            traffic = self.traffic[message.recipient] = MachineTraffic()
         traffic.received += 1
         traffic.by_kind_received[message.kind] = (
             traffic.by_kind_received.get(message.kind, 0) + 1

@@ -12,6 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.salad.alignment import mismatching_dimensions
+from repro.salad.ids import axis_masks, spread_coordinate
 from repro.salad.leaf import SaladLeaf
 from repro.sim.events import EventScheduler
 from repro.sim.network import Network
@@ -28,10 +29,14 @@ operations = st.lists(
 def check_index(leaf: SaladLeaf) -> None:
     table = set(leaf.leaf_table)
     indexed = set(leaf._cellmates)
-    for by_coord in leaf._vectors.values():
-        for members in by_coord.values():
+    for by_key in leaf._vectors.values():
+        for members in by_key.values():
             indexed |= members
     assert indexed == table
+
+    # Width-derived routing state must track the current width.
+    assert leaf._cell_mask == (1 << leaf.width) - 1
+    assert leaf._axis_masks == axis_masks(leaf.width, leaf.dimensions)
 
     for other in table:
         delta = mismatching_dimensions(
@@ -42,8 +47,13 @@ def check_index(leaf: SaladLeaf) -> None:
             assert other in leaf._cellmates
         else:
             axis = delta[0]
-            coord = leaf.coord(other, axis)
-            assert other in leaf._vectors[axis][coord]
+            # Buckets are keyed by masked axis bits (the bijective image of
+            # the axis coordinate), not the extracted coordinate value.
+            key = other & leaf._axis_masks[axis]
+            assert key == spread_coordinate(
+                leaf.coord(other, axis), leaf.dimensions, axis
+            )
+            assert other in leaf._vectors[axis][key]
             assert other not in leaf._cellmates
 
 

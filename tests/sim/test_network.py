@@ -132,3 +132,61 @@ class TestRegistration:
         Echo(1, net)
         with pytest.raises(ValueError):
             Echo(1, net)
+
+
+class TestDeliveryBatching:
+    """Per-timestep batching must be invisible relative to per-message mode."""
+
+    def test_batched_and_unbatched_deliver_identically(self):
+        def drive(batch):
+            net = Network(
+                EventScheduler(),
+                latency=1.0,
+                rng=random.Random(1),
+                batch_delivery=batch,
+            )
+            a, b, c = Echo(1, net), Echo(2, net), Echo(3, net)
+            a.send(2, "ping")
+            a.send(3, "ping")
+            b.send(3, "ping")
+            net.run()
+            return a.log, b.log, c.log, net.messages_delivered
+
+        assert drive(True) == drive(False)
+
+    def test_one_scheduler_event_per_timestep(self):
+        net = Network(EventScheduler(), latency=1.0, rng=random.Random(1))
+        a, b = Echo(1, net), Echo(2, net)
+        for _ in range(10):
+            net.send(1, 2, "ping", None)
+        # All ten messages share the t=1 delivery timestep: one flush event.
+        assert len(net.scheduler) == 1
+        net.run()
+        assert len(b.log) == 10
+
+    def test_jitter_splits_timesteps(self):
+        net = Network(
+            EventScheduler(), latency=1.0, jitter=0.5, rng=random.Random(1)
+        )
+        Echo(1, net)
+        b = Echo(2, net)
+        for _ in range(5):
+            net.send(1, 2, "ping", None)
+        net.run()
+        assert len(b.log) == 5
+
+    def test_batch_send_order_preserved(self):
+        net = Network(EventScheduler(), latency=1.0, rng=random.Random(1))
+        received = []
+
+        class Collector(SimMachine):
+            def __init__(self, identifier, network):
+                super().__init__(identifier, network)
+                self.on("tag", lambda msg: received.append(msg.payload))
+
+        Collector(1, net)
+        Collector(2, net)
+        for i in range(8):
+            net.send(1, 2, "tag", i)
+        net.run()
+        assert received == list(range(8))
