@@ -4,16 +4,25 @@ Usage::
 
     PYTHONPATH=src python benchmarks/record_trajectory.py --smoke --output /tmp/smoke.json
     python benchmarks/check_regression.py /tmp/smoke.json
+    python benchmarks/check_regression.py --trend
 
-Compares the fresh snapshot's ``salad_inserts.inserts_per_sec`` against the
-newest committed ``BENCH_*.json`` in the repo root and exits nonzero when the
-fresh number falls more than ``--tolerance`` (default 30%) below the
-baseline.  The wide tolerance absorbs machine-to-machine variance (the
-committed baselines and the CI runner are different hardware); the gate
-exists to catch order-of-magnitude routing regressions -- an accidental
-fallback to an O(D) per-record scan, a broken cache -- not single-digit
-noise.  Snapshot history is append-only, so the baseline automatically
-advances whenever a PR commits a new snapshot.
+Gates every hot-path section -- salad insert routing, indexed routing,
+bulk AES-CTR, batched fingerprinting -- against the newest committed
+``BENCH_*.json`` in the repo root, exiting nonzero when any gated metric
+falls more than ``--tolerance`` (default 30%) below its baseline.  A metric
+missing from either side (e.g. a ``--smoke`` snapshot carries only the
+salad sections, and older baselines predate some sections) is reported as
+skipped, never failed.  The wide tolerance absorbs machine-to-machine
+variance (the committed baselines and the CI runner are different
+hardware); the gate exists to catch order-of-magnitude regressions -- an
+accidental fallback to an O(D) per-record scan, a broken cache, a
+de-vectorized kernel -- not single-digit noise.  Snapshot history is
+append-only, so the baseline automatically advances whenever a PR commits a
+new snapshot.
+
+``--trend`` prints the gated metrics across the whole dated snapshot
+series instead of gating, so a slow drift that stays inside the per-PR
+tolerance is still visible.
 """
 
 from __future__ import annotations
@@ -22,61 +31,143 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: The gated metric: records routed to quiescence per second.
-METRIC_SECTION = "salad_inserts"
-METRIC_KEY = "inserts_per_sec"
+#: Gated metrics as (section, key, short label) -- one per hot path.
+GATED_METRICS = (
+    ("salad_inserts", "inserts_per_sec", "salad ins/s"),
+    ("salad_routing", "indexed_inserts_per_sec", "indexed ins/s"),
+    ("aes_ctr", "bulk_bytes_per_sec", "aes B/s"),
+    ("fingerprints", "batched_fingerprints_per_sec", "fprint/s"),
+)
+
+
+def snapshot_series(exclude: Optional[Path] = None) -> List[Path]:
+    """All committed snapshots, oldest first (dated names sort chronologically)."""
+    return sorted(
+        p
+        for p in REPO_ROOT.glob("BENCH_*.json")
+        if exclude is None or p.resolve() != exclude.resolve()
+    )
 
 
 def newest_baseline(exclude: Path) -> Path:
-    """The latest committed snapshot (dated names sort chronologically)."""
-    candidates = sorted(
-        p
-        for p in REPO_ROOT.glob("BENCH_*.json")
-        if p.resolve() != exclude.resolve()
-    )
+    candidates = snapshot_series(exclude=exclude)
     if not candidates:
         raise FileNotFoundError(f"no BENCH_*.json baselines in {REPO_ROOT}")
     return candidates[-1]
 
 
-def read_metric(path: Path) -> float:
+def read_metric(path: Path, section: str, key: str) -> Optional[float]:
+    """The metric's value, or None when the snapshot doesn't carry it."""
     snapshot = json.loads(path.read_text(encoding="utf-8"))
     try:
-        return float(snapshot["results"][METRIC_SECTION][METRIC_KEY])
-    except KeyError as exc:
-        raise KeyError(
-            f"{path} has no results.{METRIC_SECTION}.{METRIC_KEY}"
-        ) from exc
+        return float(snapshot["results"][section][key])
+    except (KeyError, TypeError):
+        return None
+
+
+def check(fresh_path: Path, tolerance: float) -> int:
+    baseline_path = newest_baseline(exclude=fresh_path)
+    print(f"baseline {baseline_path.name}  vs  fresh {fresh_path.name}")
+    failures: List[str] = []
+    gated = 0
+    for section, key, label in GATED_METRICS:
+        fresh = read_metric(fresh_path, section, key)
+        baseline = read_metric(baseline_path, section, key)
+        name = f"{section}.{key}"
+        if fresh is None or baseline is None:
+            where = "fresh" if fresh is None else "baseline"
+            print(f"  skip  {name} (absent from {where} snapshot)")
+            continue
+        gated += 1
+        floor = baseline * (1.0 - tolerance)
+        verdict = "ok  " if fresh >= floor else "FAIL"
+        print(
+            f"  {verdict}  {name}: {fresh:,.0f}"
+            f" (baseline {baseline:,.0f}, floor {floor:,.0f})"
+        )
+        if fresh < floor:
+            failures.append(name)
+    if not gated:
+        print("FAIL: no gated metric present in both snapshots")
+        return 1
+    if failures:
+        print(f"FAIL: regressed past {tolerance:.0%} tolerance: {', '.join(failures)}")
+        return 1
+    print("OK")
+    return 0
+
+
+def trend() -> int:
+    """The gated metrics across the whole committed snapshot series."""
+    series = snapshot_series()
+    if not series:
+        print(f"no BENCH_*.json snapshots in {REPO_ROOT}")
+        return 1
+    labels = [label for _, _, label in GATED_METRICS]
+    name_width = max(len(p.stem) for p in series)
+    widths = [max(len(label), 14) for label in labels]
+    header = "  ".join(
+        ["snapshot".ljust(name_width)] + [l.rjust(w) for l, w in zip(labels, widths)]
+    )
+    print(header)
+    print("-" * len(header))
+    rows: List[Tuple[Path, List[Optional[float]]]] = [
+        (
+            path,
+            [read_metric(path, section, key) for section, key, _ in GATED_METRICS],
+        )
+        for path in series
+    ]
+    for path, values in rows:
+        cells = [
+            (f"{v:,.0f}" if v is not None else "-").rjust(w)
+            for v, w in zip(values, widths)
+        ]
+        print("  ".join([path.stem.ljust(name_width)] + cells))
+    # Relative change, newest over oldest snapshot that carries each metric.
+    deltas = []
+    for i in range(len(GATED_METRICS)):
+        carried = [v[i] for _, v in rows if v[i] is not None]
+        deltas.append(
+            f"{carried[-1] / carried[0]:+.1%}".rjust(widths[i])
+            if len(carried) >= 2 and carried[0]
+            else "-".rjust(widths[i])
+        )
+    print("-" * len(header))
+    print("  ".join(["newest/oldest".ljust(name_width)] + deltas))
+    return 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("snapshot", metavar="PATH", help="fresh snapshot to check")
+    parser.add_argument(
+        "snapshot",
+        metavar="PATH",
+        nargs="?",
+        default=None,
+        help="fresh snapshot to check (omit with --trend)",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.30,
         help="allowed fractional drop below baseline (default: 0.30)",
     )
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="print the gated metrics across all committed snapshots and exit",
+    )
     args = parser.parse_args(argv)
-
-    fresh_path = Path(args.snapshot)
-    baseline_path = newest_baseline(exclude=fresh_path)
-    fresh = read_metric(fresh_path)
-    baseline = read_metric(baseline_path)
-    floor = baseline * (1.0 - args.tolerance)
-
-    print(f"baseline  {baseline_path.name}: {baseline:,.0f} {METRIC_KEY}")
-    print(f"fresh     {fresh_path.name}: {fresh:,.0f} {METRIC_KEY}")
-    print(f"floor     {floor:,.0f} ({args.tolerance:.0%} below baseline)")
-    if fresh < floor:
-        print("FAIL: salad insert throughput regressed past tolerance")
-        return 1
-    print("OK")
-    return 0
+    if args.trend:
+        return trend()
+    if args.snapshot is None:
+        parser.error("a fresh snapshot PATH is required unless --trend is given")
+    return check(Path(args.snapshot), args.tolerance)
 
 
 if __name__ == "__main__":

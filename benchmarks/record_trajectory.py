@@ -17,6 +17,8 @@ current fast paths so every snapshot carries its own before/after ratio:
 - ``salad_routing``: the same insert workload under the reference
   (per-axis scan) vs the indexed (next-hop cache) routing path, with the
   message totals asserted equal and the cache hit rate reported;
+- ``db_backends``: insert/lookup throughput per record-store backend
+  (memory vs sqlite vs WAL), contract-identity asserted before timing;
 - ``experiment_sweep``: wall seconds for a small threshold sweep, serial vs
   ``--workers 0``, with the consumed-space series asserted identical (the
   speedup only materializes on multi-core machines; ``cpu_count`` is
@@ -244,6 +246,43 @@ def bench_experiment_sweep() -> dict:
     }
 
 
+def bench_db_backends(records: int = 5000, lookups: int = 1000) -> dict:
+    """Insert/lookup throughput per record-store backend.
+
+    The durable backends trade throughput for a bounded RSS and crash
+    recovery; this section records the price so the trade stays visible.
+    Results are asserted contract-identical before timing.
+    """
+    import tempfile
+
+    from repro.salad.storage import BACKENDS, make_record_store
+
+    recs = [
+        SaladRecord(fingerprint=fingerprint_of(b"db:%d" % i), location=i % 97)
+        for i in range(records)
+    ]
+    probes = [r.fingerprint for r in recs[:lookups]]
+    out: dict = {"records": records, "lookups": lookups}
+    reference = None
+    for backend in BACKENDS:
+        with tempfile.TemporaryDirectory() as d:
+            store = make_record_store(backend, db_dir=d, name="bench")
+            # Inserts mutate, so time a single pass (repeats would measure
+            # duplicate no-ops); lookups are pure and take the best-of.
+            insert_seconds = _best_of(lambda: store.insert_many(recs), repeats=1)
+            lookup_seconds = _best_of(lambda: [store.locations(fp) for fp in probes])
+            final = [(r.sort_key(), r.location) for r in store.records()]
+            if reference is None:
+                reference = final
+            assert final == reference, f"{backend} diverged from the contract"
+            store.close()
+        out[backend] = {
+            "inserts_per_sec": records / insert_seconds,
+            "lookups_per_sec": lookups / lookup_seconds,
+        }
+    return out
+
+
 def bench_pipeline() -> dict:
     spec = CorpusSpec(machines=48, mean_files_per_machine=24.0)
     corpus = generate_corpus(spec, seed=3)
@@ -306,6 +345,7 @@ def main(argv=None) -> int:
         ("fingerprints", bench_fingerprints),
         ("salad_inserts", bench_salad_inserts),
         ("salad_routing", bench_salad_routing),
+        ("db_backends", bench_db_backends),
         ("experiment_sweep", bench_experiment_sweep),
         ("pipeline", bench_pipeline),
     ]

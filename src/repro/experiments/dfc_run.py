@@ -43,6 +43,13 @@ class DfcConfig:
     #: per-item function -- so this knob never changes any reported number,
     #: only wall time.
     workers: Optional[int] = None
+    #: Record-store backend per leaf ("memory" | "sqlite" | "wal"; None =
+    #: session default, see repro.salad.storage).  The durable backends keep
+    #: the 10M-record full-scale corpus out of RAM and survive crashes; all
+    #: three are contract-identical, so reported numbers never change.
+    db_backend: Optional[str] = None
+    #: Directory for durable record stores (None = session default/tempdir).
+    db_dir: Optional[str] = None
 
     def salad_config(self) -> SaladConfig:
         return SaladConfig(
@@ -52,6 +59,8 @@ class DfcConfig:
             database_capacity=self.database_capacity,
             notify_limit=self.notify_limit,
             seed=self.seed,
+            db_backend=self.db_backend,
+            db_dir=self.db_dir,
         )
 
 

@@ -68,10 +68,16 @@ def _run_one_limit(task):
     Module-level so process pools can pickle it; every point is an
     independent simulation over the shared (read-only) corpus.
     """
-    corpus, lam, limit, seed = task
+    corpus, lam, limit, seed, db_backend, db_dir = task
     run_ = DfcRun(
         corpus,
-        DfcConfig(target_redundancy=lam, database_capacity=limit, seed=seed),
+        DfcConfig(
+            target_redundancy=lam,
+            database_capacity=limit,
+            seed=seed,
+            db_backend=db_backend,
+            db_dir=db_dir,
+        ),
     )
     run_.build()
     run_.insert_all()
@@ -85,7 +91,12 @@ def run(
     seed: int = 0,
     corpus: Corpus = None,
     workers: Optional[int] = None,
+    db_backend: Optional[str] = None,
+    db_dir: Optional[str] = None,
 ) -> Fig13Result:
+    """Fig. 13 is *the* capacity-eviction experiment, so it exercises the
+    backend eviction paths hardest; ``db_backend``/``db_dir`` select the
+    per-leaf store (contract-identical -- consumed space is unchanged)."""
     if corpus is None:
         corpus = generate_corpus(scale.corpus_spec(), seed=seed)
     file_count = corpus.total_files
@@ -95,7 +106,7 @@ def run(
         sorted({max(1, int(round(mean_records * frac))) for frac in limit_fractions})
     )
     tasks = [
-        (corpus, lam, limit, seed)
+        (corpus, lam, limit, seed, db_backend, db_dir)
         for lam in lambdas
         for limit in (*limits, None)  # None = the no-limit baseline run
     ]

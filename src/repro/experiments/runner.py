@@ -40,6 +40,7 @@ from repro.experiments.growth import growth_sample_points, run_growth_suite
 from repro.perf import set_default_workers
 from repro.experiments.scales import PAPER_LAMBDAS, SCALES, get_scale
 from repro.experiments.threshold_sweep import run_threshold_sweep
+from repro.salad.storage import BACKENDS, set_default_db_backend
 
 SWEEP_FIGURES = {"fig07", "fig09", "fig10", "fig11", "fig12"}
 GROWTH_FIGURES = {"fig14", "fig15"}
@@ -92,15 +93,28 @@ def run_experiments_raw(names: List[str], scale_name: str, seed: int = 0) -> Dic
 
 
 def run_experiments(
-    names: List[str], scale_name: str, seed: int = 0, raw: bool = False
+    names: List[str],
+    scale_name: str,
+    seed: int = 0,
+    raw: bool = False,
+    db_backend: str = None,
+    db_dir: str = None,
 ) -> Dict[str, Any]:
-    """Run the named experiments; returns rendered output (or raw results) per name."""
+    """Run the named experiments; returns rendered output (or raw results) per name.
+
+    ``db_backend``/``db_dir`` select the per-leaf record-store backend for
+    the database-centric experiments (the shared threshold sweep feeding
+    Figs. 7/9-12, and Fig. 13's capacity runs); every backend reports
+    identical numbers, the durable ones just bound RAM at full scale.
+    """
     scale = get_scale(scale_name)
     outputs: Dict[str, Any] = {}
 
     sweep = None
     if SWEEP_FIGURES & set(names):
-        sweep = run_threshold_sweep(scale, seed=seed)
+        sweep = run_threshold_sweep(
+            scale, seed=seed, db_backend=db_backend, db_dir=db_dir
+        )
 
     growth = None
     if GROWTH_FIGURES & set(names):
@@ -126,9 +140,13 @@ def run_experiments(
         elif name == "fig11":
             result = fig11_dbsize_vs_minsize.run(scale, seed, sweep)
         elif name == "fig12":
-            result = fig12_dbsize_cdf.run(scale, seed, sweep)
+            result = fig12_dbsize_cdf.run(
+                scale, seed, sweep, db_backend=db_backend, db_dir=db_dir
+            )
         elif name == "fig13":
-            result = fig13_space_vs_dblimit.run(scale, seed=seed)
+            result = fig13_space_vs_dblimit.run(
+                scale, seed=seed, db_backend=db_backend, db_dir=db_dir
+            )
         elif name == "fig14":
             result = fig14_leaftable_vs_size.run(scale, PAPER_LAMBDAS, seed, growth)
         elif name == "fig15":
@@ -175,6 +193,19 @@ def main(argv: List[str] = None) -> int:
         "results are byte-identical at any worker count",
     )
     parser.add_argument(
+        "--db-backend",
+        choices=sorted(BACKENDS),
+        default="memory",
+        help="record-store backend per leaf (memory = all-RAM; sqlite/wal "
+        "spill to disk with crash recovery; results are identical)",
+    )
+    parser.add_argument(
+        "--db-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for durable record stores (default: a tempdir)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -184,11 +215,22 @@ def main(argv: List[str] = None) -> int:
     if args.workers < 0:
         parser.error(f"--workers must be >= 0 (0 = auto): {args.workers}")
     set_default_workers(args.workers)
+    # Session default so every Salad built anywhere in the run (including
+    # experiments that build their own) picks up the chosen backend; the
+    # database-centric experiments additionally get it threaded explicitly.
+    set_default_db_backend(args.db_backend, args.db_dir)
 
     names = args.only or ALL_EXPERIMENTS
     start = time.time()
     if args.json:
-        raw = run_experiments(names, args.scale, seed=args.seed, raw=True)
+        raw = run_experiments(
+            names,
+            args.scale,
+            seed=args.seed,
+            raw=True,
+            db_backend=args.db_backend,
+            db_dir=args.db_dir,
+        )
         outputs = {name: result.render() for name, result in raw.items()}
         payload = {
             "scale": args.scale,
@@ -199,7 +241,13 @@ def main(argv: List[str] = None) -> int:
             json.dump(payload, f, indent=1)
         print(f"raw results written to {args.json}")
     else:
-        outputs = run_experiments(names, args.scale, seed=args.seed)
+        outputs = run_experiments(
+            names,
+            args.scale,
+            seed=args.seed,
+            db_backend=args.db_backend,
+            db_dir=args.db_dir,
+        )
     for name in names:
         print(f"\n{'=' * 72}\n[{name}]")
         print(outputs[name])

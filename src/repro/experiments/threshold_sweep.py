@@ -62,8 +62,13 @@ class ThresholdSweepResult:
 
 def _sweep_one_lambda(task):
     """One Lambda's full DFC run (module-level so process pools can pickle it)."""
-    corpus, lam, thresholds, seed = task
-    run = DfcRun(corpus, DfcConfig(target_redundancy=lam, seed=seed))
+    corpus, lam, thresholds, seed, db_backend, db_dir = task
+    run = DfcRun(
+        corpus,
+        DfcConfig(
+            target_redundancy=lam, seed=seed, db_backend=db_backend, db_dir=db_dir
+        ),
+    )
     run.build()
     points = run.insert_sweep(list(thresholds))
     return lam, points, run.message_totals(), run.database_sizes()
@@ -76,16 +81,23 @@ def run_threshold_sweep(
     seed: int = 0,
     corpus: Corpus = None,
     workers: Optional[int] = None,
+    db_backend: Optional[str] = None,
+    db_dir: Optional[str] = None,
 ) -> ThresholdSweepResult:
     """Run the sweep at the given scale (shared by Figs. 7, 9, 10, 11, 12).
 
     The per-Lambda runs are independent simulations (each builds its own
     SALAD from the shared corpus), so with ``workers`` they fan out across a
     process pool; results are identical to the serial loop in any mode.
+    ``db_backend``/``db_dir`` select the per-leaf record-store backend
+    (contract-identical, so every reported number is unchanged; the durable
+    backends bound RAM at full scale).
     """
     if corpus is None:
         corpus = generate_corpus(scale.corpus_spec(), seed=seed)
-    tasks = [(corpus, lam, tuple(thresholds), seed) for lam in lambdas]
+    tasks = [
+        (corpus, lam, tuple(thresholds), seed, db_backend, db_dir) for lam in lambdas
+    ]
     results = parallel_map(_sweep_one_lambda, tasks, workers=workers, min_items=2)
     points: Dict[float, List[SweepPoint]] = {}
     message_totals: Dict[float, List[int]] = {}

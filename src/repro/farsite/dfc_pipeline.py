@@ -23,15 +23,18 @@ corpora (the statistics-only experiments never materialize content).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.space import reclaimed_bytes_from_matches
 from repro.core.fingerprint import Fingerprint, synthetic_fingerprint
 from repro.experiments.dfc_run import DfcConfig, DfcRun
 from repro.farsite.file_host import FileHost
 from repro.farsite.relocation import RelocationPlan, RelocationPlanner
+from repro.farsite.sis import SingleInstanceStore
 from repro.perf import parallel_map
+from repro.salad.storage import resolve_db_backend, resolve_db_dir
 from repro.workload.content import synthetic_content
 from repro.workload.corpus import Corpus
 
@@ -79,6 +82,23 @@ class DfcPipeline:
         #: file_id -> (fingerprint, current replica hosts)
         self.replicas: Dict[str, Tuple[Fingerprint, List[int]]] = {}
         self.planner = RelocationPlanner(replication_factor=1)
+        self._sis_dir: Optional[os.PathLike] = None
+
+    def _make_sis(self, host_id: int) -> SingleInstanceStore:
+        """One SIS per host; durable (sqlite-blob-backed) when the run's
+        record-store backend is durable, so blob bytes leave RAM too."""
+        if resolve_db_backend(self.config.db_backend) == "memory":
+            return SingleInstanceStore()
+        if self._sis_dir is None:
+            self._sis_dir = resolve_db_dir(self.config.db_dir) / f"sis-{os.getpid()}"
+            self._sis_dir.mkdir(parents=True, exist_ok=True)
+        return SingleInstanceStore(db_path=self._sis_dir / f"sis-host-{host_id:040x}.sqlite")
+
+    def close_stores(self) -> None:
+        """Flush and release every host's SIS (and the SALAD's leaf stores)."""
+        for host in self.hosts.values():
+            host.sis.close()
+        self.run.salad.close_databases()
 
     # -- phase 1: load every machine's files onto its host ---------------------
 
@@ -96,7 +116,7 @@ class DfcPipeline:
         tasks: List[Tuple[str, int, Tuple[int, int]]] = []
         for machine in self.corpus.machines:
             host_id = self.run.leaf_of_machine[machine.machine_index]
-            self.hosts[host_id] = FileHost(host_id)
+            self.hosts[host_id] = FileHost(host_id, sis=self._make_sis(host_id))
             for index, stat in enumerate(machine.files):
                 file_id = f"m{machine.machine_index}-f{index}"
                 tasks.append((file_id, host_id, (stat.content_id, stat.size)))

@@ -29,9 +29,9 @@ class ReplicaInfo:
 class FileHost:
     """One machine's replica store: SIS-backed encrypted blobs plus metadata."""
 
-    def __init__(self, machine_identifier: int):
+    def __init__(self, machine_identifier: int, sis: Optional[SingleInstanceStore] = None):
         self.machine_identifier = machine_identifier
-        self.sis = SingleInstanceStore()
+        self.sis = sis if sis is not None else SingleInstanceStore()
         self._replicas: Dict[str, ReplicaInfo] = {}
 
     # -- replica management --------------------------------------------------

@@ -12,20 +12,36 @@ record.  If no record in the database has a lower fingerprint value than the
 new record, the machine discards the new record."
 
 Eviction uses a lazy min-heap over fingerprint sort keys, so inserts stay
-O(log n) amortized even under heavy eviction churn.
+O(log n) amortized even under heavy eviction churn.  Removals leave stale
+entries in the heap; a stale-ratio-triggered compaction rebuilds it from the
+live records, so long churn runs keep the heap within a constant factor of
+the live record count instead of growing without bound.
+
+This is the in-memory implementation of the
+:class:`repro.salad.storage.RecordStore` contract; the sqlite and WAL
+backends in :mod:`repro.salad.storage` are observably identical (the shared
+contract suite asserts it).  Matches are returned sorted by location and
+:meth:`records` iterates in ``(sort_key, location)`` order -- the orderings
+the contract fixes so every backend can reproduce them.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.fingerprint import Fingerprint
 from repro.salad.records import SaladRecord
+from repro.salad.storage import RecordStore
 
 
-class RecordDatabase:
-    """Associative store of `(fingerprint, location)` records."""
+class RecordDatabase(RecordStore):
+    """Associative in-memory store of `(fingerprint, location)` records."""
+
+    #: Compact the lazy heap when it exceeds this many times the live record
+    #: count (and the floor below, so small databases never bother).
+    _HEAP_COMPACT_RATIO = 2
+    _HEAP_COMPACT_FLOOR = 64
 
     def __init__(self, capacity: Optional[int] = None):
         if capacity is not None and capacity < 1:
@@ -34,11 +50,13 @@ class RecordDatabase:
         self._by_fingerprint: Dict[Fingerprint, Set[int]] = {}
         self._count = 0
         # Lazy min-heap of (sort_key, fingerprint, location); entries may be
-        # stale if the record was already evicted/removed.
+        # stale if the record was already evicted/removed.  Only used when a
+        # capacity is set (uncapped databases never evict).
         self._heap: List[Tuple[bytes, bytes, int]] = []
         self._fp_by_encoding: Dict[bytes, Fingerprint] = {}
         self.evictions = 0
         self.rejections = 0
+        self.heap_compactions = 0
 
     def __len__(self) -> int:
         return self._count
@@ -56,8 +74,8 @@ class RecordDatabase:
         return locations is not None and location in locations
 
     def records(self) -> Iterator[SaladRecord]:
-        for fingerprint, locations in self._by_fingerprint.items():
-            for location in locations:
+        for fingerprint in sorted(self._by_fingerprint, key=Fingerprint.to_bytes):
+            for location in sorted(self._by_fingerprint[fingerprint]):
                 yield SaladRecord(fingerprint=fingerprint, location=location)
 
     def _remove(self, fingerprint: Fingerprint, location: int) -> None:
@@ -69,6 +87,29 @@ class RecordDatabase:
         if not locations:
             del self._by_fingerprint[fingerprint]
             self._fp_by_encoding.pop(fingerprint.to_bytes(), None)
+        self._maybe_compact_heap()
+
+    def _maybe_compact_heap(self) -> None:
+        """Rebuild the heap from live records once stale entries dominate.
+
+        Every live record of a capacity-bounded database has exactly one
+        heap entry, so ``len(_heap) - _count`` is the stale count.  Popping
+        (eviction) consumes entries; only removals strand them, so without
+        this check a long join/depart churn run grows the heap without
+        bound while the live count stays flat.
+        """
+        heap_len = len(self._heap)
+        if heap_len <= self._HEAP_COMPACT_FLOOR:
+            return
+        if heap_len <= self._HEAP_COMPACT_RATIO * self._count:
+            return
+        self._heap = [
+            (encoding, encoding, location)
+            for encoding, fingerprint in self._fp_by_encoding.items()
+            for location in self._by_fingerprint.get(fingerprint, ())
+        ]
+        heapq.heapify(self._heap)
+        self.heap_compactions += 1
 
     def _pop_lowest(self) -> Optional[SaladRecord]:
         """Remove and return the stored record with the lowest fingerprint."""
@@ -102,9 +143,10 @@ class RecordDatabase:
         """Insert a record, applying the capacity policy.
 
         Returns ``(stored, matches)`` where *matches* are the records already
-        present with the same fingerprint (computed before insertion, and
-        regardless of whether the new record is stored -- a leaf that rejects
-        a record for capacity can still report matches it knows about).
+        present with the same fingerprint (computed before insertion, sorted
+        by location, and regardless of whether the new record is stored -- a
+        leaf that rejects a record for capacity can still report matches it
+        knows about).
         """
         existing = self._by_fingerprint.get(record.fingerprint)
         if existing is None:
@@ -119,7 +161,7 @@ class RecordDatabase:
         else:
             matches = [
                 SaladRecord(fingerprint=record.fingerprint, location=location)
-                for location in existing
+                for location in sorted(existing)
             ]
             if record.location in existing:
                 return False, matches  # duplicate record; nothing to do
@@ -145,18 +187,6 @@ class RecordDatabase:
         )
         return True, matches
 
-    def insert_many(
-        self, records: Iterable[SaladRecord]
-    ) -> List[Tuple[SaladRecord, bool, List[SaladRecord]]]:
-        """Insert a batch of records in order; one result triple per record.
-
-        Equivalent to calling :meth:`insert` per record (the capacity policy
-        is applied record by record, so a batch observes exactly the same
-        eviction decisions as a sequence of singles), but saves the
-        per-message dispatch when a coalesced RECORD_BATCH arrives.
-        """
-        return [(record, *self.insert(record)) for record in records]
-
     def remove_location(self, location: int) -> int:
         """Drop every record pointing at *location* (a departed machine).
 
@@ -168,3 +198,8 @@ class RecordDatabase:
                 self._remove(fingerprint, location)
                 removed += 1
         return removed
+
+    @property
+    def pending_records(self) -> int:
+        """Everything is lost on a crash: memory stores have no durability."""
+        return self._count

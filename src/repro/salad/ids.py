@@ -36,7 +36,16 @@ def cell_id_width(system_size: float, target_redundancy: float) -> int:
     ratio = system_size / target_redundancy
     if ratio < 1:
         return 0
-    return int(math.floor(math.log2(ratio)))
+    width = int(math.floor(math.log2(ratio)))
+    # math.log2 rounds to nearest, so when the true ratio sits within an
+    # ulp of a power of two the floor can land one step off (e.g.
+    # log2(32 / (1 + 2**-51)) evaluates to exactly 5.0); correct with the
+    # same float comparisons the Eq. 5 band is checked with.
+    while width > 0 and system_size / (1 << width) < target_redundancy:
+        width -= 1
+    while system_size / (1 << (width + 1)) >= target_redundancy:
+        width += 1
+    return width
 
 
 def cell_id(identifier: int, width: int) -> int:

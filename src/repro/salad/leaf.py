@@ -29,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.salad import protocol
 from repro.salad.alignment import mismatching_dimensions
 from repro.salad.database import RecordDatabase
+from repro.salad.storage import RecordStore
 from repro.salad.ids import (
     axis_masks,
     cell_id,
@@ -66,6 +67,7 @@ class SaladLeaf(SimMachine):
         notify_limit: Optional[int] = None,
         rng: Optional[random.Random] = None,
         reference_routing: bool = False,
+        database: Optional[RecordStore] = None,
     ):
         super().__init__(identifier, network)
         if dimensions < 1:
@@ -78,7 +80,14 @@ class SaladLeaf(SimMachine):
         self.dimensions = dimensions
         self.damping = damping
         self.width = 0
-        self.database = RecordDatabase(capacity=database_capacity)
+        # Any repro.salad.storage.RecordStore works here (the memory, sqlite,
+        # and WAL backends are contract-identical); callers that don't pass
+        # one get the in-memory default.
+        self.database = (
+            database
+            if database is not None
+            else RecordDatabase(capacity=database_capacity)
+        )
         # Duplicate-notification policy.  None reproduces Fig. 4 literally:
         # notify both machines of *every* matching pair, which costs
         # O(copies^2) messages per duplicate group.  An integer cap notifies
@@ -110,6 +119,13 @@ class SaladLeaf(SimMachine):
         # recomputed by _rebuild_index.
         self._cell_mask = 0
         self._axis_masks = axis_masks(0, dimensions)
+        # Width-increase lookahead: masks for width W+1 and a running count
+        # of table entries that would stay vector-aligned at that width, so
+        # the Fig. 6 growth check needs no table scan unless it commits.
+        self._next_cell_mask = 1
+        self._next_axis_masks = axis_masks(1, dimensions)
+        self._next_width_survivors = 0
+        self.survivor_scans = 0
         self._next_hop_cache: Dict[int, object] = {}
         self.next_hop_hits = 0
         self.next_hop_misses = 0
@@ -187,6 +203,19 @@ class SaladLeaf(SimMachine):
     def table_size(self) -> int:
         return len(self.leaf_table)
 
+    def _survives_next_width(self, identifier: int) -> bool:
+        """Would *identifier* stay vector-aligned at width W+1?"""
+        diff = (identifier ^ self.identifier) & self._next_cell_mask
+        if not diff:
+            return True
+        mismatched = False
+        for mask in self._next_axis_masks:
+            if diff & mask:
+                if mismatched:
+                    return False
+                mismatched = True
+        return True
+
     def _index_add(self, identifier: int) -> bool:
         """Place a leaf into the cellmate/vector index.
 
@@ -199,6 +228,8 @@ class SaladLeaf(SimMachine):
         if not diff:
             self._cellmates.add(identifier)
             self._next_hop_cache.clear()
+            if self._survives_next_width(identifier):
+                self._next_width_survivors += 1
             return True
         axis = -1
         for d, mask in enumerate(self._axis_masks):
@@ -209,6 +240,8 @@ class SaladLeaf(SimMachine):
         key = identifier & self._axis_masks[axis]
         self._vectors[axis].setdefault(key, set()).add(identifier)
         self._next_hop_cache.clear()
+        if self._survives_next_width(identifier):
+            self._next_width_survivors += 1
         return True
 
     def _index_remove(self, identifier: int) -> None:
@@ -216,11 +249,16 @@ class SaladLeaf(SimMachine):
         for by_key in self._vectors.values():
             for members in by_key.values():
                 members.discard(identifier)
+        if self._survives_next_width(identifier):
+            self._next_width_survivors -= 1
         self._next_hop_cache.clear()
 
     def _rebuild_index(self) -> None:
         self._cell_mask = (1 << self.width) - 1
         self._axis_masks = axis_masks(self.width, self.dimensions)
+        self._next_cell_mask = (1 << (self.width + 1)) - 1
+        self._next_axis_masks = axis_masks(self.width + 1, self.dimensions)
+        self._next_width_survivors = 0
         self._next_hop_cache.clear()
         self._cellmates = set()
         self._vectors = {d: {} for d in range(self.dimensions)}
@@ -643,30 +681,31 @@ class SaladLeaf(SimMachine):
 
         target = target_width(estimate, self.target_redundancy)
         while target > self.width:
+            # The stability check costs O(1): _next_width_survivors is the
+            # incrementally maintained count of entries that stay
+            # vector-aligned at W+1, so rejecting the tentative width (the
+            # hysteresis zone, where every table change used to pay a full
+            # rescan) touches no table entry at all.
             tentative_width = self.width + 1
-            survivors = [
-                identifier
-                for identifier in self.leaf_table
-                if len(
-                    mismatching_dimensions(
-                        self.identifier, identifier, tentative_width, d_count
-                    )
-                )
-                <= 1
-            ]
-            tentative_table = len(survivors) + 1
+            tentative_table = self._next_width_survivors + 1
             tentative_estimate = estimate_system_size(
                 tentative_table, tentative_width, d_count
             )
             tentative_target = target_width(tentative_estimate, self.target_redundancy)
             if tentative_target < tentative_width:
                 return  # the tentative width is unstable; stay put
+            # Committed: one scan partitions the table (the only remaining
+            # full pass, counted so tests can pin the bound).
+            self.survivor_scans += 1
+            dropped = [
+                identifier
+                for identifier in self.leaf_table
+                if not self._survives_next_width(identifier)
+            ]
             self.width = tentative_width
             self.width_changes += 1
-            survivor_set = set(survivors)
-            for identifier in list(self.leaf_table):
-                if identifier not in survivor_set:
-                    del self.leaf_table[identifier]
+            for identifier in dropped:
+                del self.leaf_table[identifier]
             self._rebuild_index()
             estimate = tentative_estimate
             target = tentative_target

@@ -14,15 +14,27 @@ notifications from which reclaimed space is computed (Figs. 7-8).
 
 from __future__ import annotations
 
+import itertools
+import os
 import random
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.salad.leaf import SaladLeaf
 from repro.salad.protocol import MatchPayload
 from repro.salad.records import SaladRecord
+from repro.salad.storage import (
+    make_record_store,
+    resolve_db_backend,
+    resolve_db_dir,
+)
 from repro.sim.events import EventScheduler
 from repro.sim.network import Network
+
+#: Per-process sequence distinguishing the durable-store directories of
+#: multiple Salad instances built in one process (e.g. one per sweep point).
+_salad_sequence = itertools.count()
 
 #: Identifier width: 20-byte hashes (section 2).
 IDENTIFIER_BITS = 160
@@ -46,8 +58,19 @@ class SaladConfig:
     #: next-hop cache.  Message-for-message identical (the golden-trace tests
     #: assert it); only useful as the oracle side of that comparison.
     reference_routing: bool = False
+    #: Record-database backend per leaf: "memory" (default), "sqlite", or
+    #: "wal" (see repro.salad.storage).  None defers to the session default
+    #: set by set_default_db_backend (the CLI --db-backend hook).  All three
+    #: are contract-identical; the durable two trade insert speed for a
+    #: bounded memory footprint and crash recovery.
+    db_backend: Optional[str] = None
+    #: Directory durable backends write under (each Salad instance gets its
+    #: own subdirectory so repeated runs never reopen each other's files).
+    #: None = the session default, falling back to a per-process tempdir.
+    db_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
+        resolve_db_backend(self.db_backend)  # fail fast on unknown names
         if self.dimensions < 1:
             raise ValueError(f"dimensions must be >= 1: {self.dimensions}")
         if self.target_redundancy < 1.0:
@@ -71,6 +94,31 @@ class Salad:
         )
         self.leaves: Dict[int, SaladLeaf] = {}
         self._join_order: List[int] = []
+        # Durable-store housing: resolved lazily so memory-backed SALADs
+        # (the default) never touch the filesystem.
+        self._db_backend = resolve_db_backend(config.db_backend)
+        self._db_dir: Optional[Path] = None
+
+    def _database_for(self, identifier: int):
+        """The record store a new leaf gets under this SALAD's backend."""
+        if self._db_backend == "memory":
+            return make_record_store("memory", capacity=self.config.database_capacity)
+        if self._db_dir is None:
+            self._db_dir = (
+                resolve_db_dir(self.config.db_dir)
+                / f"salad-{os.getpid()}-{next(_salad_sequence)}"
+            )
+        return make_record_store(
+            self._db_backend,
+            capacity=self.config.database_capacity,
+            db_dir=self._db_dir,
+            name=f"leaf-{identifier:040x}",
+        )
+
+    def close_databases(self) -> None:
+        """Flush and close every leaf's record store (durable backends)."""
+        for leaf in self.leaves.values():
+            leaf.database.close()
 
     # ------------------------------------------------------------------
     # membership
@@ -104,6 +152,7 @@ class Salad:
             notify_limit=self.config.notify_limit,
             rng=random.Random(self._rng.getrandbits(64)),
             reference_routing=self.config.reference_routing,
+            database=self._database_for(identifier),
         )
         self.leaves[identifier] = leaf
         return leaf
@@ -171,6 +220,11 @@ class Salad:
             inserted += leaf.insert_records(records)
         if settle:
             self.network.run()
+            # Batch boundary: make the settled round durable, so a crash
+            # loses at most the round in flight (no-op for memory stores).
+            for leaf in self.leaves.values():
+                if leaf.alive:
+                    leaf.database.flush()
         return inserted
 
     def collected_matches(self) -> List[Tuple[int, MatchPayload]]:

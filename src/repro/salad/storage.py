@@ -1,0 +1,650 @@
+"""Pluggable record-store backends for the SALAD leaf databases.
+
+The paper's full-scale deployment implies on the order of 10M
+``(fingerprint, location)`` records spread across the leaf databases
+(section 5); holding them all in RAM is what blocks a laptop-scale
+full-corpus run.  This module extracts the :class:`RecordStore` contract
+that :class:`repro.salad.database.RecordDatabase` (the in-memory store)
+already implements and adds two durable backends:
+
+- :class:`SqliteRecordStore` -- records live in a single-file sqlite3
+  database whose ``WITHOUT ROWID`` primary key ``(sort_key, location)`` *is*
+  the covering index over the fingerprint sort order, so the Fig. 13
+  lowest-fingerprint eviction probe stays one O(log n) B-tree descent and
+  lookups by fingerprint are a prefix range scan of the same tree;
+- :class:`WalRecordStore` -- an append-only write-ahead log of state-changing
+  operations with per-entry CRC32 framing.  Replay rebuilds the in-memory
+  index; a truncated or corrupt tail (a torn write from a crash) is detected
+  by the CRC and *dropped*, never fatal.  A stale-ratio-triggered compaction
+  rewrites the log as a snapshot of the live records.
+
+All three backends are observably identical for in-memory behavior: the
+shared contract suite (``tests/salad/test_record_stores.py``) runs them
+through the same associative-insert / capacity-eviction / iteration
+semantics and asserts bit-identical results.  The contract fixes two
+orderings the original in-memory store left to Python set iteration:
+duplicate matches are returned sorted by location, and :meth:`records`
+iterates in ``(sort_key, location)`` order.
+
+Backend selection threads through :class:`repro.salad.salad.SaladConfig`
+(``db_backend`` / ``db_dir``) and the experiment CLIs (``--db-backend
+memory|sqlite|wal``, ``--db-dir``); :func:`set_default_db_backend` sets the
+process-wide default the same way ``repro.perf.set_default_workers`` does
+for parallelism.
+
+WAL format (version 1)::
+
+    file   := MAGIC entry*
+    MAGIC  := b"SALADWAL1\\n"
+    entry  := op(1) payload_len(u32 BE) payload crc32(u32 BE)
+    op     := 0x01 INSERT | 0x02 REMOVE_LOCATION
+    INSERT payload := fingerprint(28) loc_len(u16 BE) location(loc_len, BE)
+    REMOVE payload := loc_len(u16 BE) location(loc_len, BE)
+
+The CRC covers ``op || payload_len || payload``.  Only state-changing
+operations are logged (a rejected or duplicate insert changes nothing), so
+replaying the log through the same deterministic capacity policy reproduces
+the exact live state.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import sqlite3
+import struct
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.fingerprint import FINGERPRINT_BYTES, Fingerprint
+from repro.salad.records import SaladRecord
+
+#: Known backend names, in documentation order.
+BACKENDS = ("memory", "sqlite", "wal")
+
+#: Fixed-width big-endian location encoding for sqlite: lexicographic blob
+#: order equals numeric order, so ``ORDER BY location`` is the numeric sort
+#: the match-order contract requires.  32 bytes covers 160-bit machine ids.
+_LOCATION_BYTES = 32
+
+WAL_MAGIC = b"SALADWAL1\n"
+_OP_INSERT = 0x01
+_OP_REMOVE_LOCATION = 0x02
+_HEADER = struct.Struct(">BI")  # op, payload length
+_CRC = struct.Struct(">I")
+
+
+class RecordStore(abc.ABC):
+    """The associative record-database contract every backend implements.
+
+    Semantics (shared by all backends, pinned by the contract suite):
+
+    - ``insert`` returns ``(stored, matches)`` where *matches* are the
+      records already present with the same fingerprint, sorted by
+      location, computed before insertion and regardless of whether the new
+      record is stored;
+    - with a ``capacity``, an insert into a full store evicts the record
+      with the lowest ``(sort_key, location)`` -- unless no stored record
+      sorts below the new one, in which case the new record is rejected;
+    - ``records()`` iterates in ``(sort_key, location)`` order;
+    - ``evictions`` / ``rejections`` count capacity-policy outcomes for the
+      lifetime of the open store (they are session statistics, not
+      persisted state).
+    """
+
+    capacity: Optional[int]
+    evictions: int
+    rejections: int
+    #: Backing file, or None for purely in-memory stores.
+    path: Optional[Path] = None
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @abc.abstractmethod
+    def __contains__(self, fingerprint: Fingerprint) -> bool: ...
+
+    @abc.abstractmethod
+    def locations(self, fingerprint: Fingerprint) -> Set[int]: ...
+
+    @abc.abstractmethod
+    def has_location(self, fingerprint: Fingerprint, location: int) -> bool: ...
+
+    @abc.abstractmethod
+    def records(self) -> Iterator[SaladRecord]: ...
+
+    @abc.abstractmethod
+    def insert(self, record: SaladRecord) -> Tuple[bool, List[SaladRecord]]: ...
+
+    @abc.abstractmethod
+    def remove_location(self, location: int) -> int: ...
+
+    def insert_many(
+        self, records: Iterable[SaladRecord]
+    ) -> List[Tuple[SaladRecord, bool, List[SaladRecord]]]:
+        """Insert a batch in order; one ``(record, stored, matches)`` per record.
+
+        The capacity policy is applied record by record, so a batch observes
+        exactly the same eviction decisions as a sequence of singles.
+        """
+        return [(record, *self.insert(record)) for record in records]
+
+    # -- durability ------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Make all applied operations durable (no-op for memory stores)."""
+
+    def close(self) -> None:
+        """Flush and release any backing resources."""
+        self.flush()
+
+    def crash(self) -> None:
+        """Simulate a process crash: abandon the store *without* flushing.
+
+        Durable backends lose only operations not yet flushed; in-memory
+        stores lose everything.  After ``crash`` the store is unusable;
+        recovery reopens the backing file through :func:`make_record_store`.
+        """
+        pass
+
+    @property
+    def pending_records(self) -> int:
+        """Stored records that would be lost if the process crashed now."""
+        return len(self)
+
+
+def _encode_location(location: int) -> bytes:
+    return location.to_bytes(_LOCATION_BYTES, "big")
+
+
+def _decode_location(blob: bytes) -> int:
+    return int.from_bytes(blob, "big")
+
+
+class SqliteRecordStore(RecordStore):
+    """Records in a single-file sqlite3 database (stdlib, no extra deps).
+
+    Schema::
+
+        CREATE TABLE records (
+            sort_key BLOB NOT NULL,    -- fingerprint.to_bytes(): size || hash
+            location BLOB NOT NULL,    -- 32-byte big-endian machine id
+            PRIMARY KEY (sort_key, location)
+        ) WITHOUT ROWID
+
+    The primary key doubles as the covering index over the fingerprint sort
+    order: the Fig. 13 eviction probe (``ORDER BY sort_key, location LIMIT
+    1``) and fingerprint lookups (prefix range scans) both resolve inside
+    one B-tree, so inserts stay O(log n) under heavy eviction churn.  A
+    secondary index on ``location`` keeps machine departures
+    (:meth:`remove_location`) from scanning the whole table.
+
+    Writes batch into transactions committed every ``commit_every``
+    operations (and on :meth:`flush` / :meth:`close`); a crash loses at most
+    the uncommitted tail, which :attr:`pending_records` reports.
+    """
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        capacity: Optional[int] = None,
+        commit_every: int = 256,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive if set: {capacity}")
+        if commit_every < 1:
+            raise ValueError(f"commit_every must be positive: {commit_every}")
+        self.capacity = capacity
+        self.path = Path(path)
+        self.evictions = 0
+        self.rejections = 0
+        self._commit_every = commit_every
+        self._uncommitted = 0
+        self._pending = 0  # net stored-record delta not yet committed
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS records ("
+            " sort_key BLOB NOT NULL,"
+            " location BLOB NOT NULL,"
+            " PRIMARY KEY (sort_key, location)"
+            ") WITHOUT ROWID"
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS records_by_location ON records(location)"
+        )
+        self._conn.commit()
+        self._count = self._conn.execute("SELECT COUNT(*) FROM records").fetchone()[0]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM records WHERE sort_key = ? LIMIT 1",
+            (fingerprint.to_bytes(),),
+        ).fetchone()
+        return row is not None
+
+    def locations(self, fingerprint: Fingerprint) -> Set[int]:
+        rows = self._conn.execute(
+            "SELECT location FROM records WHERE sort_key = ?",
+            (fingerprint.to_bytes(),),
+        )
+        return {_decode_location(row[0]) for row in rows}
+
+    def has_location(self, fingerprint: Fingerprint, location: int) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM records WHERE sort_key = ? AND location = ?",
+            (fingerprint.to_bytes(), _encode_location(location)),
+        ).fetchone()
+        return row is not None
+
+    def records(self) -> Iterator[SaladRecord]:
+        rows = self._conn.execute(
+            "SELECT sort_key, location FROM records ORDER BY sort_key, location"
+        )
+        for sort_key, location in rows:
+            yield SaladRecord(
+                fingerprint=Fingerprint.from_bytes(sort_key),
+                location=_decode_location(location),
+            )
+
+    def _matches(self, record: SaladRecord) -> List[SaladRecord]:
+        rows = self._conn.execute(
+            "SELECT location FROM records WHERE sort_key = ? ORDER BY location",
+            (record.sort_key(),),
+        )
+        return [
+            SaladRecord(fingerprint=record.fingerprint, location=_decode_location(row[0]))
+            for row in rows
+        ]
+
+    def insert(self, record: SaladRecord) -> Tuple[bool, List[SaladRecord]]:
+        matches = self._matches(record)
+        if any(m.location == record.location for m in matches):
+            return False, matches
+        key = record.sort_key()
+        if self.capacity is not None and self._count >= self.capacity:
+            lowest = self._conn.execute(
+                "SELECT sort_key, location FROM records"
+                " ORDER BY sort_key, location LIMIT 1"
+            ).fetchone()
+            if lowest is None or key <= lowest[0]:
+                self.rejections += 1
+                return False, matches
+            self._conn.execute(
+                "DELETE FROM records WHERE sort_key = ? AND location = ?", lowest
+            )
+            self._count -= 1
+            self.evictions += 1
+            self._mutated()
+        self._conn.execute(
+            "INSERT INTO records (sort_key, location) VALUES (?, ?)",
+            (key, _encode_location(record.location)),
+        )
+        self._count += 1
+        self._pending += 1
+        self._mutated()
+        return True, matches
+
+    def insert_many(
+        self, records: Iterable[SaladRecord]
+    ) -> List[Tuple[SaladRecord, bool, List[SaladRecord]]]:
+        results = [(record, *self.insert(record)) for record in records]
+        self.flush()  # batch boundary: commit the whole batch
+        return results
+
+    def remove_location(self, location: int) -> int:
+        cursor = self._conn.execute(
+            "DELETE FROM records WHERE location = ?", (_encode_location(location),)
+        )
+        removed = cursor.rowcount
+        if removed:
+            self._count -= removed
+            self._mutated()
+        return removed
+
+    def _mutated(self) -> None:
+        self._uncommitted += 1
+        if self._uncommitted >= self._commit_every:
+            self.flush()
+
+    def flush(self) -> None:
+        self._conn.commit()
+        self._uncommitted = 0
+        self._pending = 0
+
+    def close(self) -> None:
+        self.flush()
+        self._conn.close()
+
+    def crash(self) -> None:
+        # Roll back the open transaction: exactly what a process crash does
+        # to uncommitted sqlite writes.
+        self._conn.rollback()
+        self._conn.close()
+
+    @property
+    def pending_records(self) -> int:
+        return min(self._pending, self._count)
+
+
+class WalRecordStore(RecordStore):
+    """An append-log (write-ahead) store with crash recovery and compaction.
+
+    Live state is an in-memory :class:`~repro.salad.database.RecordDatabase`
+    (so every read and the capacity policy are exactly the memory backend);
+    every *state-changing* operation is additionally framed and appended to
+    the log.  Reopening an existing log replays it to rebuild the state;
+    entries whose CRC fails or that are truncated mid-frame -- the torn tail
+    of a crash -- are dropped and the file is trimmed to the last valid
+    entry, never treated as fatal (:attr:`torn_bytes_dropped` reports how
+    much was discarded, :attr:`recovered_records` how many live records the
+    replay restored).
+
+    Appends buffer in memory and reach the file every ``sync_every`` logged
+    operations, at every batch boundary (:meth:`insert_many`), and on
+    :meth:`flush` / :meth:`close`; a crash loses at most the buffered tail.
+
+    Compaction: removals and evictions strand stale entries in the log.
+    When the log holds more than ``compact_ratio`` entries per live record
+    (checked after each logged operation, with a floor to leave small logs
+    alone), the log is rewritten as a snapshot -- one INSERT per live record
+    in ``(sort_key, location)`` order -- via an atomic temp-file replace.
+    """
+
+    _COMPACT_FLOOR = 1024
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        capacity: Optional[int] = None,
+        sync_every: int = 64,
+        compact_ratio: float = 4.0,
+    ):
+        if sync_every < 1:
+            raise ValueError(f"sync_every must be positive: {sync_every}")
+        if compact_ratio < 1.0:
+            raise ValueError(f"compact_ratio must be at least 1: {compact_ratio}")
+        from repro.salad.database import RecordDatabase
+
+        self.path = Path(path)
+        self._mem = RecordDatabase(capacity=capacity)
+        self._sync_every = sync_every
+        self._compact_ratio = compact_ratio
+        self._buffer = bytearray()
+        self._buffered_ops = 0
+        self._log_ops = 0  # entries in the on-disk log plus the buffer
+        self.recovered_records = 0
+        self.torn_bytes_dropped = 0
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._replay()
+            # Replay re-runs the capacity policy; its eviction/rejection
+            # outcomes belong to the previous session, not this one.
+            self._mem.evictions = 0
+            self._mem.rejections = 0
+        else:
+            self.path.write_bytes(WAL_MAGIC)
+        self._fh = open(self.path, "ab", buffering=0)  # unbuffered appends
+        self.recovered_records = len(self._mem)
+
+    # -- delegated reads (the memory store is the live state) -----------------
+
+    capacity = property(lambda self: self._mem.capacity)
+    evictions = property(lambda self: self._mem.evictions)
+    rejections = property(lambda self: self._mem.rejections)
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        return fingerprint in self._mem
+
+    def locations(self, fingerprint: Fingerprint) -> Set[int]:
+        return self._mem.locations(fingerprint)
+
+    def has_location(self, fingerprint: Fingerprint, location: int) -> bool:
+        return self._mem.has_location(fingerprint, location)
+
+    def records(self) -> Iterator[SaladRecord]:
+        return self._mem.records()
+
+    # -- log framing -----------------------------------------------------------
+
+    @staticmethod
+    def _frame(op: int, payload: bytes) -> bytes:
+        head = _HEADER.pack(op, len(payload))
+        return head + payload + _CRC.pack(zlib.crc32(head + payload))
+
+    @staticmethod
+    def _insert_payload(record: SaladRecord) -> bytes:
+        loc = record.location.to_bytes(
+            max(1, (record.location.bit_length() + 7) // 8), "big"
+        )
+        return record.sort_key() + struct.pack(">H", len(loc)) + loc
+
+    @staticmethod
+    def _remove_payload(location: int) -> bytes:
+        loc = location.to_bytes(max(1, (location.bit_length() + 7) // 8), "big")
+        return struct.pack(">H", len(loc)) + loc
+
+    def _append(self, op: int, payload: bytes) -> None:
+        self._buffer += self._frame(op, payload)
+        self._buffered_ops += 1
+        self._log_ops += 1
+        if self._buffered_ops >= self._sync_every:
+            self._write_out()
+        self._maybe_compact()
+
+    def _write_out(self) -> None:
+        if self._buffer:
+            self._fh.write(bytes(self._buffer))
+            self._buffer.clear()
+        self._buffered_ops = 0
+
+    # -- mutations -------------------------------------------------------------
+
+    def insert(self, record: SaladRecord) -> Tuple[bool, List[SaladRecord]]:
+        stored, matches = self._mem.insert(record)
+        if stored:
+            # Evictions need no log entry of their own: replaying the stored
+            # inserts through the same capacity policy re-derives them.
+            self._append(_OP_INSERT, self._insert_payload(record))
+        return stored, matches
+
+    def insert_many(
+        self, records: Iterable[SaladRecord]
+    ) -> List[Tuple[SaladRecord, bool, List[SaladRecord]]]:
+        results = [(record, *self.insert(record)) for record in records]
+        self._write_out()  # batch boundary: make the whole batch durable
+        return results
+
+    def remove_location(self, location: int) -> int:
+        removed = self._mem.remove_location(location)
+        if removed:
+            self._append(_OP_REMOVE_LOCATION, self._remove_payload(location))
+        return removed
+
+    # -- replay & recovery -----------------------------------------------------
+
+    def _replay(self) -> None:
+        data = self.path.read_bytes()
+        if not data.startswith(WAL_MAGIC):
+            # Foreign or garbage file: treat the whole thing as a torn tail.
+            self.torn_bytes_dropped = len(data)
+            self.path.write_bytes(WAL_MAGIC)
+            return
+        offset = len(WAL_MAGIC)
+        valid_end = offset
+        while offset < len(data):
+            if offset + _HEADER.size > len(data):
+                break  # truncated header
+            op, length = _HEADER.unpack_from(data, offset)
+            frame_end = offset + _HEADER.size + length + _CRC.size
+            if frame_end > len(data):
+                break  # truncated payload/CRC
+            payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
+            (crc,) = _CRC.unpack_from(data, offset + _HEADER.size + length)
+            if crc != zlib.crc32(data[offset : offset + _HEADER.size + length]):
+                break  # corrupt entry: drop it and everything after
+            if not self._apply(op, payload):
+                break  # unparseable payload: same treatment as a bad CRC
+            offset = frame_end
+            valid_end = frame_end
+            self._log_ops += 1
+        self.torn_bytes_dropped = len(data) - valid_end
+        if self.torn_bytes_dropped:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_end)
+
+    def _apply(self, op: int, payload: bytes) -> bool:
+        try:
+            if op == _OP_INSERT:
+                key = payload[:FINGERPRINT_BYTES]
+                (loc_len,) = struct.unpack_from(">H", payload, FINGERPRINT_BYTES)
+                loc_bytes = payload[FINGERPRINT_BYTES + 2 :]
+                if len(key) != FINGERPRINT_BYTES or len(loc_bytes) != loc_len:
+                    return False
+                self._mem.insert(
+                    SaladRecord(
+                        fingerprint=Fingerprint.from_bytes(key),
+                        location=int.from_bytes(loc_bytes, "big"),
+                    )
+                )
+            elif op == _OP_REMOVE_LOCATION:
+                (loc_len,) = struct.unpack_from(">H", payload, 0)
+                loc_bytes = payload[2:]
+                if len(loc_bytes) != loc_len:
+                    return False
+                self._mem.remove_location(int.from_bytes(loc_bytes, "big"))
+            else:
+                return False
+        except (ValueError, struct.error):
+            return False
+        return True
+
+    # -- compaction ------------------------------------------------------------
+
+    @property
+    def log_ops(self) -> int:
+        """Entries currently in the log (disk plus buffer)."""
+        return self._log_ops
+
+    def _maybe_compact(self) -> None:
+        if self._log_ops <= self._COMPACT_FLOOR:
+            return
+        if self._log_ops <= self._compact_ratio * max(1, len(self._mem)):
+            return
+        self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the log as a snapshot of the live records (atomic)."""
+        tmp = self.path.with_suffix(self.path.suffix + ".compact")
+        with open(tmp, "wb") as fh:
+            fh.write(WAL_MAGIC)
+            count = 0
+            for record in self._mem.records():
+                fh.write(self._frame(_OP_INSERT, self._insert_payload(record)))
+                count += 1
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._fh.close()
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "ab", buffering=0)
+        self._buffer.clear()
+        self._buffered_ops = 0
+        self._log_ops = count
+
+    # -- durability ------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._write_out()
+
+    def close(self) -> None:
+        self._write_out()
+        self._fh.close()
+
+    def crash(self) -> None:
+        # Abandon the buffered tail: those operations never reached the file.
+        self._buffer.clear()
+        self._buffered_ops = 0
+        self._fh.close()
+
+    @property
+    def pending_records(self) -> int:
+        return min(self._buffered_ops, len(self._mem))
+
+
+# ----------------------------------------------------------------------------
+# factory & session defaults
+# ----------------------------------------------------------------------------
+
+_default_backend: str = "memory"
+_default_db_dir: Optional[Path] = None
+_process_tmp_dir: Optional[Path] = None
+
+
+def set_default_db_backend(backend: str, db_dir: Optional[os.PathLike] = None) -> None:
+    """Set the process-wide backend default (the CLI ``--db-backend`` hook).
+
+    Mirrors :func:`repro.perf.set_default_workers`: configs whose
+    ``db_backend`` is ``None`` resolve to this value, so one CLI flag steers
+    every Salad an experiment builds (including those built inside worker
+    processes, which re-apply the flag on startup).
+    """
+    global _default_backend, _default_db_dir
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown db backend {backend!r}; choose from {BACKENDS}")
+    _default_backend = backend
+    _default_db_dir = Path(db_dir) if db_dir is not None else None
+
+
+def resolve_db_backend(backend: Optional[str]) -> str:
+    """``None`` means the session default; anything else must be known."""
+    if backend is None:
+        return _default_backend
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown db backend {backend!r}; choose from {BACKENDS}")
+    return backend
+
+
+def resolve_db_dir(db_dir: Optional[os.PathLike]) -> Path:
+    """The directory durable stores live in; a per-process tempdir by default."""
+    global _process_tmp_dir
+    if db_dir is not None:
+        path = Path(db_dir)
+    elif _default_db_dir is not None:
+        path = _default_db_dir
+    else:
+        if _process_tmp_dir is None:
+            _process_tmp_dir = Path(tempfile.mkdtemp(prefix="salad-db-"))
+        path = _process_tmp_dir
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def make_record_store(
+    backend: Optional[str] = None,
+    capacity: Optional[int] = None,
+    db_dir: Optional[os.PathLike] = None,
+    name: str = "records",
+) -> RecordStore:
+    """Create (or reopen) a record store of the requested backend.
+
+    *name* identifies the store within *db_dir*; reusing an existing name
+    with a durable backend reopens that store and recovers its records,
+    which is exactly what the crash-recovery harness does.
+    """
+    backend = resolve_db_backend(backend)
+    if backend == "memory":
+        from repro.salad.database import RecordDatabase
+
+        return RecordDatabase(capacity=capacity)
+    directory = resolve_db_dir(db_dir)
+    if backend == "sqlite":
+        return SqliteRecordStore(directory / f"{name}.sqlite", capacity=capacity)
+    return WalRecordStore(directory / f"{name}.wal", capacity=capacity)

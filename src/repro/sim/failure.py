@@ -1,4 +1,4 @@
-"""Failure injection.
+"""Failure injection and crash-recovery measurement.
 
 Fig. 8 of the paper "tested the resilience of the DFC system to machine
 failure by randomly failing the simulated machines" and plotting consumed
@@ -6,13 +6,21 @@ space versus the machine failure probability.  :func:`fail_randomly`
 implements exactly that model: each machine independently fails with
 probability p.  :class:`ChurnSchedule` additionally drives join/leave churn
 over virtual time for the maintenance protocols (sections 4.4-4.5).
+
+:class:`CrashRecoveryHarness` extends the crash-stop model to the record
+*databases*: with a durable backend (``--db-backend sqlite|wal``), killing a
+machine mid-run abandons its store without flushing (exactly what a process
+crash does), and rejoining reopens the same backing file and recovers every
+record that had reached disk.  The harness measures the recovered fraction
+against the store's own durability prediction (records minus the unflushed
+tail), which is the floor the recovery must meet.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.events import EventScheduler
 from repro.sim.machine import SimMachine
@@ -116,3 +124,110 @@ class ChurnSchedule:
                 if recover_after > 0:
                     self.at(t + recover_after, "recover", machine)
         return scheduled
+
+
+# ----------------------------------------------------------------------------
+# database crash recovery
+# ----------------------------------------------------------------------------
+
+
+@dataclass
+class CrashedLeaf:
+    """What the harness remembers about one crashed machine's database."""
+
+    records_before: int  # live records at the instant of the crash
+    records_durable: int  # of those, records that had reached disk
+    recovered: Optional[int] = None  # live records after reopening, once rejoined
+
+
+@dataclass
+class CrashRecoveryReport:
+    """Aggregate outcome of one crash-and-rejoin cycle."""
+
+    crashed_leaves: int
+    records_before: int
+    records_durable: int
+    records_recovered: int
+    per_leaf: Dict[int, CrashedLeaf] = field(default_factory=dict)
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Fraction of pre-crash records the rejoined stores actually hold."""
+        return self.records_recovered / self.records_before if self.records_before else 1.0
+
+    @property
+    def predicted_fraction(self) -> float:
+        """The durability prediction: records that had reached disk pre-crash.
+
+        Recovery must restore at least this fraction -- a flushed record can
+        only be lost to real corruption, which replay detects and bounds to
+        the torn tail.
+        """
+        return self.records_durable / self.records_before if self.records_before else 1.0
+
+    @property
+    def meets_prediction(self) -> bool:
+        return self.records_recovered >= self.records_durable
+
+
+class CrashRecoveryHarness:
+    """Kill machines mid-run, then rejoin them from their on-disk stores.
+
+    Usage::
+
+        harness = CrashRecoveryHarness()
+        harness.crash(leaves)           # leaf.fail() + database.crash()
+        ... rest of the run proceeds without them ...
+        report = harness.rejoin()       # reopen stores, leaf.recover()
+
+    ``crash`` abandons each leaf's store *without* flushing, so the unsynced
+    tail (``pending_records``) is genuinely lost -- for the memory backend
+    that is everything, for sqlite the uncommitted transaction, for the WAL
+    the unwritten buffer.  ``rejoin`` reopens each durable store from its
+    backing file (replaying the WAL, with any torn tail dropped), reattaches
+    it to the leaf, and marks the machine alive again.
+    """
+
+    def __init__(self) -> None:
+        self._crashed: List[Tuple[object, CrashedLeaf]] = []
+
+    def crash(self, leaves: Iterable) -> List[CrashedLeaf]:
+        """Crash-stop each leaf and abandon its database without flushing."""
+        snapshots = []
+        for leaf in leaves:
+            store = leaf.database
+            info = CrashedLeaf(
+                records_before=len(store),
+                records_durable=len(store) - store.pending_records,
+            )
+            store.crash()
+            leaf.fail()
+            self._crashed.append((leaf, info))
+            snapshots.append(info)
+        return snapshots
+
+    def rejoin(self) -> CrashRecoveryReport:
+        """Reopen every crashed leaf's store from disk and bring it back up."""
+        report = CrashRecoveryReport(
+            crashed_leaves=len(self._crashed),
+            records_before=0,
+            records_durable=0,
+            records_recovered=0,
+        )
+        for leaf, info in self._crashed:
+            leaf.database = self._reopen(leaf.database)
+            leaf.recover()
+            info.recovered = len(leaf.database)
+            report.records_before += info.records_before
+            report.records_durable += info.records_durable
+            report.records_recovered += info.recovered
+            report.per_leaf[leaf.identifier] = info
+        self._crashed.clear()
+        return report
+
+    @staticmethod
+    def _reopen(store):
+        """A fresh store over the same backing file (empty for memory)."""
+        if store.path is None:
+            return type(store)(capacity=store.capacity)
+        return type(store)(store.path, capacity=store.capacity)

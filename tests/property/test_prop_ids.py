@@ -1,6 +1,6 @@
 """Property tests: cell-ID and coordinate arithmetic (Eqs. 6-10)."""
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.salad.ids import (
@@ -61,6 +61,9 @@ class TestCellIdWidth:
         st.integers(min_value=1, max_value=10**6),
         st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
     )
+    # Ratio within an ulp of a power of two: math.log2 rounds up to
+    # exactly 5.0 and the naive floor overshoots the band.
+    @example(system_size=32, target=1.0000000000000002)
     def test_eq5_band_always_holds(self, system_size, target):
         width = cell_id_width(system_size, target)
         lam = system_size / (1 << width)

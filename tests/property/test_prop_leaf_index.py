@@ -38,6 +38,23 @@ def check_index(leaf: SaladLeaf) -> None:
     assert leaf._cell_mask == (1 << leaf.width) - 1
     assert leaf._axis_masks == axis_masks(leaf.width, leaf.dimensions)
 
+    # The width-increase lookahead counter must equal the brute-force count
+    # of entries that stay vector-aligned at W+1 (the Fig. 6 growth check
+    # reads it instead of rescanning the table).
+    assert leaf._next_cell_mask == (1 << (leaf.width + 1)) - 1
+    assert leaf._next_axis_masks == axis_masks(leaf.width + 1, leaf.dimensions)
+    expected_survivors = sum(
+        1
+        for other in table
+        if len(
+            mismatching_dimensions(
+                leaf.identifier, other, leaf.width + 1, leaf.dimensions
+            )
+        )
+        <= 1
+    )
+    assert leaf._next_width_survivors == expected_survivors
+
     for other in table:
         delta = mismatching_dimensions(
             leaf.identifier, other, leaf.width, leaf.dimensions

@@ -131,3 +131,30 @@ class TestRemoveLocation:
         assert len(db) == 3
         assert rec(30, 3).fingerprint not in db
         assert rec(60, 6).fingerprint in db
+
+
+class TestHeapCompaction:
+    """Stale lazy-deleted heap entries must not accumulate without bound."""
+
+    def test_heap_length_stays_pinned_under_churn(self):
+        db = RecordDatabase(capacity=50)
+        for round_ in range(200):
+            for i in range(50):
+                db.insert(rec(100 + i, round_ * 50 + i, location=1))
+            db.remove_location(1)
+        # 10k inserts and 200 full clears: without compaction the lazy heap
+        # would hold every insertion ever made; with it, the heap can never
+        # exceed the compaction threshold.
+        assert len(db) == 0
+        assert db.heap_compactions > 0
+        assert len(db._heap) <= max(db._HEAP_COMPACT_FLOOR, 2 * len(db))
+
+    def test_compaction_preserves_eviction_order(self):
+        db = RecordDatabase(capacity=4)
+        for i in range(8):
+            db.insert(rec(10 + i, i, location=1))
+        db.remove_location(1)  # empty the db, stranding stale heap entries
+        db._maybe_compact_heap()
+        for i in range(6):
+            db.insert(rec(50 + i, 100 + i, location=2))
+        assert [r.fingerprint.size for r in db.records()] == [52, 53, 54, 55]

@@ -111,3 +111,51 @@ class TestRefreshAndDeparture:
         leaf.add_leaf(42, recalculate=False)
         assert leaf.flush_stale_entries(timeout=50.0) == 0
         assert leaf.knows(42)
+
+
+class TestWidthRecalculationCost:
+    """The Fig. 6 growth check must not rescan the table unless it commits."""
+
+    def test_rejected_growth_checks_scan_nothing(self):
+        import random
+
+        rng = random.Random(11)
+        leaf, _ = make_leaf(identifier=rng.randrange(1 << 24))
+        joins = 0
+        while joins < 1000:
+            if leaf.add_leaf(rng.randrange(1 << 24)):
+                joins += 1
+        # Every join in the hysteresis zone used to pay a full-table survivor
+        # scan; now only committed width increases do, so the scan count is
+        # bounded by the number of width changes, not the number of joins.
+        assert leaf.width > 0
+        assert leaf.width_changes > 0
+        assert leaf.survivor_scans <= leaf.width_changes
+
+    def test_survivor_counter_matches_brute_force_after_churn(self):
+        import random
+
+        from repro.salad.alignment import mismatching_dimensions
+
+        rng = random.Random(3)
+        leaf, _ = make_leaf(identifier=0x5A5A5A)
+        known = []
+        for _ in range(400):
+            if known and rng.random() < 0.3:
+                leaf.remove_leaf(known.pop(rng.randrange(len(known))))
+            else:
+                identifier = rng.randrange(1 << 24)
+                if leaf.add_leaf(identifier):
+                    known.append(identifier)
+            known = [k for k in known if leaf.knows(k)]
+        expected = sum(
+            1
+            for other in leaf.leaf_table
+            if len(
+                mismatching_dimensions(
+                    leaf.identifier, other, leaf.width + 1, leaf.dimensions
+                )
+            )
+            <= 1
+        )
+        assert leaf._next_width_survivors == expected

@@ -1,0 +1,313 @@
+"""Shared contract suite for the record-store backends.
+
+Every backend -- the in-memory :class:`RecordDatabase`, the sqlite store,
+and the append-log (WAL) store -- must be observably identical for
+in-memory behavior: same associative-insert semantics, same duplicate-match
+return order, same capacity-eviction policy, same iteration order.  The
+durable backends additionally pin reopen-after-close, crash (unflushed tail
+lost, flushed records kept), and WAL torn-tail recovery.
+"""
+
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad.records import SaladRecord
+from repro.salad.storage import (
+    BACKENDS,
+    WAL_MAGIC,
+    SqliteRecordStore,
+    WalRecordStore,
+    make_record_store,
+)
+
+DURABLE = tuple(b for b in BACKENDS if b != "memory")
+
+
+def rec(size: int, content: int = 0, location: int = 1) -> SaladRecord:
+    return SaladRecord(
+        fingerprint=synthetic_fingerprint(size, content), location=location
+    )
+
+
+def make(backend, tmp_path, capacity=None, name="store"):
+    return make_record_store(backend, capacity=capacity, db_dir=tmp_path, name=name)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+class TestContract:
+    def test_insert_lookup_roundtrip(self, backend, tmp_path):
+        store = make(backend, tmp_path)
+        r = rec(100, content=5, location=42)
+        stored, matches = store.insert(r)
+        assert stored and matches == []
+        assert len(store) == 1
+        assert r.fingerprint in store
+        assert store.locations(r.fingerprint) == {42}
+        assert store.has_location(r.fingerprint, 42)
+        assert not store.has_location(r.fingerprint, 43)
+        store.close()
+
+    def test_duplicate_insert_is_a_noop(self, backend, tmp_path):
+        store = make(backend, tmp_path)
+        r = rec(100, location=42)
+        store.insert(r)
+        stored, matches = store.insert(r)
+        assert not stored
+        assert matches == [r]
+        assert len(store) == 1
+        store.close()
+
+    def test_matches_are_pre_insert_and_sorted_by_location(self, backend, tmp_path):
+        store = make(backend, tmp_path)
+        for location in (9, 3, 7):
+            store.insert(rec(100, location=location))
+        stored, matches = store.insert(rec(100, location=5))
+        assert stored
+        assert [m.location for m in matches] == [3, 7, 9]  # 5 not among them
+        assert all(m.fingerprint == rec(100).fingerprint for m in matches)
+        store.close()
+
+    def test_records_iterate_in_sort_key_then_location_order(self, backend, tmp_path):
+        store = make(backend, tmp_path)
+        inserted = [rec(300, location=2), rec(100, location=9), rec(100, location=4)]
+        for r in inserted:
+            store.insert(r)
+        out = list(store.records())
+        assert out == sorted(inserted, key=lambda r: (r.sort_key(), r.location))
+        store.close()
+
+    def test_capacity_evicts_lowest_fingerprint(self, backend, tmp_path):
+        store = make(backend, tmp_path, capacity=3)
+        for size in (10, 20, 30):
+            store.insert(rec(size))
+        stored, _ = store.insert(rec(40))
+        assert stored
+        assert len(store) == 3
+        assert store.evictions == 1
+        assert [r.fingerprint.size for r in store.records()] == [20, 30, 40]
+        store.close()
+
+    def test_capacity_rejects_record_below_all_stored(self, backend, tmp_path):
+        store = make(backend, tmp_path, capacity=3)
+        for size in (10, 20, 30):
+            store.insert(rec(size))
+        stored, _ = store.insert(rec(5))
+        assert not stored
+        assert store.rejections == 1
+        assert [r.fingerprint.size for r in store.records()] == [10, 20, 30]
+        store.close()
+
+    def test_eviction_ties_break_by_location(self, backend, tmp_path):
+        store = make(backend, tmp_path, capacity=2)
+        store.insert(rec(10, location=8))
+        store.insert(rec(10, location=3))
+        store.insert(rec(20, location=1))
+        assert [(r.fingerprint.size, r.location) for r in store.records()] == [
+            (10, 8),
+            (20, 1),
+        ]
+        store.close()
+
+    def test_remove_location_drops_all_of_a_machine(self, backend, tmp_path):
+        store = make(backend, tmp_path)
+        store.insert(rec(10, location=1))
+        store.insert(rec(20, location=1))
+        store.insert(rec(20, location=2))
+        assert store.remove_location(1) == 2
+        assert store.remove_location(1) == 0
+        assert [(r.fingerprint.size, r.location) for r in store.records()] == [(20, 2)]
+        store.close()
+
+    def test_insert_many_matches_singles(self, backend, tmp_path):
+        records = [rec(10 + i % 4, content=i % 3, location=i % 5) for i in range(40)]
+        singles = make(backend, tmp_path, capacity=6, name="singles")
+        batched = make(backend, tmp_path, capacity=6, name="batched")
+        one_by_one = [(r, *singles.insert(r)) for r in records]
+        assert batched.insert_many(records) == one_by_one
+        assert list(singles.records()) == list(batched.records())
+        singles.close()
+        batched.close()
+
+
+class TestBackendEquivalence:
+    def test_random_op_stream_is_bit_identical(self, tmp_path):
+        rng = random.Random(7)
+        ops = []
+        for _ in range(400):
+            if rng.random() < 0.85:
+                ops.append(
+                    ("insert", rec(rng.randrange(1, 30), rng.randrange(3), rng.randrange(6)))
+                )
+            else:
+                ops.append(("remove", rng.randrange(6)))
+        outcomes = {}
+        for backend in BACKENDS:
+            store = make(backend, tmp_path, capacity=10, name=backend)
+            trace = []
+            for op, arg in ops:
+                if op == "insert":
+                    trace.append(store.insert(arg))
+                else:
+                    trace.append(store.remove_location(arg))
+            outcomes[backend] = (
+                trace,
+                list(store.records()),
+                store.evictions,
+                store.rejections,
+            )
+            store.close()
+        assert outcomes["memory"] == outcomes["sqlite"] == outcomes["wal"]
+
+
+class TestDurability:
+    @pytest.mark.parametrize("backend", DURABLE)
+    def test_reopen_after_close_recovers_everything(self, backend, tmp_path):
+        store = make(backend, tmp_path, capacity=8)
+        records = [rec(10 + i, location=i) for i in range(12)]  # 4 evictions
+        for r in records:
+            store.insert(r)
+        expected = list(store.records())
+        store.close()
+        reopened = make(backend, tmp_path, capacity=8)
+        assert list(reopened.records()) == expected
+        # Eviction/rejection counters are session statistics, not state.
+        assert reopened.evictions == 0 and reopened.rejections == 0
+        reopened.close()
+
+    @pytest.mark.parametrize("backend", DURABLE)
+    def test_crash_loses_only_the_unflushed_tail(self, backend, tmp_path):
+        store = make(backend, tmp_path)
+        for i in range(10):
+            store.insert(rec(10 + i, location=1))
+        store.flush()
+        for i in range(5):
+            store.insert(rec(100 + i, location=1))
+        assert store.pending_records == 5
+        store.crash()
+        reopened = make(backend, tmp_path)
+        assert [r.fingerprint.size for r in reopened.records()] == list(range(10, 20))
+        reopened.close()
+
+    def test_memory_crash_loses_everything(self, tmp_path):
+        store = make("memory", tmp_path)
+        for i in range(10):
+            store.insert(rec(10 + i, location=1))
+        assert store.pending_records == 10  # nothing is ever durable
+        store.crash()
+        assert len(make("memory", tmp_path)) == 0
+
+
+class TestWalRecovery:
+    def _populate(self, tmp_path, n=10):
+        store = WalRecordStore(tmp_path / "t.wal")
+        for i in range(n):
+            store.insert(rec(10 + i, location=1))
+        store.close()
+        return tmp_path / "t.wal"
+
+    def test_torn_final_record_is_dropped_not_fatal(self, tmp_path):
+        path = self._populate(tmp_path)
+        intact = path.stat().st_size
+        with open(path, "ab") as fh:
+            # A truncated frame: valid header promising more payload than
+            # exists -- what a crash mid-append leaves behind.
+            fh.write(struct.pack(">BI", 0x01, 500) + b"\x00" * 12)
+        store = WalRecordStore(path)
+        assert len(store) == 10
+        assert store.recovered_records == 10
+        assert store.torn_bytes_dropped == 17
+        assert path.stat().st_size == intact  # tail trimmed off the file
+        store.close()
+
+    def test_corrupt_crc_drops_entry_and_everything_after(self, tmp_path):
+        path = self._populate(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a CRC byte of the final entry
+        path.write_bytes(data)
+        store = WalRecordStore(path)
+        assert len(store) == 9
+        assert store.torn_bytes_dropped > 0
+        store.close()
+
+    def test_garbage_file_is_reset_not_fatal(self, tmp_path):
+        path = tmp_path / "t.wal"
+        path.write_bytes(b"not a wal at all")
+        store = WalRecordStore(path)
+        assert len(store) == 0
+        assert store.torn_bytes_dropped == 16
+        store.insert(rec(10, location=1))
+        store.close()
+        assert path.read_bytes().startswith(WAL_MAGIC)
+
+    def test_replay_reruns_the_capacity_policy(self, tmp_path):
+        path = tmp_path / "t.wal"
+        store = WalRecordStore(path, capacity=4)
+        for i in range(10):
+            store.insert(rec(10 + i, location=1))
+        expected = list(store.records())
+        store.close()
+        reopened = WalRecordStore(path, capacity=4)
+        assert list(reopened.records()) == expected
+        reopened.close()
+
+    def test_compaction_rewrites_log_as_live_snapshot(self, tmp_path):
+        path = tmp_path / "t.wal"
+        store = WalRecordStore(path)
+        store._COMPACT_FLOOR = 16  # shrink the floor so a small test triggers it
+        for round_ in range(20):
+            for i in range(8):
+                store.insert(rec(10 + i, content=round_, location=1))
+            store.remove_location(1)
+        assert store.log_ops <= store._compact_ratio * max(1, len(store)) + 8
+        expected = list(store.records())
+        store.close()
+        reopened = WalRecordStore(path)
+        assert list(reopened.records()) == expected
+        reopened.close()
+
+    def test_crash_discards_buffered_appends(self, tmp_path):
+        path = tmp_path / "t.wal"
+        store = WalRecordStore(path, sync_every=1000)
+        for i in range(10):
+            store.insert(rec(10 + i, location=1))
+        assert store.pending_records == 10
+        store.crash()
+        reopened = WalRecordStore(path)
+        assert len(reopened) == 0
+        reopened.close()
+
+
+class TestSqliteIndexing:
+    def test_eviction_probe_uses_the_primary_key(self, tmp_path):
+        store = SqliteRecordStore(tmp_path / "t.sqlite", capacity=4)
+        (plan,) = {
+            row[3]
+            for row in store._conn.execute(
+                "EXPLAIN QUERY PLAN SELECT sort_key, location FROM records"
+                " ORDER BY sort_key, location LIMIT 1"
+            )
+        }
+        # WITHOUT ROWID: the PK *is* the table's B-tree, so the probe must
+        # scan it directly -- no sort step, no temp B-tree.
+        assert "USING INDEX" not in plan.upper() or "PRIMARY KEY" in plan.upper()
+        assert "USE TEMP B-TREE" not in plan.upper()
+        store.close()
+
+    def test_remove_location_uses_the_location_index(self, tmp_path):
+        store = SqliteRecordStore(tmp_path / "t.sqlite")
+        plans = [
+            row[3]
+            for row in store._conn.execute(
+                "EXPLAIN QUERY PLAN DELETE FROM records WHERE location = x'00'"
+            )
+        ]
+        assert any("records_by_location" in p for p in plans)
+        store.close()
