@@ -7,7 +7,8 @@ Usage::
     python benchmarks/check_regression.py --trend
 
 Gates every hot-path section -- salad insert routing, indexed routing,
-bulk AES-CTR, batched fingerprinting -- against the newest committed
+the sharded multi-process engine, bulk AES-CTR, batched fingerprinting --
+against the newest committed
 ``BENCH_*.json`` in the repo root, exiting nonzero when any gated metric
 falls more than ``--tolerance`` (default 30%) below its baseline.  A metric
 missing from either side (e.g. a ``--smoke`` snapshot carries only the
@@ -39,6 +40,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 GATED_METRICS = (
     ("salad_inserts", "inserts_per_sec", "salad ins/s"),
     ("salad_routing", "indexed_inserts_per_sec", "indexed ins/s"),
+    ("sharded_inserts", "sharded_inserts_per_sec", "sharded ins/s"),
     ("aes_ctr", "bulk_bytes_per_sec", "aes B/s"),
     ("fingerprints", "batched_fingerprints_per_sec", "fprint/s"),
 )

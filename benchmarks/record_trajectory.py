@@ -17,6 +17,9 @@ current fast paths so every snapshot carries its own before/after ratio:
 - ``salad_routing``: the same insert workload under the reference
   (per-axis scan) vs the indexed (next-hop cache) routing path, with the
   message totals asserted equal and the cache hit rate reported;
+- ``sharded_inserts``: the insert workload on the single-process engine vs
+  the sub-cube sharded multi-process engine, trace identity asserted before
+  timing (sharding pays only with real cores; ``cpu_count`` is recorded);
 - ``db_backends``: insert/lookup throughput per record-store backend
   (memory vs sqlite vs WAL), contract-identity asserted before timing;
 - ``experiment_sweep``: wall seconds for a small threshold sweep, serial vs
@@ -27,8 +30,9 @@ current fast paths so every snapshot carries its own before/after ratio:
   corpus, serial vs parallel workers, with the reclaimed-byte accounting
   asserted identical.
 
-``--smoke`` runs only the two salad benchmarks (the CI regression gate's
-input) and writes wherever ``--output`` points.
+``--smoke`` runs only the salad benchmarks -- inserts, routing, and the
+sharded engine (the CI regression gate's input) -- and writes wherever
+``--output`` points.
 
 Snapshots are append-only history: commit each new file, never overwrite an
 old one -- a second snapshot on the same date gets a ``_2`` suffix.
@@ -216,6 +220,63 @@ def bench_salad_routing(leaves: int = 64, records: int = 2000) -> dict:
     }
 
 
+def _sharded_batches(identifiers, records: int) -> dict:
+    """The insert workload keyed by identifier (engine-neutral)."""
+    return {
+        identifiers[i % len(identifiers)]: [
+            SaladRecord(
+                fingerprint=fingerprint_of(b"sharded:%d" % j),
+                location=identifiers[i % len(identifiers)],
+            )
+            for j in range(i, records, len(identifiers))
+        ]
+        for i in range(len(identifiers))
+    }
+
+
+def bench_sharded_inserts(leaves: int = 64, records: int = 2000, workers: int = 4) -> dict:
+    """Single-process vs sub-cube sharded engine on one build+insert workload.
+
+    Trace identity is asserted first (message counters and stored-record
+    total must match exactly), so the two wall times measure the same work.
+    Sharding only pays on multi-core machines: with one effective core the
+    per-window barrier and pipe traffic make the sharded run *slower*, which
+    is the honest number to record -- ``cpu_count`` says which regime a
+    snapshot measured.
+    """
+    from repro.salad.sharded import ShardedSimulation, ShardingUnavailable
+
+    def drive(sim):
+        start = time.perf_counter()
+        sim.build(leaves)
+        sim.insert_records(_sharded_batches(sim.alive_identifiers(), records))
+        seconds = time.perf_counter() - start
+        observed = (sim.message_counters(), sim.total_stored_records())
+        sim.shutdown()
+        return seconds, observed
+
+    serial_seconds, serial_observed = drive(Salad(SaladConfig(dimensions=2, seed=7)))
+    out = {
+        "leaves": leaves,
+        "records": records,
+        "shard_workers": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_wall_seconds": serial_seconds,
+        "serial_inserts_per_sec": records / serial_seconds,
+    }
+    try:
+        sharded = ShardedSimulation(SaladConfig(dimensions=2, seed=7), workers=workers)
+    except ShardingUnavailable as exc:
+        out["sharded_unavailable"] = str(exc)
+        return out
+    sharded_seconds, sharded_observed = drive(sharded)
+    assert sharded_observed == serial_observed, "sharded engine diverged"
+    out["sharded_wall_seconds"] = sharded_seconds
+    out["sharded_inserts_per_sec"] = records / sharded_seconds
+    out["speedup_sharded_over_serial"] = serial_seconds / sharded_seconds
+    return out
+
+
 def bench_experiment_sweep() -> dict:
     """Small threshold sweep, serial vs all-core workers.
 
@@ -345,6 +406,7 @@ def main(argv=None) -> int:
         ("fingerprints", bench_fingerprints),
         ("salad_inserts", bench_salad_inserts),
         ("salad_routing", bench_salad_routing),
+        ("sharded_inserts", bench_sharded_inserts),
         ("db_backends", bench_db_backends),
         ("experiment_sweep", bench_experiment_sweep),
         ("pipeline", bench_pipeline),
@@ -353,6 +415,7 @@ def main(argv=None) -> int:
         benches = [
             ("salad_inserts", bench_salad_inserts),
             ("salad_routing", bench_salad_routing),
+            ("sharded_inserts", bench_sharded_inserts),
         ]
     for name, bench in benches:
         print(f"[{name}] ...", flush=True)

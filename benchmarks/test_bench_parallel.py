@@ -15,7 +15,13 @@ from repro.experiments.scales import SMALL
 from repro.experiments.threshold_sweep import run_threshold_sweep
 from repro.farsite.dfc_pipeline import DfcPipeline
 from repro.experiments.dfc_run import DfcConfig
-from repro.perf.parallel import MIN_CHUNK_ITEMS, ParallelMap, parallel_map
+from repro.perf.parallel import (
+    MIN_CHUNK_ITEMS,
+    MIN_PARALLEL_ITEMS,
+    ParallelMap,
+    parallel_map,
+    resolve_workers,
+)
 from repro.workload.generator import CorpusSpec, generate_corpus
 
 needs_cores = pytest.mark.skipif(
@@ -54,12 +60,54 @@ class TestChunkHeuristic:
         pm = ParallelMap(workers=4, chunksize=5)
         assert [len(c) for c in pm._chunks(list(range(17)))] == [5, 5, 5, 2]
 
+    def test_empty_input_yields_no_chunks(self):
+        assert ParallelMap(workers=4)._chunks([]) == []
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_single_item_is_one_chunk(self):
+        assert self._sizes(1, workers=4) == [1]
+
+    def test_just_past_pool_gate_still_feeds_every_worker(self):
+        # The first input sizes that actually reach a pool (just above
+        # MIN_PARALLEL_ITEMS) must neither starve workers nor degenerate
+        # to single-item chunks.
+        for n in (MIN_PARALLEL_ITEMS, MIN_PARALLEL_ITEMS + 1):
+            sizes = self._sizes(n, workers=4)
+            assert len(sizes) >= 4
+            assert min(sizes[:-1], default=sizes[-1]) > 1
+
     def test_min_items_gate_overridable(self):
         # Two coarse items justify a pool when the caller says so.
         pm = ParallelMap(workers=1, min_items=2)
         assert pm.map(lambda x: x * 2, [1, 2]) == [2, 4]
         out = parallel_map(lambda x: x + 1, [1, 2, 3], workers=1, min_items=2)
         assert out == [2, 3, 4]
+
+
+class TestResolveWorkers:
+    def test_bool_rejected(self):
+        # bool subclasses int: workers=True would otherwise mean a
+        # 1-worker pool, silently swallowing a flag passed by mistake.
+        with pytest.raises(TypeError):
+            resolve_workers(True)
+        with pytest.raises(TypeError):
+            resolve_workers(False)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_workers(2.0)
+        with pytest.raises(TypeError):
+            resolve_workers("4")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_positive_passthrough(self):
+        assert resolve_workers(3) == 3
 
 
 def _square(x):

@@ -17,8 +17,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.space import SpaceAccounting
 from repro.salad.records import SaladRecord
-from repro.salad.salad import Salad, SaladConfig
-from repro.sim.failure import fail_exact_fraction
+from repro.salad.salad import SaladConfig
+from repro.salad.sharded import make_salad
 from repro.sim.metrics import mean
 from repro.workload.corpus import Corpus
 
@@ -50,6 +50,14 @@ class DfcConfig:
     db_backend: Optional[str] = None
     #: Directory for durable record stores (None = session default/tempdir).
     db_dir: Optional[str] = None
+    #: Worker processes for the sub-cube sharded simulation engine (None/1 =
+    #: single-process, 0 = auto, >= 2 a power of two; see
+    #: repro.salad.sharded).  Sharded runs are trace-identical to
+    #: single-process ones on deterministic workloads, so this knob never
+    #: changes a reported number, only wall time.  Falls back to
+    #: single-process automatically where workers cannot be spawned (e.g.
+    #: inside a per-Lambda ParallelMap pool worker).
+    shard_workers: Optional[int] = None
 
     def salad_config(self) -> SaladConfig:
         return SaladConfig(
@@ -61,6 +69,7 @@ class DfcConfig:
             seed=self.seed,
             db_backend=self.db_backend,
             db_dir=self.db_dir,
+            shard_workers=self.shard_workers,
         )
 
 
@@ -81,7 +90,7 @@ class DfcRun:
     def __init__(self, corpus: Corpus, config: DfcConfig):
         self.corpus = corpus
         self.config = config
-        self.salad = Salad(config.salad_config())
+        self.salad = make_salad(config.salad_config())
         self.accounting = SpaceAccounting(corpus)
         #: corpus machine_index -> SALAD leaf identifier (join order).
         self.leaf_of_machine: Dict[int, int] = {}
@@ -112,7 +121,7 @@ class DfcRun:
         """
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"failure probability must be in [0,1]: {probability}")
-        self.salad.network.loss_probability = probability
+        self.salad.set_loss_probability(probability)
 
     def crash_machines(self, fraction: float, rng: Optional[random.Random] = None) -> int:
         """Ablation: permanently crash an exact fraction of machines.
@@ -122,8 +131,7 @@ class DfcRun:
         strictly harsher model than the paper's Fig. 8 duty-cycle failures.
         """
         rng = rng or random.Random(self.config.seed + 1)
-        failed = fail_exact_fraction(list(self.salad.leaves.values()), fraction, rng)
-        return len(failed)
+        return self.salad.crash_fraction(fraction, rng)
 
     # -- phase 3: record insertion -------------------------------------------
 
@@ -201,3 +209,7 @@ class DfcRun:
 
     def leaf_table_sizes(self) -> List[int]:
         return self.salad.leaf_table_sizes(alive_only=True)
+
+    def close(self) -> None:
+        """Release engine resources (databases; worker processes if sharded)."""
+        self.salad.shutdown()

@@ -60,15 +60,21 @@ def _run_one_point(task):
     Each point is a fully independent DFC run, so the whole lambdas x
     probabilities grid fans out across workers without any shared state.
     """
-    corpus, lam, i, p, seed, crash = task
-    run_ = DfcRun(corpus, DfcConfig(target_redundancy=lam, seed=seed + i))
-    run_.build()
-    if crash:
-        run_.crash_machines(p)
-    else:
-        run_.set_failure_probability(p)
-    run_.insert_all()
-    return lam, i, run_.consumed_bytes(), run_.reclaimed_fraction()
+    corpus, lam, i, p, seed, crash, shard_workers = task
+    run_ = DfcRun(
+        corpus,
+        DfcConfig(target_redundancy=lam, seed=seed + i, shard_workers=shard_workers),
+    )
+    try:
+        run_.build()
+        if crash:
+            run_.crash_machines(p)
+        else:
+            run_.set_failure_probability(p)
+        run_.insert_all()
+        return lam, i, run_.consumed_bytes(), run_.reclaimed_fraction()
+    finally:
+        run_.close()
 
 
 def _run_grid(
@@ -78,9 +84,10 @@ def _run_grid(
     seed: int,
     crash: bool,
     workers: Optional[int],
+    shard_workers: Optional[int] = None,
 ) -> Fig08Result:
     tasks = [
-        (corpus, lam, i, p, seed, crash)
+        (corpus, lam, i, p, seed, crash, shard_workers)
         for lam in lambdas
         for i, p in enumerate(probabilities)
     ]
@@ -107,10 +114,22 @@ def run(
     seed: int = 0,
     corpus: Corpus = None,
     workers: Optional[int] = None,
+    shard_workers: Optional[int] = None,
 ) -> Fig08Result:
+    """``shard_workers`` shards each point's SALAD across processes
+    (number-preserving for crash runs, which are deterministic; duty-cycle
+    loss runs use per-shard loss substreams, statistically equivalent)."""
     if corpus is None:
         corpus = generate_corpus(scale.corpus_spec(), seed=seed)
-    return _run_grid(corpus, lambdas, probabilities, seed, crash=False, workers=workers)
+    return _run_grid(
+        corpus,
+        lambdas,
+        probabilities,
+        seed,
+        crash=False,
+        workers=workers,
+        shard_workers=shard_workers,
+    )
 
 
 def run_crash_ablation(
@@ -120,6 +139,7 @@ def run_crash_ablation(
     seed: int = 0,
     corpus: Corpus = None,
     workers: Optional[int] = None,
+    shard_workers: Optional[int] = None,
 ) -> Fig08Result:
     """Ablation: permanent crash-stop failures instead of duty-cycle loss.
 
@@ -128,4 +148,12 @@ def run_crash_ablation(
     """
     if corpus is None:
         corpus = generate_corpus(scale.corpus_spec(), seed=seed)
-    return _run_grid(corpus, lambdas, probabilities, seed, crash=True, workers=workers)
+    return _run_grid(
+        corpus,
+        lambdas,
+        probabilities,
+        seed,
+        crash=True,
+        workers=workers,
+        shard_workers=shard_workers,
+    )

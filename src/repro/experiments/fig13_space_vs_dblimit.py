@@ -68,7 +68,7 @@ def _run_one_limit(task):
     Module-level so process pools can pickle it; every point is an
     independent simulation over the shared (read-only) corpus.
     """
-    corpus, lam, limit, seed, db_backend, db_dir = task
+    corpus, lam, limit, seed, db_backend, db_dir, shard_workers = task
     run_ = DfcRun(
         corpus,
         DfcConfig(
@@ -77,11 +77,15 @@ def _run_one_limit(task):
             seed=seed,
             db_backend=db_backend,
             db_dir=db_dir,
+            shard_workers=shard_workers,
         ),
     )
-    run_.build()
-    run_.insert_all()
-    return lam, limit, run_.consumed_bytes()
+    try:
+        run_.build()
+        run_.insert_all()
+        return lam, limit, run_.consumed_bytes()
+    finally:
+        run_.close()
 
 
 def run(
@@ -93,10 +97,12 @@ def run(
     workers: Optional[int] = None,
     db_backend: Optional[str] = None,
     db_dir: Optional[str] = None,
+    shard_workers: Optional[int] = None,
 ) -> Fig13Result:
     """Fig. 13 is *the* capacity-eviction experiment, so it exercises the
     backend eviction paths hardest; ``db_backend``/``db_dir`` select the
-    per-leaf store (contract-identical -- consumed space is unchanged)."""
+    per-leaf store (contract-identical -- consumed space is unchanged), and
+    ``shard_workers`` shards each point's SALAD (trace-identical)."""
     if corpus is None:
         corpus = generate_corpus(scale.corpus_spec(), seed=seed)
     file_count = corpus.total_files
@@ -106,7 +112,7 @@ def run(
         sorted({max(1, int(round(mean_records * frac))) for frac in limit_fractions})
     )
     tasks = [
-        (corpus, lam, limit, seed, db_backend, db_dir)
+        (corpus, lam, limit, seed, db_backend, db_dir, shard_workers)
         for lam in lambdas
         for limit in (*limits, None)  # None = the no-limit baseline run
     ]

@@ -40,6 +40,7 @@ from repro.experiments.growth import growth_sample_points, run_growth_suite
 from repro.perf import set_default_workers
 from repro.experiments.scales import PAPER_LAMBDAS, SCALES, get_scale
 from repro.experiments.threshold_sweep import run_threshold_sweep
+from repro.salad.salad import validate_shard_workers
 from repro.salad.storage import BACKENDS, set_default_db_backend
 
 SWEEP_FIGURES = {"fig07", "fig09", "fig10", "fig11", "fig12"}
@@ -99,6 +100,7 @@ def run_experiments(
     raw: bool = False,
     db_backend: str = None,
     db_dir: str = None,
+    shard_workers: int = None,
 ) -> Dict[str, Any]:
     """Run the named experiments; returns rendered output (or raw results) per name.
 
@@ -106,6 +108,10 @@ def run_experiments(
     the database-centric experiments (the shared threshold sweep feeding
     Figs. 7/9-12, and Fig. 13's capacity runs); every backend reports
     identical numbers, the durable ones just bound RAM at full scale.
+    ``shard_workers`` runs each simulation on the sub-cube sharded engine
+    (repro.salad.sharded) -- trace-identical on the deterministic workloads,
+    so every reported number is unchanged; it threads through the growth,
+    threshold-sweep, Fig. 8, and Fig. 13 runs.
     """
     scale = get_scale(scale_name)
     outputs: Dict[str, Any] = {}
@@ -113,7 +119,11 @@ def run_experiments(
     sweep = None
     if SWEEP_FIGURES & set(names):
         sweep = run_threshold_sweep(
-            scale, seed=seed, db_backend=db_backend, db_dir=db_dir
+            scale,
+            seed=seed,
+            db_backend=db_backend,
+            db_dir=db_dir,
+            shard_workers=shard_workers,
         )
 
     growth = None
@@ -123,7 +133,11 @@ def run_experiments(
             | {scale.fig15_small, scale.fig15_large}
         )
         growth = run_growth_suite(
-            PAPER_LAMBDAS, scale.growth_max_leaves, sample_sizes, seed=seed
+            PAPER_LAMBDAS,
+            scale.growth_max_leaves,
+            sample_sizes,
+            seed=seed,
+            shard_workers=shard_workers,
         )
 
     for name in names:
@@ -132,7 +146,9 @@ def run_experiments(
         elif name == "fig07":
             result = fig07_space_vs_minsize.run(scale, seed, sweep)
         elif name == "fig08":
-            result = fig08_space_vs_failure.run(scale, seed=seed)
+            result = fig08_space_vs_failure.run(
+                scale, seed=seed, shard_workers=shard_workers
+            )
         elif name == "fig09":
             result = fig09_messages_vs_minsize.run(scale, seed, sweep)
         elif name == "fig10":
@@ -145,7 +161,11 @@ def run_experiments(
             )
         elif name == "fig13":
             result = fig13_space_vs_dblimit.run(
-                scale, seed=seed, db_backend=db_backend, db_dir=db_dir
+                scale,
+                seed=seed,
+                db_backend=db_backend,
+                db_dir=db_dir,
+                shard_workers=shard_workers,
             )
         elif name == "fig14":
             result = fig14_leaftable_vs_size.run(scale, PAPER_LAMBDAS, seed, growth)
@@ -193,6 +213,15 @@ def main(argv: List[str] = None) -> int:
         "results are byte-identical at any worker count",
     )
     parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard each SALAD simulation across N worker processes "
+        "(power of two; 0 = auto, default: single-process); trace-identical "
+        "to the single-process engine, so results are unchanged",
+    )
+    parser.add_argument(
         "--db-backend",
         choices=sorted(BACKENDS),
         default="memory",
@@ -214,6 +243,11 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be >= 0 (0 = auto): {args.workers}")
+    if args.shard_workers is not None:
+        try:
+            validate_shard_workers(args.shard_workers)
+        except (TypeError, ValueError) as exc:
+            parser.error(str(exc))
     set_default_workers(args.workers)
     # Session default so every Salad built anywhere in the run (including
     # experiments that build their own) picks up the chosen backend; the
@@ -230,6 +264,7 @@ def main(argv: List[str] = None) -> int:
             raw=True,
             db_backend=args.db_backend,
             db_dir=args.db_dir,
+            shard_workers=args.shard_workers,
         )
         outputs = {name: result.render() for name, result in raw.items()}
         payload = {
@@ -247,6 +282,7 @@ def main(argv: List[str] = None) -> int:
             seed=args.seed,
             db_backend=args.db_backend,
             db_dir=args.db_dir,
+            shard_workers=args.shard_workers,
         )
     for name in names:
         print(f"\n{'=' * 72}\n[{name}]")

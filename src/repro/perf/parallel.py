@@ -63,6 +63,15 @@ def resolve_workers(workers: Optional[int]) -> int:
     """
     if workers is None:
         return _DEFAULT_WORKERS
+    # bool is a subclass of int, so ``workers=True`` would sail through the
+    # numeric checks below and yield a 1-worker pool named ``True``; floats
+    # and strings would fail later with confusing errors.  Reject anything
+    # that is not literally an int.
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise TypeError(
+            f"workers must be an int or None, got {type(workers).__name__}: "
+            f"{workers!r}"
+        )
     if workers == 0:
         return os.cpu_count() or 1
     if workers < 0:

@@ -80,3 +80,31 @@ RecordPayload = SaladRecord
 #: Payload of a RECORD_BATCH message: ``(record, hops)`` pairs.
 RecordBatchPayload = Tuple[Tuple[SaladRecord, int], ...]
 LeafResponsePayload = Tuple[int, ...]
+
+#: One in-flight message inside a shard envelope: the hierarchical delivery
+#: sort key plus the four :class:`repro.sim.network.Message` fields.
+ShardedMessage = Tuple[Tuple[int, ...], int, int, str, object]
+
+
+@dataclass(frozen=True)
+class ShardEnvelope:
+    """Cross-shard transport frame of the sharded simulation engine.
+
+    The multi-process engine (:mod:`repro.salad.sharded`) applies the
+    RECORD_BATCH aggregation idea at the transport layer: all messages one
+    shard sends another during a virtual-time window travel as a single
+    envelope over the worker-to-worker pipe, instead of one IPC hop each.
+    Envelopes are *framing*, not SALAD traffic -- the messages inside them
+    keep their original kinds, so the Figs. 9-10 counters sum over exactly
+    :data:`ALL_KINDS`, identically to the single-process engine.
+
+    ``keys`` inside :attr:`messages` are hierarchical delivery sort keys
+    (root sequence, then per-handler send sequence, one element per hop):
+    merging every shard's window messages in lexicographic key order
+    reproduces the single-process scheduler's FIFO delivery order exactly,
+    which is what makes sharded runs trace-identical.
+    """
+
+    source_shard: int
+    window: float
+    messages: Tuple[ShardedMessage, ...]

@@ -30,6 +30,7 @@ from repro.salad.storage import (
     resolve_db_dir,
 )
 from repro.sim.events import EventScheduler
+from repro.sim.failure import fail_exact_fraction
 from repro.sim.network import Network
 
 #: Per-process sequence distinguishing the durable-store directories of
@@ -38,6 +39,30 @@ _salad_sequence = itertools.count()
 
 #: Identifier width: 20-byte hashes (section 2).
 IDENTIFIER_BITS = 160
+
+
+def validate_shard_workers(value) -> None:
+    """Validate a ``shard_workers`` knob without resolving it.
+
+    ``None``/1 mean single-process, 0 means auto, and counts >= 2 must be
+    powers of two because each worker owns one top-bit sub-cube of the
+    hypercube (:mod:`repro.salad.sharded`).  Booleans are rejected for the
+    same reason :func:`repro.perf.parallel.resolve_workers` rejects them:
+    ``True`` is an ``int`` to Python's numeric checks.
+    """
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(
+            f"shard_workers must be an int or None, got "
+            f"{type(value).__name__}: {value!r}"
+        )
+    if value < 0:
+        raise ValueError(f"shard_workers must be >= 0 (0 = auto): {value}")
+    if value > 1 and value & (value - 1):
+        raise ValueError(
+            f"shard_workers must be a power of two (sub-cube sharding): {value}"
+        )
 
 
 @dataclass
@@ -68,9 +93,18 @@ class SaladConfig:
     #: own subdirectory so repeated runs never reopen each other's files).
     #: None = the session default, falling back to a per-process tempdir.
     db_dir: Optional[str] = None
+    #: Worker processes for the sub-cube-sharded simulation engine
+    #: (:mod:`repro.salad.sharded`).  1 (or None) = the classic
+    #: single-process engine; 0 = the largest power of two <= the CPU
+    #: count; >= 2 must be a power of two (each worker owns one sub-cube of
+    #: the hypercube, selected by the low bits of the cell-ID).  Only
+    #: :func:`repro.salad.sharded.make_salad` honors this knob; constructing
+    #: :class:`Salad` directly always runs single-process.
+    shard_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         resolve_db_backend(self.db_backend)  # fail fast on unknown names
+        validate_shard_workers(self.shard_workers)
         if self.dimensions < 1:
             raise ValueError(f"dimensions must be >= 1: {self.dimensions}")
         if self.target_redundancy < 1.0:
@@ -191,8 +225,55 @@ class Salad:
         if not settle_each:
             self.network.run()
 
+    def run(self) -> int:
+        """Settle the network to quiescence (engine-neutral facade name)."""
+        return self.network.run()
+
     def alive_leaves(self) -> List[SaladLeaf]:
         return [leaf for leaf in self.leaves.values() if leaf.alive]
+
+    def alive_count(self) -> int:
+        return sum(1 for leaf in self.leaves.values() if leaf.alive)
+
+    def alive_identifiers(self) -> List[int]:
+        return [leaf.identifier for leaf in self.leaves.values() if leaf.alive]
+
+    def depart_leaf(self, identifier: int, settle: bool = True) -> None:
+        """Cleanly depart one leaf (section 4.5) by identifier.
+
+        Identifier-keyed (rather than requiring the leaf object) so drivers
+        written against :class:`repro.salad.sharded.ShardedSimulation`, where
+        leaves live in worker processes, run unchanged on this engine.
+        """
+        leaf = self.leaves.get(identifier)
+        if leaf is None:
+            raise KeyError(f"no such leaf: {identifier:#x}")
+        leaf.depart_cleanly()
+        if settle:
+            self.network.run()
+
+    # ------------------------------------------------------------------
+    # failure injection (engine-portable: ShardedSimulation mirrors these)
+    # ------------------------------------------------------------------
+
+    def set_loss_probability(self, probability: float) -> None:
+        """Every message is lost with this probability (Fig. 8 duty cycle)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0,1]: {probability}")
+        self.network.loss_probability = probability
+
+    def crash_fraction(self, fraction: float, rng: random.Random) -> int:
+        """Permanently crash an exact fraction of leaves; returns the count."""
+        return len(fail_exact_fraction(list(self.leaves.values()), fraction, rng))
+
+    def shutdown(self) -> None:
+        """Release resources (databases here; worker processes when sharded).
+
+        Part of the engine-neutral facade shared with
+        :class:`repro.salad.sharded.ShardedSimulation`, so drivers can tear
+        down either engine the same way.
+        """
+        self.close_databases()
 
     # ------------------------------------------------------------------
     # records
@@ -261,6 +342,28 @@ class Salad:
 
     def total_stored_records(self) -> int:
         return sum(len(leaf.database) for leaf in self.alive_leaves())
+
+    def stored_records(self) -> Dict[int, List[tuple]]:
+        """Per-leaf ``(fingerprint, location)`` dumps in store order.
+
+        The golden-trace identity tests compare this against
+        :meth:`repro.salad.sharded.ShardedSimulation.stored_records`.
+        """
+        return {
+            identifier: [
+                (record.fingerprint, record.location)
+                for record in leaf.database.records()
+            ]
+            for identifier, leaf in self.leaves.items()
+        }
+
+    def message_counters(self) -> Tuple[int, int, int]:
+        """(sent, delivered, dropped) network totals."""
+        return (
+            self.network.messages_sent,
+            self.network.messages_delivered,
+            self.network.messages_dropped,
+        )
 
     def __len__(self) -> int:
         return len(self.leaves)

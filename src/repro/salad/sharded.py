@@ -1,0 +1,799 @@
+"""Sub-cube sharded SALAD simulation across worker processes.
+
+One large SALAD run is a single Python process under :class:`Salad`, which
+caps the Fig. 14 growth and Fig. 8 failure experiments at one core.  The
+paper's hypercube (section 4.2) partitions naturally by cell-ID prefix: the
+cell-ID is the *low* W bits of an identifier, so the low ``log2(shards)``
+bits select a sub-cube whose leaves share their cellmates.  This module
+assigns each sub-cube to a worker process:
+
+- every worker owns the leaves with ``identifier & (shards - 1) == shard``
+  and runs its own :class:`~repro.sim.events.EventScheduler` and
+  :class:`ShardNetwork` (intra-cell replication traffic never crosses a
+  shard boundary, because cellmates share the low bits);
+- simulated time advances in *windows* of one network latency.  With
+  constant latency (the SALAD experiments' regime), every message sent
+  during window ``t`` is delivered at ``t + latency``, so a barrier per
+  window is a conservative synchronization: no worker can receive a message
+  for a window that another worker is still producing;
+- at each barrier, cross-shard messages travel as one
+  :class:`~repro.salad.protocol.ShardEnvelope` per (source, target) pair --
+  the RECORD_BATCH aggregation idea applied at the transport layer -- over
+  direct worker-to-worker pipes in a XOR-schedule tournament (partner at
+  step ``k`` is ``shard ^ k``; the lower rank sends first, so every pairwise
+  exchange is deadlock-free).
+
+**Trace identity.**  The single-process scheduler delivers a window's
+messages in the order they were *sent* during the previous window.  To
+reproduce that order across processes, every buffered message carries a
+hierarchical sort key: a message sent while handling a message with key
+``K`` gets ``K + (i,)`` (``i`` = the handler's i-th send), and a message
+sent by a driver command gets ``(r,)`` with ``r`` a coordinator-assigned
+global sequence.  Merging all shards' messages for a window in lexicographic
+key order *is* the single-process delivery order (induction over windows:
+equal-key prefixes arrive in the previous window's proven order, and within
+one handler sends are FIFO).  The coordinator additionally replicates
+:class:`Salad`'s master-RNG consumption sequence exactly (identifier draws,
+leaf seeds, bootstrap samples), so a sharded run is message-for-message and
+record-for-record identical to the single-process engine --
+``tests/salad/test_sharded_golden.py`` asserts it.
+
+**Degradation.**  :func:`make_salad` follows the rules of
+:mod:`repro.perf.parallel`: if worker processes cannot be created in this
+environment (sandbox, resource limits, or a daemonic parent such as a
+``ParallelMap`` pool worker running a sweep point), construction raises
+:class:`ShardingUnavailable` and the factory silently falls back to the
+single-process engine.  Failures *inside* a worker propagate -- degradation
+hides environmental limits, never bugs.
+
+Unsupported under sharding (use the single-process engine): network
+partitions, jitter, and direct access to leaf objects.  Loss is supported
+but uses one loss substream per shard, so lossy sharded runs are
+statistically equivalent -- not trace-identical -- to single-process ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import traceback
+from dataclasses import dataclass
+from operator import itemgetter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.salad.leaf import SaladLeaf
+from repro.salad.protocol import MatchPayload, ShardEnvelope
+from repro.salad.records import SaladRecord
+from repro.salad.salad import (
+    IDENTIFIER_BITS,
+    Salad,
+    SaladConfig,
+    validate_shard_workers,
+)
+from repro.salad.storage import (
+    make_record_store,
+    resolve_db_backend,
+    resolve_db_dir,
+)
+from repro.sim.events import EventScheduler
+from repro.sim.network import MachineTraffic, Message, Network
+
+
+class ShardingUnavailable(RuntimeError):
+    """Worker processes cannot be created in this environment."""
+
+
+def resolve_shard_workers(value: Optional[int]) -> int:
+    """Normalize a ``shard_workers`` knob to an effective worker count.
+
+    ``None``/1 mean single-process; ``0`` means the largest power of two
+    not exceeding the CPU count; counts >= 2 must be powers of two (each
+    worker owns one top-bit sub-cube).
+    """
+    validate_shard_workers(value)
+    if value is None:
+        return 1
+    if value == 0:
+        cpus = os.cpu_count() or 1
+        return 1 << (cpus.bit_length() - 1)
+    return value
+
+
+def shard_of(identifier: int, shards: int) -> int:
+    """The shard owning *identifier*: its low ``log2(shards)`` bits.
+
+    The low bits are the cell-ID prefix shared by all of a leaf's cellmates
+    (cell-ID = low W bits, and W >= log2(shards) once the SALAD outgrows
+    ``shards * target_redundancy`` leaves), so cell replication traffic is
+    intra-shard by construction.
+    """
+    return identifier & (shards - 1)
+
+
+class ShardNetwork(Network):
+    """One shard's network fabric: buffers sends instead of scheduling them.
+
+    Inherits delivery (:meth:`Network._deliver`, including the alive and
+    partition re-checks and all traffic counters) but replaces scheduling:
+    a sent message is appended, with its hierarchical sort key, to the local
+    next-window buffer or to the outbound buffer of the recipient's shard.
+    The worker loop exchanges outbound buffers at each window barrier and
+    calls :meth:`deliver_window` to merge, sort, and deliver.
+
+    Counter placement mirrors the single-process engine under summation:
+    sender-side counters accrue on the sender's shard, receiver-side (and
+    delivery-time drops) on the recipient's, and the coordinator sums per
+    machine across shards.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        shards: int,
+        scheduler: EventScheduler,
+        latency: float,
+        loss_seed: str,
+    ):
+        super().__init__(scheduler=scheduler, latency=latency)
+        self.shard = shard
+        self.shards = shards
+        self._shard_mask = shards - 1
+        # Per-shard loss substream: statistically equivalent to the
+        # single-process loss stream, but not draw-for-draw identical
+        # (documented; golden tests cover deterministic configs only).
+        self._loss_rng = random.Random(loss_seed)
+        self._route_key: Tuple[int, ...] = (0,)
+        self._route_seq = 0
+        #: Messages for the next window that stay on this shard.
+        self._local_next: List[Tuple[Tuple[int, ...], Message]] = []
+        #: Messages for the next window bound for each peer shard.
+        self._outbound: Dict[int, List[tuple]] = {
+            peer: [] for peer in range(shards) if peer != shard
+        }
+
+    def begin_root(self, root: int) -> None:
+        """Start a driver command: its sends get keys ``(root, 0..)``."""
+        self._route_key = (root,)
+        self._route_seq = 0
+
+    def send(self, sender: int, recipient: int, kind: str, payload: Any) -> None:
+        traffic = self.traffic.get(sender)
+        if traffic is None:
+            traffic = self.traffic[sender] = MachineTraffic()
+        traffic.sent += 1
+        traffic.by_kind_sent[kind] = traffic.by_kind_sent.get(kind, 0) + 1
+        self.messages_sent += 1
+        key = self._route_key + (self._route_seq,)
+        self._route_seq += 1
+        if self.loss_probability and self._loss_rng.random() < self.loss_probability:
+            traffic.dropped_to += 1
+            self.messages_dropped += 1
+            return
+        target = recipient & self._shard_mask
+        if target == self.shard:
+            self._local_next.append((key, Message(sender, recipient, kind, payload)))
+        else:
+            self._outbound[target].append((key, sender, recipient, kind, payload))
+
+    def pending_count(self) -> int:
+        return len(self._local_next) + sum(map(len, self._outbound.values()))
+
+    def take_outbound(self, peer: int) -> List[tuple]:
+        out = self._outbound[peer]
+        self._outbound[peer] = []
+        return out
+
+    def deliver_window(self, time: float, incoming: Iterable[tuple]) -> int:
+        """Deliver one window: merge local + cross-shard messages by key.
+
+        Returns the number of messages buffered for the *next* window.
+        """
+        due = self._local_next
+        self._local_next = []
+        for key, sender, recipient, kind, payload in incoming:
+            due.append((key, Message(sender, recipient, kind, payload)))
+        due.sort(key=itemgetter(0))
+        # Advance virtual time through the scheduler (it is empty: sharded
+        # sends never schedule events), so handlers reading scheduler.now
+        # see exactly the single-process window timestamp.
+        self.scheduler.run(until=time)
+        deliver = self._deliver
+        for key, message in due:
+            self._route_key = key
+            self._route_seq = 0
+            deliver(message)
+        return self.pending_count()
+
+    def partition(self, groups) -> None:
+        raise NotImplementedError(
+            "network partitions are not supported under sharding; "
+            "use the single-process engine"
+        )
+
+
+def _shard_worker_main(
+    config: SaladConfig,
+    shard: int,
+    shards: int,
+    loss_seed: str,
+    conn,
+    peers: Dict[int, Any],
+) -> None:
+    """Worker command loop: owns one sub-cube's leaves, scheduler, network."""
+    scheduler = EventScheduler()
+    network = ShardNetwork(
+        shard=shard,
+        shards=shards,
+        scheduler=scheduler,
+        latency=config.latency,
+        loss_seed=loss_seed,
+    )
+    leaves: Dict[int, SaladLeaf] = {}
+    backend = resolve_db_backend(config.db_backend)
+    db_dir = None
+
+    def database_for(identifier: int):
+        nonlocal db_dir
+        if backend == "memory":
+            return make_record_store("memory", capacity=config.database_capacity)
+        if db_dir is None:
+            db_dir = (
+                resolve_db_dir(config.db_dir) / f"salad-shard{shard}-{os.getpid()}"
+            )
+        return make_record_store(
+            backend,
+            capacity=config.database_capacity,
+            db_dir=db_dir,
+            name=f"leaf-{identifier:040x}",
+        )
+
+    def exchange(window: float) -> List[tuple]:
+        """XOR-tournament pairwise envelope swap with every peer shard.
+
+        Partner at step k is ``shard ^ k``; partners always meet at the same
+        step (the relation is symmetric), and the lower rank sends first, so
+        each pairwise exchange -- and hence the whole tournament -- is
+        deadlock-free.
+        """
+        received: List[tuple] = []
+        for step in range(1, shards):
+            peer = shard ^ step
+            pconn = peers[peer]
+            out = ShardEnvelope(
+                source_shard=shard,
+                window=window,
+                messages=tuple(network.take_outbound(peer)),
+            )
+            if shard < peer:
+                pconn.send(out)
+                envelope = pconn.recv()
+            else:
+                envelope = pconn.recv()
+                pconn.send(out)
+            received.extend(envelope.messages)
+        return received
+
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            break
+        op = command[0]
+        try:
+            if op == "step":
+                window = command[1]
+                incoming = exchange(window)
+                conn.send(("ok", network.deliver_window(window, incoming)))
+            elif op == "add_leaf":
+                _, root, identifier, leaf_seed, bootstrap = command
+                network.begin_root(root)
+                leaf = SaladLeaf(
+                    identifier,
+                    network,
+                    target_redundancy=config.target_redundancy,
+                    dimensions=config.dimensions,
+                    damping=config.damping,
+                    database_capacity=config.database_capacity,
+                    notify_limit=config.notify_limit,
+                    rng=random.Random(leaf_seed),
+                    reference_routing=config.reference_routing,
+                    database=database_for(identifier),
+                )
+                leaves[identifier] = leaf
+                leaf.initiate_join(bootstrap)
+                conn.send(("ok", network.pending_count()))
+            elif op == "insert":
+                for root, leaf_id, records in command[1]:
+                    network.begin_root(root)
+                    leaves[leaf_id].insert_records(records)
+                conn.send(("ok", network.pending_count()))
+            elif op == "depart":
+                _, root, leaf_id = command
+                network.begin_root(root)
+                leaves[leaf_id].depart_cleanly()
+                conn.send(("ok", network.pending_count()))
+            elif op == "fail":
+                for leaf_id in command[1]:
+                    leaves[leaf_id].fail()
+                conn.send(("ok", network.pending_count()))
+            elif op == "set_loss":
+                network.loss_probability = command[1]
+                conn.send(("ok",))
+            elif op == "flush":
+                for leaf in leaves.values():
+                    if leaf.alive:
+                        leaf.database.flush()
+                conn.send(("ok",))
+            elif op == "stats":
+                leaf_stats = {
+                    identifier: (leaf.alive, leaf.table_size, len(leaf.database), leaf.width)
+                    for identifier, leaf in leaves.items()
+                }
+                traffic = {
+                    identifier: (
+                        t.sent,
+                        t.received,
+                        t.dropped_to,
+                        dict(t.by_kind_sent),
+                        dict(t.by_kind_received),
+                    )
+                    for identifier, t in network.traffic.items()
+                }
+                counters = (
+                    network.messages_sent,
+                    network.messages_delivered,
+                    network.messages_dropped,
+                )
+                conn.send(("ok", leaf_stats, traffic, counters))
+            elif op == "matches":
+                conn.send(
+                    ("ok", {i: list(leaf.matches) for i, leaf in leaves.items() if leaf.matches})
+                )
+            elif op == "records":
+                dump = {
+                    identifier: [
+                        (record.fingerprint, record.location)
+                        for record in leaf.database.records()
+                    ]
+                    for identifier, leaf in leaves.items()
+                }
+                conn.send(("ok", dump))
+            elif op == "close_db":
+                for leaf in leaves.values():
+                    leaf.database.close()
+                conn.send(("ok",))
+            elif op == "stop":
+                conn.send(("ok",))
+                break
+            else:
+                conn.send(("error", f"unknown command {op!r}"))
+                break
+        except BaseException:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except Exception:
+                pass
+            break
+    conn.close()
+
+
+@dataclass(frozen=True)
+class ShardLeafRef:
+    """What :meth:`ShardedSimulation.add_leaf` returns: the leaf lives in a
+    worker process, so callers get its identifier and owning shard, not the
+    object (matching the only attribute drivers use, ``.identifier``)."""
+
+    identifier: int
+    shard: int
+
+
+class ShardedSimulation:
+    """Coordinator for a sub-cube sharded SALAD; API-compatible with
+    :class:`Salad` for everything the experiment drivers use.
+
+    The coordinator holds no leaves.  It replicates the single-process
+    engine's master-RNG consumption sequence exactly (network-seed draw,
+    identifier draws, per-leaf seeds, bootstrap samples -- all of whose
+    consumption depends only on values the coordinator knows), assigns each
+    driver command a global root sequence number for delivery ordering, and
+    drives the per-window barrier until quiescence.
+    """
+
+    def __init__(self, config: SaladConfig, workers: Optional[int] = None):
+        resolved = resolve_shard_workers(
+            config.shard_workers if workers is None else workers
+        )
+        if resolved < 2:
+            raise ShardingUnavailable(
+                f"sharding needs >= 2 workers (resolved: {resolved})"
+            )
+        if multiprocessing.current_process().daemon:
+            # Pool workers (e.g. a per-Lambda sweep fan-out) cannot spawn
+            # children; degrade exactly as ParallelMap does.
+            raise ShardingUnavailable("daemonic process cannot spawn shard workers")
+        self.config = config
+        self.shards = resolved
+        self._mask = resolved - 1
+        self._rng = random.Random(config.seed)
+        # Mirrors Salad.__init__'s draw for the network rng seed; the value
+        # seeds the per-shard loss substreams.
+        loss_master = self._rng.getrandbits(64)
+        self.now = 0.0
+        self._root = 0
+        self._order: List[int] = []  # every leaf ever created, creation order
+        self._alive: Dict[int, bool] = {}
+        self._buffered = [0] * resolved
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+        try:
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            )
+            # Full pipe mesh between workers for the XOR-schedule exchange.
+            mesh: Dict[int, Dict[int, Any]] = {s: {} for s in range(resolved)}
+            for a in range(resolved):
+                for b in range(a + 1, resolved):
+                    end_a, end_b = context.Pipe(duplex=True)
+                    mesh[a][b] = end_a
+                    mesh[b][a] = end_b
+            for shard in range(resolved):
+                parent_end, child_end = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(
+                        config,
+                        shard,
+                        resolved,
+                        f"{loss_master}/loss/{shard}",
+                        child_end,
+                        mesh[shard],
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                self._procs.append(process)
+                self._conns.append(parent_end)
+                child_end.close()
+            for ends in mesh.values():
+                for end in ends.values():
+                    end.close()
+        except (OSError, ValueError, ImportError, AssertionError) as exc:
+            self.close()
+            raise ShardingUnavailable(f"cannot start shard workers: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # worker protocol
+    # ------------------------------------------------------------------
+
+    def _reply(self, shard: int) -> tuple:
+        try:
+            reply = self._conns[shard].recv()
+        except EOFError:
+            self.close()
+            raise RuntimeError(f"shard {shard} worker died unexpectedly") from None
+        if reply[0] == "error":
+            self.close()
+            raise RuntimeError(f"shard {shard} worker failed:\n{reply[1]}")
+        return reply
+
+    def _request(self, shard: int, command: tuple) -> tuple:
+        self._conns[shard].send(command)
+        return self._reply(shard)
+
+    def _broadcast(self, command: tuple) -> List[tuple]:
+        for conn in self._conns:
+            conn.send(command)
+        return [self._reply(shard) for shard in range(self.shards)]
+
+    def _next_root(self) -> int:
+        root = self._root
+        self._root += 1
+        return root
+
+    # ------------------------------------------------------------------
+    # membership (RNG consumption mirrors Salad exactly -- see class doc)
+    # ------------------------------------------------------------------
+
+    def _fresh_identifier(self) -> int:
+        while True:
+            identifier = self._rng.getrandbits(IDENTIFIER_BITS)
+            if identifier not in self._alive:
+                return identifier
+
+    def add_leaf(
+        self,
+        identifier: Optional[int] = None,
+        settle: bool = True,
+    ) -> ShardLeafRef:
+        """Create a leaf in its owner shard and join it to the SALAD."""
+        # Same draw order as Salad.add_leaf: alive snapshot, identifier,
+        # leaf seed, then the bootstrap sample (whose rng consumption
+        # depends only on the population length, so sampling identifiers
+        # here selects exactly the leaves Salad's object sample would).
+        alive_ids = [i for i in self._order if self._alive[i]]
+        if identifier is None:
+            identifier = self._fresh_identifier()
+        elif identifier in self._alive:
+            raise ValueError(f"leaf {identifier:#x} already exists")
+        leaf_seed = self._rng.getrandbits(64)
+        bootstrap: Tuple[int, ...] = ()
+        if alive_ids:
+            count = min(self.config.bootstrap_count, len(alive_ids))
+            bootstrap = tuple(self._rng.sample(alive_ids, count))
+        shard = identifier & self._mask
+        reply = self._request(
+            shard, ("add_leaf", self._next_root(), identifier, leaf_seed, bootstrap)
+        )
+        self._buffered[shard] = reply[1]
+        self._order.append(identifier)
+        self._alive[identifier] = True
+        if settle:
+            self.run()
+        return ShardLeafRef(identifier=identifier, shard=shard)
+
+    def build(self, count: int, settle_each: bool = True) -> None:
+        """Grow to *count* live leaves by incremental joins (cf. Salad.build)."""
+        while sum(1 for i in self._order if self._alive[i]) < count:
+            self.add_leaf(settle=settle_each)
+        if not settle_each:
+            self.run()
+
+    def depart_leaf(self, identifier: int, settle: bool = True) -> None:
+        """Cleanly depart one leaf (section 4.5)."""
+        if identifier not in self._alive:
+            raise KeyError(f"no such leaf: {identifier:#x}")
+        shard = identifier & self._mask
+        reply = self._request(shard, ("depart", self._next_root(), identifier))
+        self._buffered[shard] = reply[1]
+        self._alive[identifier] = False
+        if settle:
+            self.run()
+
+    def alive_count(self) -> int:
+        return sum(1 for alive in self._alive.values() if alive)
+
+    def alive_identifiers(self) -> List[int]:
+        return [i for i in self._order if self._alive[i]]
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+
+    def set_loss_probability(self, probability: float) -> None:
+        """Fig. 8 duty-cycle loss (per-shard substreams; see module doc)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0,1]: {probability}")
+        self._broadcast(("set_loss", probability))
+
+    def crash_fraction(self, fraction: float, rng: random.Random) -> int:
+        """Permanently crash an exact fraction of leaves; returns the count.
+
+        RNG consumption mirrors :func:`repro.sim.failure.fail_exact_fraction`
+        over the same creation-ordered population, so crashes hit the same
+        identifiers as the single-process engine under the same rng.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"failure fraction must be in [0,1]: {fraction}")
+        count = round(len(self._order) * fraction)
+        chosen = rng.sample(list(self._order), count)
+        per_shard: Dict[int, List[int]] = {}
+        for identifier in chosen:
+            per_shard.setdefault(identifier & self._mask, []).append(identifier)
+            self._alive[identifier] = False
+        for shard, ids in per_shard.items():
+            self._conns[shard].send(("fail", ids))
+        for shard in per_shard:
+            self._buffered[shard] = self._reply(shard)[1]
+        return len(chosen)
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+
+    def insert_records(
+        self,
+        records_by_leaf: Dict[int, Iterable[SaladRecord]],
+        settle: bool = True,
+    ) -> int:
+        """Each leaf inserts its own records (Fig. 4); returns count inserted.
+
+        Commands are batched per shard (one pipe round-trip each); the root
+        sequence numbers assigned here preserve the single-process send
+        order across the batches.
+        """
+        per_shard: Dict[int, List[tuple]] = {}
+        inserted = 0
+        for leaf_id, records in records_by_leaf.items():
+            if leaf_id not in self._alive:
+                raise KeyError(f"no such leaf: {leaf_id:#x}")
+            if not self._alive[leaf_id]:
+                continue
+            batch = list(records)
+            per_shard.setdefault(leaf_id & self._mask, []).append(
+                (self._next_root(), leaf_id, batch)
+            )
+            inserted += len(batch)
+        for shard, batches in per_shard.items():
+            self._conns[shard].send(("insert", batches))
+        for shard in per_shard:
+            self._buffered[shard] = self._reply(shard)[1]
+        if settle:
+            self.run()
+            self._broadcast(("flush",))
+        return inserted
+
+    def collected_matches(self) -> List[Tuple[int, MatchPayload]]:
+        """All duplicate notifications, in the single-process engine's order."""
+        merged: Dict[int, List[MatchPayload]] = {}
+        for reply in self._broadcast(("matches",)):
+            merged.update(reply[1])
+        return [
+            (identifier, match)
+            for identifier in self._order
+            for match in merged.get(identifier, ())
+        ]
+
+    def stored_records(self) -> Dict[int, List[tuple]]:
+        """Per-leaf ``(fingerprint, location)`` dumps (golden-trace identity)."""
+        merged: Dict[int, List[tuple]] = {}
+        for reply in self._broadcast(("records",)):
+            merged.update(reply[1])
+        return {identifier: merged[identifier] for identifier in self._order}
+
+    # ------------------------------------------------------------------
+    # settling
+    # ------------------------------------------------------------------
+
+    def run(self) -> int:
+        """Advance windows until every shard is quiescent; returns windows run.
+
+        Window times accumulate by repeated ``+= latency`` -- the same float
+        operation sequence the single-process scheduler performs -- so
+        virtual timestamps are bit-identical between engines.
+        """
+        windows = 0
+        while any(self._buffered):
+            self.now += self.config.latency
+            replies = self._broadcast(("step", self.now))
+            self._buffered = [reply[1] for reply in replies]
+            windows += 1
+        return windows
+
+    # ------------------------------------------------------------------
+    # measurements (same semantics and ordering as Salad's)
+    # ------------------------------------------------------------------
+
+    def _gather_stats(self):
+        leaf_stats: Dict[int, tuple] = {}
+        traffic: Dict[int, list] = {}
+        sent = delivered = dropped = 0
+        for reply in self._broadcast(("stats",)):
+            _, shard_leaves, shard_traffic, counters = reply
+            leaf_stats.update(shard_leaves)
+            for identifier, (s, r, d, by_sent, by_recv) in shard_traffic.items():
+                agg = traffic.get(identifier)
+                if agg is None:
+                    traffic[identifier] = [s, r, d, dict(by_sent), dict(by_recv)]
+                else:
+                    agg[0] += s
+                    agg[1] += r
+                    agg[2] += d
+                    for kind, n in by_sent.items():
+                        agg[3][kind] = agg[3].get(kind, 0) + n
+                    for kind, n in by_recv.items():
+                        agg[4][kind] = agg[4].get(kind, 0) + n
+            sent += counters[0]
+            delivered += counters[1]
+            dropped += counters[2]
+        return leaf_stats, traffic, (sent, delivered, dropped)
+
+    def _ordered(self, leaf_stats, alive_only: bool) -> List[tuple]:
+        return [
+            leaf_stats[i]
+            for i in self._order
+            if not alive_only or leaf_stats[i][0]
+        ]
+
+    def leaf_table_sizes(self, alive_only: bool = True) -> List[int]:
+        leaf_stats, _, _ = self._gather_stats()
+        return [stats[1] for stats in self._ordered(leaf_stats, alive_only)]
+
+    def database_sizes(self, alive_only: bool = True) -> List[int]:
+        leaf_stats, _, _ = self._gather_stats()
+        return [stats[2] for stats in self._ordered(leaf_stats, alive_only)]
+
+    def message_totals(self, alive_only: bool = False) -> List[int]:
+        """Per-machine messages sent plus received, summed across shards."""
+        leaf_stats, traffic, _ = self._gather_stats()
+        out = []
+        for identifier in self._order:
+            if alive_only and not leaf_stats[identifier][0]:
+                continue
+            entry = traffic.get(identifier)
+            out.append(entry[0] + entry[1] if entry else 0)
+        return out
+
+    def width_distribution(self) -> Dict[int, int]:
+        leaf_stats, _, _ = self._gather_stats()
+        out: Dict[int, int] = {}
+        for stats in self._ordered(leaf_stats, alive_only=True):
+            out[stats[3]] = out.get(stats[3], 0) + 1
+        return dict(sorted(out.items()))
+
+    def total_stored_records(self) -> int:
+        leaf_stats, _, _ = self._gather_stats()
+        return sum(stats[2] for stats in self._ordered(leaf_stats, alive_only=True))
+
+    def message_counters(self) -> Tuple[int, int, int]:
+        """(sent, delivered, dropped) summed across shards."""
+        _, _, counters = self._gather_stats()
+        return counters
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close_databases(self) -> None:
+        """Flush and close every leaf's record store (durable backends)."""
+        self._broadcast(("close_db",))
+
+    def shutdown(self) -> None:
+        """Tear down worker processes (engine-neutral facade method)."""
+        self.close()
+
+    def close(self) -> None:
+        """Stop workers and release pipes; idempotent and safe mid-init."""
+        procs, conns = self._procs, self._conns
+        self._procs, self._conns = [], []
+        for conn in conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in procs:
+            proc.join(timeout=5)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1)
+
+    def __enter__(self) -> "ShardedSimulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def make_salad(config: SaladConfig, network=None, workers: Optional[int] = None):
+    """Engine factory: sharded when requested and possible, else Salad.
+
+    Follows :mod:`repro.perf.parallel`'s degradation rules: a resolved
+    worker count of 1, an explicit *network* (single-process by definition),
+    or any environmental failure to start workers falls back to the
+    single-process engine, which is observably identical on deterministic
+    workloads.
+    """
+    resolved = resolve_shard_workers(
+        config.shard_workers if workers is None else workers
+    )
+    if network is not None or resolved < 2:
+        return Salad(config, network=network)
+    try:
+        return ShardedSimulation(config, workers=resolved)
+    except ShardingUnavailable:
+        return Salad(config)

@@ -93,6 +93,14 @@ class Network:
         self.loss_probability = loss_probability
         self.batch_delivery = batch_delivery
         self._rng = rng or random.Random(0)
+        # Loss draws get their own substream, seeded once from the main rng.
+        # Sharing one stream would let turning on loss_probability perturb
+        # every subsequent jitter draw (and hence every delivery timestamp),
+        # making traces with and without loss incomparable.  The single
+        # getrandbits here is the only coupling between the two streams, and
+        # it is consumed unconditionally, so the jitter sequence is the same
+        # whether or not loss is ever enabled.
+        self._loss_rng = random.Random(self._rng.getrandbits(64))
         self._machines: Dict[int, "SimMachine"] = {}
         self.traffic: Dict[int, MachineTraffic] = {}
         self.messages_sent = 0
@@ -162,19 +170,24 @@ class Network:
         traffic.by_kind_sent[kind] = traffic.by_kind_sent.get(kind, 0) + 1
         self.messages_sent += 1
 
-        if self._partition_of and self._partitioned(sender, recipient):
-            traffic.dropped_to += 1
-            self.messages_dropped += 1
-            return
-
-        if self.loss_probability and self._rng.random() < self.loss_probability:
-            traffic.dropped_to += 1
-            self.messages_dropped += 1
-            return
-
+        # One jitter draw and one loss draw per send, in a fixed order and
+        # from independent streams, *before* any drop decision.  A dropped
+        # message (partition cut or loss) therefore consumes exactly the
+        # same randomness as a delivered one, so the delivery timestamps of
+        # the surviving messages are identical across runs that differ only
+        # in loss/partition settings.
         delay = self.latency
         if self.jitter:
             delay += self._rng.random() * self.jitter
+        lost = bool(
+            self.loss_probability
+            and self._loss_rng.random() < self.loss_probability
+        )
+
+        if lost or (self._partition_of and self._partitioned(sender, recipient)):
+            traffic.dropped_to += 1
+            self.messages_dropped += 1
+            return
         if self.batch_delivery:
             # One scheduler event per delivery timestep: queue the message
             # on its timestamp's batch; the first message of a timestep
@@ -195,8 +208,20 @@ class Network:
             self._deliver(message)
 
     def _deliver(self, message: Message) -> None:
+        # Partition membership is re-checked at delivery time, mirroring the
+        # machine.alive check below: a partition that forms while a message
+        # is in flight severs it, exactly as a machine that crashes while a
+        # message is in flight drops it.  (Send-time checking alone would
+        # deliver messages across a cut that formed mid-settle.)
         machine = self._machines.get(message.recipient)
-        if machine is None or not machine.alive:
+        if (
+            machine is None
+            or not machine.alive
+            or (
+                self._partition_of
+                and self._partitioned(message.sender, message.recipient)
+            )
+        ):
             self._traffic(message.sender).dropped_to += 1
             self.messages_dropped += 1
             return

@@ -1,0 +1,218 @@
+"""Unit tests for the sub-cube sharded engine's plumbing.
+
+Golden identity against the single-process engine lives in
+``test_sharded_golden.py``; this file covers the pieces in isolation:
+shard assignment, worker-count validation, the factory's degradation rules,
+the shard network's buffering/routing, and coordinator lifecycle and error
+propagation.
+"""
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad import sharded as sharded_mod
+from repro.salad.records import SaladRecord
+from repro.salad.salad import Salad, SaladConfig, validate_shard_workers
+from repro.salad.sharded import (
+    ShardedSimulation,
+    ShardLeafRef,
+    ShardNetwork,
+    ShardingUnavailable,
+    make_salad,
+    resolve_shard_workers,
+    shard_of,
+)
+from repro.sim.events import EventScheduler
+from repro.sim.network import Network
+
+
+class TestShardOf:
+    def test_low_bits_select_shard(self):
+        assert shard_of(0b10110, 4) == 0b10
+        assert shard_of(0b10110, 2) == 0
+        assert shard_of(0b10111, 2) == 1
+
+    def test_single_shard_owns_everything(self):
+        assert shard_of(12345, 1) == 0
+
+
+class TestWorkerValidation:
+    def test_none_and_one_mean_single_process(self):
+        assert resolve_shard_workers(None) == 1
+        assert resolve_shard_workers(1) == 1
+
+    def test_zero_resolves_to_a_power_of_two(self):
+        resolved = resolve_shard_workers(0)
+        assert resolved >= 1
+        assert resolved & (resolved - 1) == 0
+
+    def test_powers_of_two_accepted(self):
+        assert resolve_shard_workers(2) == 2
+        assert resolve_shard_workers(8) == 8
+
+    def test_bool_rejected(self):
+        # bool subclasses int, so True would otherwise resolve to 1 worker.
+        with pytest.raises(TypeError):
+            resolve_shard_workers(True)
+        with pytest.raises(TypeError):
+            validate_shard_workers(False)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_shard_workers(2.0)
+        with pytest.raises(TypeError):
+            resolve_shard_workers("4")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_shard_workers(-2)
+
+    @pytest.mark.parametrize("bad", [3, 6, 12])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_shard_workers(bad)
+
+    def test_config_validates_on_construction(self):
+        with pytest.raises(ValueError):
+            SaladConfig(shard_workers=3)
+        with pytest.raises(TypeError):
+            SaladConfig(shard_workers=True)
+
+
+class TestMakeSalad:
+    def test_default_is_single_process(self):
+        assert isinstance(make_salad(SaladConfig(seed=1)), Salad)
+
+    def test_explicit_network_forces_single_process(self):
+        network = Network(EventScheduler())
+        sim = make_salad(SaladConfig(seed=1, shard_workers=2), network=network)
+        assert isinstance(sim, Salad)
+        assert sim.network is network
+
+    def test_workers_argument_overrides_config(self):
+        sim = make_salad(SaladConfig(seed=1, shard_workers=2), workers=1)
+        assert isinstance(sim, Salad)
+
+    def test_sharded_when_requested_and_possible(self):
+        sim = make_salad(SaladConfig(seed=1, shard_workers=2))
+        try:
+            # Environments that cannot start processes degrade to Salad;
+            # both outcomes are valid, but never a crash.
+            if isinstance(sim, ShardedSimulation):
+                assert sim.shards == 2
+        finally:
+            sim.shutdown()
+
+    def test_daemonic_parent_degrades(self, monkeypatch):
+        monkeypatch.setattr(
+            sharded_mod.multiprocessing,
+            "current_process",
+            lambda: SimpleNamespace(daemon=True),
+        )
+        with pytest.raises(ShardingUnavailable):
+            ShardedSimulation(SaladConfig(seed=1), workers=2)
+        assert isinstance(make_salad(SaladConfig(seed=1, shard_workers=2)), Salad)
+
+
+class TestShardNetwork:
+    def _net(self):
+        return ShardNetwork(
+            shard=0, shards=2, scheduler=EventScheduler(), latency=1.0, loss_seed="t"
+        )
+
+    def test_partition_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            self._net().partition({"west": []})
+
+    def test_send_routes_by_low_bits(self):
+        net = self._net()
+        net.send(0, 2, "kind", None)  # 2 & 1 == 0 -> stays local
+        net.send(0, 3, "kind", None)  # 3 & 1 == 1 -> outbound to shard 1
+        assert len(net._local_next) == 1
+        assert len(net._outbound[1]) == 1
+        assert net.pending_count() == 2
+        assert len(net.take_outbound(1)) == 1
+        assert net.take_outbound(1) == []  # drained
+
+    def test_root_keys_preserve_send_order(self):
+        net = self._net()
+        net.begin_root(7)
+        net.send(0, 2, "a", None)
+        net.send(0, 2, "b", None)
+        assert [key for key, _ in net._local_next] == [(7, 0), (7, 1)]
+
+    def test_total_loss_buffers_nothing(self):
+        net = self._net()
+        net.loss_probability = 1.0
+        net.send(0, 2, "kind", None)
+        assert net.pending_count() == 0
+        assert net.messages_dropped == 1
+        assert net.traffic[0].dropped_to == 1
+
+
+class TestLifecycle:
+    def test_context_manager_tears_down_workers(self):
+        with ShardedSimulation(SaladConfig(seed=2), workers=2) as sim:
+            sim.build(4)
+            procs = list(sim._procs)
+            assert len(sim) == 4
+        assert sim._procs == []
+        assert all(not proc.is_alive() for proc in procs)
+
+    def test_close_is_idempotent(self):
+        sim = ShardedSimulation(SaladConfig(seed=2), workers=2)
+        sim.close()
+        sim.close()
+
+    def test_worker_error_propagates(self):
+        sim = ShardedSimulation(SaladConfig(seed=5), workers=2)
+        try:
+            with pytest.raises(RuntimeError):
+                sim._request(0, ("bogus",))
+        finally:
+            sim.close()
+
+
+class TestDriverApi:
+    def test_add_leaf_returns_owning_shard_ref(self):
+        with ShardedSimulation(SaladConfig(seed=3), workers=2) as sim:
+            ref = sim.add_leaf()
+            assert isinstance(ref, ShardLeafRef)
+            assert ref.shard == ref.identifier & 1
+
+    def test_duplicate_identifier_rejected(self):
+        with ShardedSimulation(SaladConfig(seed=3), workers=2) as sim:
+            ref = sim.add_leaf()
+            with pytest.raises(ValueError):
+                sim.add_leaf(identifier=ref.identifier)
+
+    def test_unknown_leaf_operations_raise(self):
+        with ShardedSimulation(SaladConfig(seed=3), workers=2) as sim:
+            sim.build(2)
+            with pytest.raises(KeyError):
+                sim.depart_leaf(1234)
+            with pytest.raises(KeyError):
+                sim.insert_records({1234: []})
+
+    def test_invalid_loss_and_crash_arguments(self):
+        with ShardedSimulation(SaladConfig(seed=3), workers=2) as sim:
+            with pytest.raises(ValueError):
+                sim.set_loss_probability(1.5)
+            with pytest.raises(ValueError):
+                sim.crash_fraction(-0.1, random.Random(1))
+
+    def test_total_loss_drops_all_insert_traffic(self):
+        with ShardedSimulation(SaladConfig(seed=4), workers=2) as sim:
+            sim.build(6)
+            sent0, delivered0, dropped0 = sim.message_counters()
+            sim.set_loss_probability(1.0)
+            target = sim.alive_identifiers()[0]
+            record = SaladRecord(synthetic_fingerprint(10_000, 1), target)
+            sim.insert_records({target: [record]})
+            sent1, delivered1, dropped1 = sim.message_counters()
+            assert sent1 > sent0
+            assert delivered1 == delivered0
+            assert dropped1 - dropped0 == sent1 - sent0

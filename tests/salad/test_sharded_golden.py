@@ -1,0 +1,130 @@
+"""Golden identity of the sub-cube sharded engine vs. the single-process one.
+
+The sharded engine's claim (repro.salad.sharded) is *trace identity*, not
+statistical equivalence: on deterministic workloads, a run sharded across N
+worker processes must be message-for-message and record-for-record identical
+to the same seed on the single-process :class:`Salad`.  These tests pin that
+down on seeded growth, insert, and churn workloads for 2 and 4 workers,
+comparing every observable the experiments read: the stored-record contents
+per leaf (a superset of the stored-record multiset -- order within each
+store must match too), collected duplicate matches, per-machine message
+totals, leaf-table sizes, width distribution, and the global network
+counters including drops.
+
+The baselines use ``Salad(config)`` with its *default* network: passing an
+explicit network would skip the master-RNG draw that seeds it, changing
+every subsequent identifier draw, and the sharded coordinator mirrors the
+default construction's consumption sequence.
+"""
+
+import random
+
+import pytest
+
+from repro.core.fingerprint import Fingerprint
+from repro.salad.records import SaladRecord
+from repro.salad.salad import Salad, SaladConfig
+from repro.salad.sharded import ShardedSimulation, make_salad
+
+LEAVES = 24
+RECORDS_PER_LEAF = 10
+CONTENT_POOL = 60  # small pool => duplicate groups => MATCH traffic to compare
+
+
+def _config():
+    return SaladConfig(dimensions=2, seed=11)
+
+
+def _records_for(identifiers, rng, per_leaf=RECORDS_PER_LEAF):
+    by_leaf = {}
+    for identifier in identifiers:
+        records = []
+        for _ in range(per_leaf):
+            content = rng.randrange(CONTENT_POOL)
+            fingerprint = Fingerprint(
+                size=1024 + content, content_digest=content.to_bytes(20, "big")
+            )
+            records.append(SaladRecord(fingerprint=fingerprint, location=identifier))
+        by_leaf[identifier] = records
+    return by_leaf
+
+
+def _observe(sim):
+    """Every observable the experiment drivers read, engine-neutrally."""
+    return {
+        "stored_records": sim.stored_records(),
+        "matches": sim.collected_matches(),
+        "message_totals": sim.message_totals(),
+        "leaf_tables": sim.leaf_table_sizes(),
+        "widths": sim.width_distribution(),
+        "counters": sim.message_counters(),
+        "total_records": sim.total_stored_records(),
+        "db_sizes": sim.database_sizes(alive_only=False),
+    }
+
+
+def _drive_build_insert(sim):
+    """Seeded growth then one insert wave over every leaf."""
+    try:
+        sim.build(LEAVES)
+        sim.insert_records(_records_for(sim.alive_identifiers(), random.Random(5)))
+        return _observe(sim)
+    finally:
+        sim.shutdown()
+
+
+def _drive_churn(sim):
+    """Growth, insert, clean departures, crashes, and a second insert wave.
+
+    Departures exercise cross-shard leaf-table repair; the crash wave plus
+    the second insert exercises delivery-time drops (dead recipients), so
+    the dropped counter must match too -- drops are counted on the sender's
+    shard in the sharded engine, summed per machine by the coordinator.
+    """
+    try:
+        sim.build(LEAVES)
+        sim.insert_records(_records_for(sim.alive_identifiers(), random.Random(5)))
+        for identifier in sorted(sim.alive_identifiers())[::4]:
+            sim.depart_leaf(identifier, settle=False)
+        sim.run()
+        sim.crash_fraction(0.2, random.Random(99))
+        sim.insert_records(
+            _records_for(sim.alive_identifiers(), random.Random(17), per_leaf=1)
+        )
+        return _observe(sim)
+    finally:
+        sim.shutdown()
+
+
+@pytest.fixture(scope="module")
+def single_build_insert():
+    return _drive_build_insert(Salad(_config()))
+
+
+@pytest.fixture(scope="module")
+def single_churn():
+    return _drive_churn(Salad(_config()))
+
+
+def _assert_identical(sharded, single):
+    for key, expected in single.items():
+        assert sharded[key] == expected, f"sharded engine diverges on {key}"
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+class TestShardedGoldenTrace:
+    def test_growth_and_insert_identical(self, workers, single_build_insert):
+        sharded = _drive_build_insert(ShardedSimulation(_config(), workers=workers))
+        _assert_identical(sharded, single_build_insert)
+
+    def test_churn_and_crash_identical(self, workers, single_churn):
+        sharded = _drive_churn(ShardedSimulation(_config(), workers=workers))
+        _assert_identical(sharded, single_churn)
+
+
+class TestFactoryGolden:
+    def test_make_salad_sharded_engine_is_identical(self, single_build_insert):
+        # Whatever engine the factory picks for this environment (sharded,
+        # or Salad after degradation), the observations must be identical.
+        sim = make_salad(SaladConfig(dimensions=2, seed=11, shard_workers=2))
+        _assert_identical(_drive_build_insert(sim), single_build_insert)

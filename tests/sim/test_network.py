@@ -126,6 +126,81 @@ class TestLoss:
             Network(EventScheduler(), loss_probability=1.5)
 
 
+class TestLossSubstream:
+    """Loss draws come from a dedicated substream, and both the jitter and
+    loss draws happen before any drop decision, so the delivery timestamps
+    of surviving messages are pinned: identical across runs that differ
+    only in loss probability or partition layout.  (With a shared stream,
+    enabling loss shifted every subsequent jitter draw, making lossy and
+    lossless traces incomparable.)"""
+
+    @staticmethod
+    def _delivery_times(loss=0.0, partition=None):
+        net = Network(
+            EventScheduler(),
+            latency=1.0,
+            jitter=0.5,
+            loss_probability=loss,
+            rng=random.Random(7),
+        )
+        received = {}
+
+        class Stamp(SimMachine):
+            def __init__(self, identifier, network):
+                super().__init__(identifier, network)
+                self.on(
+                    "tag",
+                    lambda msg: received.setdefault(msg.payload, net.scheduler.now),
+                )
+
+        Stamp(1, net), Stamp(2, net), Stamp(3, net)
+        if partition:
+            net.partition(partition)
+        for i in range(200):
+            net.send(1, 2 if i % 2 else 3, "tag", i)
+        net.run()
+        return received
+
+    def test_loss_pins_surviving_delivery_times(self):
+        lossless = self._delivery_times()
+        lossy = self._delivery_times(loss=0.4)
+        assert 0 < len(lossy) < len(lossless)
+        assert all(lossless[tag] == time for tag, time in lossy.items())
+
+    def test_partition_pins_surviving_delivery_times(self):
+        connected = self._delivery_times()
+        cut = self._delivery_times(partition={"island": [3]})
+        assert sorted(cut) == [tag for tag in sorted(connected) if tag % 2]
+        assert all(connected[tag] == time for tag, time in cut.items())
+
+    def test_loss_seed_independent_of_jitter_consumption(self):
+        # Same main rng seed, jitter on vs. off: the loss pattern (which
+        # tags die) must be identical, because loss never reads the main
+        # stream after construction.
+        def survivors(jitter):
+            net = Network(
+                EventScheduler(),
+                latency=1.0,
+                jitter=jitter,
+                loss_probability=0.4,
+                rng=random.Random(7),
+            )
+            log = []
+
+            class Sink(SimMachine):
+                def __init__(self, identifier, network):
+                    super().__init__(identifier, network)
+                    self.on("tag", lambda msg: log.append(msg.payload))
+
+            Sink(1, net), Sink(2, net)
+            for i in range(200):
+                net.send(1, 2, "tag", i)
+            net.run()
+            return sorted(log)
+
+        assert survivors(0.0) == survivors(0.5)
+
+
 class TestRegistration:
     def test_duplicate_identifier_rejected(self):
         net = make_net()

@@ -55,6 +55,48 @@ class TestPartitionMechanics:
         assert b.received == [1]
 
 
+class TestMidFlightPartition:
+    """Partition membership is re-checked at delivery time.
+
+    A partition that forms while a message is in flight must sever it --
+    exactly as a machine that crashes while a message is in flight drops
+    it.  The seed checked partitions at send time only, so these scenarios
+    delivered messages across a cut that formed mid-settle.
+    """
+
+    def test_partition_severs_in_flight_messages(self):
+        net = Network(EventScheduler())
+        a, b = Probe(1, net), Probe(2, net)
+        a.send(2, "msg")  # in flight, due at t = latency
+        net.partition({"west": [1], "east": [2]})
+        net.run()
+        assert b.received == []
+        assert net.messages_dropped == 1
+        assert net.traffic[1].dropped_to == 1
+
+    def test_heal_before_delivery_lets_in_flight_message_through(self):
+        net = Network(EventScheduler())
+        a, b = Probe(1, net), Probe(2, net)
+        a.send(2, "msg")
+        net.partition({"west": [1], "east": [2]})
+        net.heal_partition()
+        net.run()
+        assert b.received == [1]
+
+    def test_partition_during_salad_settle_severs_replication(self):
+        # Insert without settling, cut the network mid-flight, then settle:
+        # the replication messages crossing the cut must be dropped.
+        salad = Salad(SaladConfig(target_redundancy=2.0, seed=13))
+        salad.build(20)
+        ids = sorted(leaf.identifier for leaf in salad.alive_leaves())
+        fp = synthetic_fingerprint(30_000, 9)
+        salad.insert_records({ids[0]: [SaladRecord(fp, ids[0])]}, settle=False)
+        salad.network.partition({"a": ids[:10], "b": ids[10:]})
+        dropped_before = salad.network.messages_dropped
+        salad.network.run()
+        assert salad.network.messages_dropped > dropped_before
+
+
 class TestSaladUnderPartition:
     def test_duplicates_found_within_but_not_across(self):
         """During a partition, each side keeps finding its own duplicates;
