@@ -24,6 +24,14 @@ new snapshot.
 ``--trend`` prints the gated metrics across the whole dated snapshot
 series instead of gating, so a slow drift that stays inside the per-PR
 tolerance is still visible.
+
+``--metrics REPORT.json`` gates *behavioral* rates derived from a RunReport
+(``record_trajectory.py --metrics-out`` / ``repro-experiments
+--metrics-out``) rather than wall-clock throughput: the routing next-hop
+cache hit rate must stay above a floor, and mean hops per record must stay
+within the 2D bound of the paper's Fig. 4 routing.  Absolute counters need
+no baseline snapshot, so these gates are machine-independent.  A rate whose
+inputs are absent from the report is skipped, never failed.
 """
 
 from __future__ import annotations
@@ -103,6 +111,74 @@ def check(fresh_path: Path, tolerance: float) -> int:
     return 0
 
 
+#: Floor for the indexed-routing next-hop cache hit rate; the cache is the
+#: whole point of the indexed routing path, and healthy runs sit above 0.9.
+MIN_NEXT_HOP_HIT_RATE = 0.5
+
+
+def _report_entry(report: dict, section: str, name: str) -> Optional[float]:
+    """An unlabeled counter/gauge value from a RunReport, or None if absent."""
+    for entry in report.get("metrics", {}).get(section, ()):
+        if entry.get("name") == name and not entry.get("labels"):
+            return entry.get("value")
+    return None
+
+
+def check_metrics(report_path: Path) -> int:
+    """Gate behavioral rates derived from a RunReport (no baseline needed).
+
+    The rates are machine-independent consequences of the routing design:
+    Fig. 4 delivers every record within 2D hops, and the next-hop cache
+    must actually absorb lookups.  Skip-if-absent mirrors the snapshot
+    gates -- a report from a run that never routed records gates nothing.
+    """
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    print(f"metrics gates on {report_path.name}")
+    failures: List[str] = []
+    gated = 0
+
+    hits = _report_entry(report, "counters", "salad.routing.next_hop_hits")
+    misses = _report_entry(report, "counters", "salad.routing.next_hop_misses")
+    if hits is None or misses is None or not hits + misses:
+        print("  skip  next_hop_cache_hit_rate (no routing lookups in report)")
+    else:
+        gated += 1
+        rate = hits / (hits + misses)
+        verdict = "ok  " if rate >= MIN_NEXT_HOP_HIT_RATE else "FAIL"
+        print(
+            f"  {verdict}  next_hop_cache_hit_rate: {rate:.3f}"
+            f" (floor {MIN_NEXT_HOP_HIT_RATE})"
+        )
+        if rate < MIN_NEXT_HOP_HIT_RATE:
+            failures.append("next_hop_cache_hit_rate")
+
+    hops = _report_entry(report, "counters", "salad.records.hops")
+    arrivals = _report_entry(report, "counters", "salad.records.arrivals")
+    dimensions = _report_entry(report, "gauges", "salad.config.dimensions")
+    if hops is None or not arrivals or not dimensions:
+        print("  skip  hops_per_record (no record arrivals in report)")
+    else:
+        gated += 1
+        mean_hops = hops / arrivals
+        ceiling = 2.0 * dimensions
+        verdict = "ok  " if mean_hops <= ceiling else "FAIL"
+        print(
+            f"  {verdict}  hops_per_record: {mean_hops:.3f}"
+            f" (ceiling 2D = {ceiling:g})"
+        )
+        if mean_hops > ceiling:
+            failures.append("hops_per_record")
+
+    if not gated:
+        print("OK (nothing to gate in this report)")
+        return 0
+    if failures:
+        print(f"FAIL: metrics gates violated: {', '.join(failures)}")
+        return 1
+    print("OK")
+    return 0
+
+
 def trend() -> int:
     """The gated metrics across the whole committed snapshot series."""
     series = snapshot_series()
@@ -164,11 +240,22 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the gated metrics across all committed snapshots and exit",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="REPORT",
+        default=None,
+        help="gate behavioral rates (cache hit-rate floor, 2D hop ceiling) "
+        "derived from a --metrics-out RunReport instead of a snapshot",
+    )
     args = parser.parse_args(argv)
     if args.trend:
         return trend()
+    if args.metrics:
+        return check_metrics(Path(args.metrics))
     if args.snapshot is None:
-        parser.error("a fresh snapshot PATH is required unless --trend is given")
+        parser.error(
+            "a fresh snapshot PATH is required unless --trend or --metrics is given"
+        )
     return check(Path(args.snapshot), args.tolerance)
 
 

@@ -60,11 +60,27 @@ from repro.crypto.modes import (
 )
 from repro.experiments.dfc_run import DfcConfig
 from repro.farsite.dfc_pipeline import DfcPipeline
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import build_run_report, print_summary, write_run_report
+from repro.obs.spans import phase
 from repro.salad.records import SaladRecord
-from repro.salad.salad import Salad, SaladConfig
+from repro.salad.salad import Salad, SaladConfig, set_detailed_metrics
 from repro.workload.generator import CorpusSpec, generate_corpus
 
 MIB = 1 << 20
+
+#: Set by main() when --metrics-out is given; benches that can harvest engine
+#: telemetry merge one representative run's registry into it.
+_BENCH_REGISTRY = None
+
+#: Per-worker registry dumps from the sharded bench (the RunReport's
+#: ``shards`` section), captured when the sharded engine runs.
+_SHARD_DUMPS = None
+
+
+def _merge_bench_metrics(registry: MetricsRegistry) -> None:
+    if _BENCH_REGISTRY is not None:
+        _BENCH_REGISTRY.merge(registry)
 
 
 def _best_of(fn, repeats: int = 3) -> float:
@@ -151,9 +167,11 @@ def bench_salad_inserts(leaves: int = 64, records: int = 2000) -> dict:
         before = sum(fresh.message_totals())
         inserted = fresh.insert_records(batches)
         run.messages = sum(fresh.message_totals()) - before  # type: ignore[attr-defined]
+        run.salad = fresh  # type: ignore[attr-defined]
         return inserted
 
     seconds = _best_of(run, repeats=2)
+    _merge_bench_metrics(run.salad.collect_metrics(MetricsRegistry()))
     return {
         "leaves": leaves,
         "records": records,
@@ -201,13 +219,19 @@ def bench_salad_routing(leaves: int = 64, records: int = 2000) -> dict:
         fresh.insert_records(batches)
         state["messages"] = sum(fresh.message_totals()) - before
         if not reference:
-            state["hits"] = sum(l.next_hop_hits for l in fresh.alive_leaves())
-            state["misses"] = sum(l.next_hop_misses for l in fresh.alive_leaves())
+            # Rates come from the harvested telemetry registry -- the same
+            # numbers a --metrics-out RunReport carries -- not from ad-hoc
+            # leaf-attribute sums.
+            registry = fresh.collect_metrics(MetricsRegistry())
+            state["hits"] = registry.counter_value("salad.routing.next_hop_hits")
+            state["misses"] = registry.counter_value("salad.routing.next_hop_misses")
+            state["registry"] = registry
 
     reference_seconds = _best_of(lambda: run(True), repeats=2)
     reference_messages = state["messages"]
     indexed_seconds = _best_of(lambda: run(False), repeats=2)
     assert state["messages"] == reference_messages, "routing paths diverged"
+    _merge_bench_metrics(state["registry"])
     lookups = state["hits"] + state["misses"]
     return {
         "leaves": leaves,
@@ -252,10 +276,20 @@ def bench_sharded_inserts(leaves: int = 64, records: int = 2000, workers: int = 
         sim.insert_records(_sharded_batches(sim.alive_identifiers(), records))
         seconds = time.perf_counter() - start
         observed = (sim.message_counters(), sim.total_stored_records())
+        # Harvest before shutdown; for the sharded engine this exercises the
+        # coordinator's per-worker registry merge (which returns the
+        # per-shard dumps the RunReport's shards section carries).
+        global _SHARD_DUMPS
+        registry = MetricsRegistry()
+        dumps = sim.collect_metrics(registry)
+        if isinstance(dumps, list):
+            _SHARD_DUMPS = dumps
         sim.shutdown()
-        return seconds, observed
+        return seconds, observed, registry
 
-    serial_seconds, serial_observed = drive(Salad(SaladConfig(dimensions=2, seed=7)))
+    serial_seconds, serial_observed, serial_registry = drive(
+        Salad(SaladConfig(dimensions=2, seed=7))
+    )
     out = {
         "leaves": leaves,
         "records": records,
@@ -268,9 +302,13 @@ def bench_sharded_inserts(leaves: int = 64, records: int = 2000, workers: int = 
         sharded = ShardedSimulation(SaladConfig(dimensions=2, seed=7), workers=workers)
     except ShardingUnavailable as exc:
         out["sharded_unavailable"] = str(exc)
+        _merge_bench_metrics(serial_registry)
         return out
-    sharded_seconds, sharded_observed = drive(sharded)
+    sharded_seconds, sharded_observed, sharded_registry = drive(sharded)
     assert sharded_observed == serial_observed, "sharded engine diverged"
+    # One engine's worth of telemetry for the report (the merged sharded
+    # registry, which already folded every worker's dump).
+    _merge_bench_metrics(sharded_registry)
     out["sharded_wall_seconds"] = sharded_seconds
     out["sharded_inserts_per_sec"] = records / sharded_seconds
     out["speedup_sharded_over_serial"] = serial_seconds / sharded_seconds
@@ -382,7 +420,21 @@ def main(argv=None) -> int:
         action="store_true",
         help="run only the salad benchmarks (the CI regression gate's input)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a RunReport (repro.obs: harvested metrics registry, "
+        "per-bench phase tree, environment) as JSON and print a summary "
+        "table on stderr; check_regression.py --metrics gates on it",
+    )
     args = parser.parse_args(argv)
+    global _BENCH_REGISTRY
+    if args.metrics_out:
+        _BENCH_REGISTRY = MetricsRegistry()
+        # Record-flow counters are opt-in (they cost hot-path time, which
+        # shows up in the recorded rates); asking for a report opts in.
+        set_detailed_metrics(True)
     today = datetime.date.today().isoformat()
     if args.output:
         output = Path(args.output)
@@ -419,13 +471,36 @@ def main(argv=None) -> int:
         ]
     for name, bench in benches:
         print(f"[{name}] ...", flush=True)
-        snapshot["results"][name] = bench()
+        with phase(name):
+            snapshot["results"][name] = bench()
         for key, value in snapshot["results"][name].items():
             rendered = f"{value:.3f}" if isinstance(value, float) else value
             print(f"  {key}: {rendered}")
 
     output.write_text(json.dumps(snapshot, indent=1) + "\n", encoding="utf-8")
     print(f"snapshot written to {output}")
+
+    if args.metrics_out:
+        # Fold in the module-level collectors (accumulated across benches).
+        from repro import perf
+        from repro.core import fingerprint as fingerprint_module
+        from repro.crypto import modes
+
+        modes.collect_metrics(_BENCH_REGISTRY)
+        fingerprint_module.collect_metrics(_BENCH_REGISTRY)
+        perf.collect_metrics(_BENCH_REGISTRY)
+        report = build_run_report(
+            _BENCH_REGISTRY,
+            env={
+                "benchmarks": ",".join(name for name, _ in benches),
+                "smoke": args.smoke or None,
+                "bench_snapshot": str(output),
+            },
+            shards=_SHARD_DUMPS,
+        )
+        write_run_report(args.metrics_out, report)
+        print_summary(report)
+        print(f"run report written to {args.metrics_out}")
     return 0
 
 

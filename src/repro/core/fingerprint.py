@@ -34,6 +34,19 @@ SIZE_PREFIX_BYTES = 8
 #: Total fingerprint width in bytes.
 FINGERPRINT_BYTES = SIZE_PREFIX_BYTES + FINGERPRINT_HASH_BYTES
 
+#: Batch-kernel lifetime totals (plain module ints on the hot path;
+#: harvested into a MetricsRegistry by :func:`collect_metrics`).
+_BATCH_CALLS = 0
+_BATCH_ITEMS = 0
+_BATCH_BYTES = 0
+
+
+def collect_metrics(registry) -> None:
+    """Harvest the fingerprint batch kernels' lifetime totals into *registry*."""
+    registry.counter("core.fingerprint.batch_calls").inc(_BATCH_CALLS)
+    registry.counter("core.fingerprint.batch_items").inc(_BATCH_ITEMS)
+    registry.counter("core.fingerprint.batch_bytes").inc(_BATCH_BYTES)
+
 
 @total_ordering
 @dataclass(frozen=True)
@@ -121,12 +134,18 @@ def fingerprint_many(contents: Iterable[bytes]) -> List[Fingerprint]:
     :class:`repro.perf.ParallelMap` by the DFC pipeline -- hashing is pure
     and order-independent, so a parallel map returns the same list.
     """
+    global _BATCH_CALLS, _BATCH_ITEMS, _BATCH_BYTES
     hash_fn = _sha1
     out: List[Fingerprint] = []
+    hashed_bytes = 0
     for content in contents:
+        hashed_bytes += len(content)
         out.append(
             Fingerprint(size=len(content), content_digest=hash_fn(content).digest())
         )
+    _BATCH_CALLS += 1
+    _BATCH_ITEMS += len(out)
+    _BATCH_BYTES += hashed_bytes
     return out
 
 
@@ -139,6 +158,7 @@ def synthetic_fingerprint_many(
     sweep keeps the hot loop free of per-file call overhead and gives the
     parallel executor a picklable unit of work.
     """
+    global _BATCH_CALLS, _BATCH_ITEMS
     hash_fn = _sha1
     out: List[Fingerprint] = []
     for size, content_id in descriptors:
@@ -146,6 +166,8 @@ def synthetic_fingerprint_many(
         out.append(
             Fingerprint(size=size, content_digest=hash_fn(token).digest())
         )
+    _BATCH_CALLS += 1
+    _BATCH_ITEMS += len(out)
     return out
 
 

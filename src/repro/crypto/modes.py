@@ -196,10 +196,32 @@ class KeystreamCache:
 #: Process-wide cache used by the bulk API.
 _KEYSTREAM_CACHE = KeystreamCache()
 
+#: Bulk-kernel lifetime totals (plain module ints on the hot path; harvested
+#: into a MetricsRegistry by :func:`collect_metrics` at report time).
+_BULK_CALLS = 0
+_BULK_BYTES = 0
+
 
 def keystream_cache() -> KeystreamCache:
     """The process-wide keystream cache (exposed for stats and tests)."""
     return _KEYSTREAM_CACHE
+
+
+def collect_metrics(registry) -> None:
+    """Harvest the bulk-CTR kernel's lifetime totals into *registry*.
+
+    Builds fresh entries from the module counters and the process-wide
+    keystream cache; calling it twice on two registries double-counts
+    nothing (a harvest is a snapshot).
+    """
+    registry.counter("crypto.ctr.bulk_calls").inc(_BULK_CALLS)
+    registry.counter("crypto.ctr.bulk_bytes").inc(_BULK_BYTES)
+    cache = _KEYSTREAM_CACHE
+    registry.counter("crypto.ctr.keystream_cache_hits").inc(cache.hits)
+    registry.counter("crypto.ctr.keystream_cache_misses").inc(cache.misses)
+    probes = cache.hits + cache.misses
+    if probes:
+        registry.gauge("crypto.ctr.keystream_cache_hit_rate").set(cache.hits / probes)
 
 
 def _xor_bytes(data: bytes, stream: bytes) -> bytes:
@@ -216,8 +238,11 @@ def bulk_encrypt_ctr(key: bytes, plaintext: bytes, nonce: int = 0) -> bytes:
     Byte-identical to :func:`encrypt_ctr`; the whole keystream for the file
     is generated in one shot and cached under ``(key, nonce)``.
     """
+    global _BULK_CALLS, _BULK_BYTES
     if not plaintext:
         return b""
+    _BULK_CALLS += 1
+    _BULK_BYTES += len(plaintext)
     stream = _KEYSTREAM_CACHE.keystream(key, nonce, len(plaintext))
     return _xor_bytes(plaintext, stream)
 

@@ -58,6 +58,12 @@ class DfcConfig:
     #: single-process automatically where workers cannot be spawned (e.g.
     #: inside a per-Lambda ParallelMap pool worker).
     shard_workers: Optional[int] = None
+    #: Run the opt-in invariant tracer (repro.sim.tracer) inside the engine
+    #: and feed violation counters into harvested metrics.  None = session
+    #: default (``repro.salad.salad.set_trace_invariants``, wired to the
+    #: experiment CLI's ``--trace-invariants``).  Retains every message in
+    #: memory, so opt in deliberately.
+    trace_invariants: Optional[bool] = None
 
     def salad_config(self) -> SaladConfig:
         return SaladConfig(
@@ -70,6 +76,7 @@ class DfcConfig:
             db_backend=self.db_backend,
             db_dir=self.db_dir,
             shard_workers=self.shard_workers,
+            trace_invariants=self.trace_invariants,
         )
 
 
@@ -209,6 +216,24 @@ class DfcRun:
 
     def leaf_table_sizes(self) -> List[int]:
         return self.salad.leaf_table_sizes(alive_only=True)
+
+    def collect_metrics(self, registry) -> Optional[List[dict]]:
+        """Harvest engine and module counters into *registry*.
+
+        Returns the per-shard registry dumps when the engine is sharded
+        (the coordinator merges them into *registry* itself), else ``None``.
+        Harvest before :meth:`close`: a shut-down engine has nothing left to
+        report.
+        """
+        from repro import perf
+        from repro.core import fingerprint
+        from repro.crypto import modes
+
+        modes.collect_metrics(registry)
+        fingerprint.collect_metrics(registry)
+        perf.collect_metrics(registry)
+        result = self.salad.collect_metrics(registry)
+        return result if isinstance(result, list) else None
 
     def close(self) -> None:
         """Release engine resources (databases; worker processes if sharded)."""

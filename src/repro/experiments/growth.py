@@ -8,9 +8,10 @@ two particular values of L.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.registry import MetricsRegistry
 from repro.perf.parallel import parallel_map
 from repro.salad.salad import SaladConfig
 from repro.salad.sharded import make_salad
@@ -33,6 +34,11 @@ class GrowthResult:
     target_redundancy: float
     dimensions: int
     snapshots: List[GrowthSnapshot]
+    #: Telemetry registry dump (repro.obs), harvested just before the run's
+    #: engine shut down; merge with ``MetricsRegistry.merge_dict``.  Tagged
+    #: telemetry: contains wall-clock histograms, so the runner keeps it
+    #: out of --json output.
+    metrics: Optional[dict] = field(default=None, metadata={"telemetry": True})
 
     def snapshot_at(self, system_size: int) -> GrowthSnapshot:
         for snap in self.snapshots:
@@ -85,12 +91,17 @@ def run_growth(
                     system_size=size, leaf_table_sizes=salad.leaf_table_sizes()
                 )
             )
+        # Harvest telemetry before shutdown: a dead engine reports nothing.
+        registry = MetricsRegistry()
+        salad.collect_metrics(registry)
+        metrics = registry.to_dict()
     finally:
         salad.shutdown()
     return GrowthResult(
         target_redundancy=target_redundancy,
         dimensions=dimensions,
         snapshots=snapshots,
+        metrics=metrics,
     )
 
 

@@ -37,10 +37,17 @@ from repro.experiments import (
     model_check,
 )
 from repro.experiments.growth import growth_sample_points, run_growth_suite
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import build_run_report, print_summary, write_run_report
+from repro.obs.spans import span
 from repro.perf import set_default_workers
 from repro.experiments.scales import PAPER_LAMBDAS, SCALES, get_scale
 from repro.experiments.threshold_sweep import run_threshold_sweep
-from repro.salad.salad import validate_shard_workers
+from repro.salad.salad import (
+    set_detailed_metrics,
+    set_trace_invariants,
+    validate_shard_workers,
+)
 from repro.salad.storage import BACKENDS, set_default_db_backend
 
 SWEEP_FIGURES = {"fig07", "fig09", "fig10", "fig11", "fig12"}
@@ -70,11 +77,17 @@ def _jsonable(value: Any) -> Any:
     Dataclasses become dicts, non-string dict keys become strings, bytes
     become hex, and anything else unencodable becomes its repr -- enough to
     persist every result type the experiments produce.
+
+    Fields tagged ``metadata={"telemetry": True}`` are skipped: they carry
+    harvested registry dumps for the RunReport, which include wall-clock
+    histograms -- machine-dependent data that would break the guarantee
+    that ``--json`` output is byte-identical across runs and worker counts.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             f.name: _jsonable(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if not f.metadata.get("telemetry")
         }
     if isinstance(value, dict):
         return {str(k): _jsonable(v) for k, v in value.items()}
@@ -101,6 +114,7 @@ def run_experiments(
     db_backend: str = None,
     db_dir: str = None,
     shard_workers: int = None,
+    registry: MetricsRegistry = None,
 ) -> Dict[str, Any]:
     """Run the named experiments; returns rendered output (or raw results) per name.
 
@@ -111,20 +125,26 @@ def run_experiments(
     ``shard_workers`` runs each simulation on the sub-cube sharded engine
     (repro.salad.sharded) -- trace-identical on the deterministic workloads,
     so every reported number is unchanged; it threads through the growth,
-    threshold-sweep, Fig. 8, and Fig. 13 runs.
+    threshold-sweep, Fig. 8, and Fig. 13 runs.  ``registry`` collects
+    telemetry (repro.obs) from the runs that harvest it -- the shared sweep
+    and growth engines -- for a ``--metrics-out`` RunReport.
     """
     scale = get_scale(scale_name)
     outputs: Dict[str, Any] = {}
 
     sweep = None
     if SWEEP_FIGURES & set(names):
-        sweep = run_threshold_sweep(
-            scale,
-            seed=seed,
-            db_backend=db_backend,
-            db_dir=db_dir,
-            shard_workers=shard_workers,
-        )
+        with span("threshold_sweep"):
+            sweep = run_threshold_sweep(
+                scale,
+                seed=seed,
+                db_backend=db_backend,
+                db_dir=db_dir,
+                shard_workers=shard_workers,
+            )
+        if registry is not None:
+            for dump in sweep.metrics.values():
+                registry.merge_dict(dump)
 
     growth = None
     if GROWTH_FIGURES & set(names):
@@ -132,57 +152,63 @@ def run_experiments(
             set(growth_sample_points(scale.growth_max_leaves))
             | {scale.fig15_small, scale.fig15_large}
         )
-        growth = run_growth_suite(
-            PAPER_LAMBDAS,
-            scale.growth_max_leaves,
-            sample_sizes,
-            seed=seed,
-            shard_workers=shard_workers,
-        )
-
-    for name in names:
-        if name == "dataset":
-            result = dataset_stats.run(scale, seed=seed)
-        elif name == "fig07":
-            result = fig07_space_vs_minsize.run(scale, seed, sweep)
-        elif name == "fig08":
-            result = fig08_space_vs_failure.run(
-                scale, seed=seed, shard_workers=shard_workers
-            )
-        elif name == "fig09":
-            result = fig09_messages_vs_minsize.run(scale, seed, sweep)
-        elif name == "fig10":
-            result = fig10_message_cdf.run(scale, seed, sweep)
-        elif name == "fig11":
-            result = fig11_dbsize_vs_minsize.run(scale, seed, sweep)
-        elif name == "fig12":
-            result = fig12_dbsize_cdf.run(
-                scale, seed, sweep, db_backend=db_backend, db_dir=db_dir
-            )
-        elif name == "fig13":
-            result = fig13_space_vs_dblimit.run(
-                scale,
+        with span("growth_suite"):
+            growth = run_growth_suite(
+                PAPER_LAMBDAS,
+                scale.growth_max_leaves,
+                sample_sizes,
                 seed=seed,
-                db_backend=db_backend,
-                db_dir=db_dir,
                 shard_workers=shard_workers,
             )
-        elif name == "fig14":
-            result = fig14_leaftable_vs_size.run(scale, PAPER_LAMBDAS, seed, growth)
-        elif name == "fig15":
-            result = fig15_leaftable_cdf.run(scale, PAPER_LAMBDAS, seed, growth)
-        elif name == "model":
-            result = model_check.run(scale, seed=seed)
-        elif name == "attack":
-            result = attack_check.run(scale, seed=seed)
-        elif name == "ablation-blocks":
-            result = ablation_blocks.run(scale, seed=seed)
-        elif name == "ablation-dim":
-            result = ablation_dimensionality.run(scale, seed=seed)
-        elif name == "churn":
-            result = churn.run(scale, seed=seed)
-        else:
-            raise ValueError(f"unknown experiment {name!r}")
+        if registry is not None:
+            for result in growth.values():
+                if result.metrics:
+                    registry.merge_dict(result.metrics)
+
+    for name in names:
+        with span(name):
+            if name == "dataset":
+                result = dataset_stats.run(scale, seed=seed)
+            elif name == "fig07":
+                result = fig07_space_vs_minsize.run(scale, seed, sweep)
+            elif name == "fig08":
+                result = fig08_space_vs_failure.run(
+                    scale, seed=seed, shard_workers=shard_workers
+                )
+            elif name == "fig09":
+                result = fig09_messages_vs_minsize.run(scale, seed, sweep)
+            elif name == "fig10":
+                result = fig10_message_cdf.run(scale, seed, sweep)
+            elif name == "fig11":
+                result = fig11_dbsize_vs_minsize.run(scale, seed, sweep)
+            elif name == "fig12":
+                result = fig12_dbsize_cdf.run(
+                    scale, seed, sweep, db_backend=db_backend, db_dir=db_dir
+                )
+            elif name == "fig13":
+                result = fig13_space_vs_dblimit.run(
+                    scale,
+                    seed=seed,
+                    db_backend=db_backend,
+                    db_dir=db_dir,
+                    shard_workers=shard_workers,
+                )
+            elif name == "fig14":
+                result = fig14_leaftable_vs_size.run(scale, PAPER_LAMBDAS, seed, growth)
+            elif name == "fig15":
+                result = fig15_leaftable_cdf.run(scale, PAPER_LAMBDAS, seed, growth)
+            elif name == "model":
+                result = model_check.run(scale, seed=seed)
+            elif name == "attack":
+                result = attack_check.run(scale, seed=seed)
+            elif name == "ablation-blocks":
+                result = ablation_blocks.run(scale, seed=seed)
+            elif name == "ablation-dim":
+                result = ablation_dimensionality.run(scale, seed=seed)
+            elif name == "churn":
+                result = churn.run(scale, seed=seed)
+            else:
+                raise ValueError(f"unknown experiment {name!r}")
         outputs[name] = result if raw else result.render()
     return outputs
 
@@ -240,6 +266,20 @@ def main(argv: List[str] = None) -> int:
         default=None,
         help="also write the raw result data (series, not just tables) as JSON",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a RunReport (repro.obs: merged metrics registry, phase "
+        "tree, environment) as JSON and print a summary table on stderr",
+    )
+    parser.add_argument(
+        "--trace-invariants",
+        action="store_true",
+        help="run the opt-in invariant tracer inside every simulation and "
+        "feed violation counters into the metrics (retains every message "
+        "in memory: meant for small/smoke scales)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be >= 0 (0 = auto): {args.workers}")
@@ -253,7 +293,12 @@ def main(argv: List[str] = None) -> int:
     # experiments that build their own) picks up the chosen backend; the
     # database-centric experiments additionally get it threaded explicitly.
     set_default_db_backend(args.db_backend, args.db_dir)
+    set_trace_invariants(args.trace_invariants)
+    # Detailed record-flow counters cost hot-path time, so only runs that
+    # actually write a report pay for them.
+    set_detailed_metrics(bool(args.metrics_out))
 
+    registry = MetricsRegistry() if args.metrics_out else None
     names = args.only or ALL_EXPERIMENTS
     start = time.time()
     if args.json:
@@ -265,6 +310,7 @@ def main(argv: List[str] = None) -> int:
             db_backend=args.db_backend,
             db_dir=args.db_dir,
             shard_workers=args.shard_workers,
+            registry=registry,
         )
         outputs = {name: result.render() for name, result in raw.items()}
         payload = {
@@ -283,11 +329,28 @@ def main(argv: List[str] = None) -> int:
             db_backend=args.db_backend,
             db_dir=args.db_dir,
             shard_workers=args.shard_workers,
+            registry=registry,
         )
     for name in names:
         print(f"\n{'=' * 72}\n[{name}]")
         print(outputs[name])
     print(f"\ncompleted {len(names)} experiments in {time.time() - start:.1f}s")
+    if args.metrics_out:
+        report = build_run_report(
+            registry,
+            env={
+                "scale": args.scale,
+                "seed": args.seed,
+                "experiments": ",".join(names),
+                "workers": args.workers,
+                "shard_workers": args.shard_workers,
+                "db_backend": args.db_backend,
+                "trace_invariants": args.trace_invariants or None,
+            },
+        )
+        write_run_report(args.metrics_out, report)
+        print_summary(report)
+        print(f"run report written to {args.metrics_out}")
     return 0
 
 

@@ -11,11 +11,12 @@ Figs. 10 and 12.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.dfc_run import DfcConfig, DfcRun, SweepPoint
 from repro.experiments.scales import PAPER_LAMBDAS, PAPER_THRESHOLDS, ExperimentScale
+from repro.obs.registry import MetricsRegistry
 from repro.perf.parallel import parallel_map
 from repro.workload.corpus import Corpus, CorpusSummary
 from repro.workload.generator import generate_corpus
@@ -34,6 +35,13 @@ class ThresholdSweepResult:
     message_totals: Dict[float, List[int]]
     #: per-Lambda, per-machine database sizes at no threshold.
     database_sizes: Dict[float, List[int]]
+    #: per-Lambda telemetry registry dump (repro.obs), harvested just before
+    #: each run's engine shut down.  Merge into a session registry with
+    #: ``MetricsRegistry.merge_dict``.  Tagged telemetry: contains
+    #: wall-clock histograms, so the runner keeps it out of --json output.
+    metrics: Dict[float, dict] = field(
+        default_factory=dict, metadata={"telemetry": True}
+    )
 
     @property
     def ideal_consumed(self) -> List[int]:
@@ -76,7 +84,10 @@ def _sweep_one_lambda(task):
     try:
         run.build()
         points = run.insert_sweep(list(thresholds))
-        return lam, points, run.message_totals(), run.database_sizes()
+        # Harvest telemetry before close(): a shut-down engine reports nothing.
+        registry = MetricsRegistry()
+        run.collect_metrics(registry)
+        return lam, points, run.message_totals(), run.database_sizes(), registry.to_dict()
     finally:
         run.close()
 
@@ -114,10 +125,12 @@ def run_threshold_sweep(
     points: Dict[float, List[SweepPoint]] = {}
     message_totals: Dict[float, List[int]] = {}
     database_sizes: Dict[float, List[int]] = {}
-    for lam, pts, totals, sizes in results:
+    metrics: Dict[float, dict] = {}
+    for lam, pts, totals, sizes, registry_dump in results:
         points[lam] = pts
         message_totals[lam] = totals
         database_sizes[lam] = sizes
+        metrics[lam] = registry_dump
     return ThresholdSweepResult(
         corpus_summary=corpus.summary(),
         thresholds=tuple(sorted(set(thresholds))),
@@ -125,4 +138,5 @@ def run_threshold_sweep(
         points=points,
         message_totals=message_totals,
         database_sizes=database_sizes,
+        metrics=metrics,
     )

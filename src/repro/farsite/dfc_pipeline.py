@@ -33,6 +33,7 @@ from repro.experiments.dfc_run import DfcConfig, DfcRun
 from repro.farsite.file_host import FileHost
 from repro.farsite.relocation import RelocationPlan, RelocationPlanner
 from repro.farsite.sis import SingleInstanceStore
+from repro.obs.spans import phase, span
 from repro.perf import parallel_map
 from repro.salad.storage import resolve_db_backend, resolve_db_dir
 from repro.workload.content import synthetic_content
@@ -83,6 +84,9 @@ class DfcPipeline:
         self.replicas: Dict[str, Tuple[Fingerprint, List[int]]] = {}
         self.planner = RelocationPlanner(replication_factor=1)
         self._sis_dir: Optional[os.PathLike] = None
+        # Lifetime stage totals, harvested by collect_metrics().
+        self._migrations = 0
+        self._bytes_moved = 0
 
     def _make_sis(self, host_id: int) -> SingleInstanceStore:
         """One SIS per host; durable (sqlite-blob-backed) when the run's
@@ -167,6 +171,8 @@ class DfcPipeline:
     def relocate(self) -> RelocationPlan:
         """Plan and execute the migrations that co-locate duplicates."""
         plan = self.planner.plan(self._duplicate_groups())
+        self._migrations += plan.moved_replicas
+        self._bytes_moved += plan.bytes_moved()
         for migration in plan.migrations:
             source = self.hosts[migration.source_host]
             target = self.hosts[migration.target_host]
@@ -196,8 +202,24 @@ class DfcPipeline:
         )
 
     def execute(self, min_size: int = 0) -> PipelineReport:
-        """Run all four phases and return the verified report."""
-        self.load_hosts()
-        self.discover(min_size=min_size)
-        plan = self.relocate()
-        return self.report(plan)
+        """Run all four phases (as one span tree) and return the report."""
+        with phase("dfc.pipeline"):
+            with span("load_hosts") as load_span:
+                self.load_hosts()
+                load_span.set_ops(len(self.replicas))
+            with span("discover") as discover_span:
+                discover_span.set_ops(self.discover(min_size=min_size))
+            with span("relocate") as relocate_span:
+                plan = self.relocate()
+                relocate_span.set_ops(plan.moved_replicas)
+            with span("report"):
+                return self.report(plan)
+
+    def collect_metrics(self, registry):
+        """Harvest pipeline stage totals and the underlying SALAD; returns it."""
+        registry.counter("dfc.pipeline.hosts").inc(len(self.hosts))
+        registry.counter("dfc.pipeline.files_loaded").inc(len(self.replicas))
+        registry.counter("dfc.pipeline.migrations").inc(self._migrations)
+        registry.counter("dfc.pipeline.bytes_moved").inc(self._bytes_moved)
+        self.run.collect_metrics(registry)
+        return registry

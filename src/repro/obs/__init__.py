@@ -1,0 +1,51 @@
+"""repro.obs: zero-dependency telemetry (metrics, spans, run reports).
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog, span conventions,
+and the RunReport JSON schema.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    bucket_of,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+)
+from repro.obs.report import (
+    SCHEMA,
+    build_run_report,
+    print_summary,
+    summary_table,
+    validate_run_report,
+    write_run_report,
+)
+from repro.obs.spans import Span, current_span, phase, span, take_phases
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "bucket_of",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "SCHEMA",
+    "build_run_report",
+    "print_summary",
+    "summary_table",
+    "validate_run_report",
+    "write_run_report",
+    "Span",
+    "current_span",
+    "phase",
+    "span",
+    "take_phases",
+]

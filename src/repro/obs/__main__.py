@@ -1,0 +1,13 @@
+"""``python -m repro.obs REPORT.json``: validate + summarize a RunReport.
+
+Equivalent to ``python -m repro.obs.report`` but avoids the runpy
+double-import warning (the package __init__ already imports the report
+module for its re-exports).
+"""
+
+import sys
+
+from repro.obs.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

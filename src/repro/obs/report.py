@@ -1,0 +1,277 @@
+"""RunReport: one JSON document per run -- registry + phases + environment.
+
+Every experiment and benchmark CLI accepts ``--metrics-out PATH``; when
+given, the run ends by serializing
+
+- the merged :class:`~repro.obs.registry.MetricsRegistry` (counters,
+  gauges, histograms),
+- the phase tree drained from :mod:`repro.obs.spans`,
+- the environment (python, platform, cpu_count, git SHA, plus
+  caller-supplied extras such as backend and shard_workers), and
+- optionally a per-shard breakdown (one registry dump per worker of a
+  :class:`~repro.salad.sharded.ShardedSimulation`)
+
+to a *stable, versioned* JSON schema (:data:`SCHEMA`), and prints a short
+human-readable summary table on stderr.  ``benchmarks/check_regression.py
+--metrics`` gates on rates derived from the report, and
+``tests/obs/test_report_schema.py`` pins the schema via
+:func:`validate_run_report` so the format cannot drift silently.
+
+``python -m repro.obs.report PATH`` re-renders the summary table of a
+saved report (CI runs it on the smoke artifact after the trend step).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Span, take_phases
+
+#: Schema identifier; bump the suffix on any breaking layout change.
+SCHEMA = "repro.run-report/1"
+
+
+def git_sha() -> Optional[str]:
+    """The repo HEAD SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment(extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    env: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_sha": git_sha(),
+    }
+    if extra:
+        env.update(extra)
+    return env
+
+
+def build_run_report(
+    registry: MetricsRegistry,
+    phases: Optional[Sequence[Span]] = None,
+    env: Optional[Dict[str, Any]] = None,
+    shards: Optional[List[dict]] = None,
+) -> dict:
+    """Assemble the report dict.
+
+    *phases* defaults to draining :func:`repro.obs.spans.take_phases`;
+    *env* entries extend (and may override) the probed environment;
+    *shards* is the per-worker registry dumps of a sharded run, in shard
+    order -- their merge is already folded into *registry*.
+    """
+    if phases is None:
+        phases = take_phases()
+    report = {
+        "schema": SCHEMA,
+        "created_unix": time.time(),
+        "environment": environment(env),
+        "metrics": registry.to_dict(),
+        "phases": [p.to_dict() for p in phases],
+    }
+    if shards is not None:
+        report["shards"] = [
+            {"shard": index, "metrics": dump} for index, dump in enumerate(shards)
+        ]
+    return report
+
+
+def write_run_report(path: os.PathLike, report: dict) -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=1) + "\n", encoding="utf-8")
+    return out
+
+
+def validate_run_report(data: Any) -> List[str]:
+    """Structural schema check; returns problems (empty = valid).
+
+    Deliberately a hand-rolled validator (no jsonschema dependency) that
+    pins exactly what downstream consumers read: the schema id, the
+    environment keys, the metrics triple with its entry shapes, the phase
+    tree, and the optional shards section.
+    """
+    problems: List[str] = []
+
+    def check(cond: bool, message: str) -> bool:
+        if not cond:
+            problems.append(message)
+        return cond
+
+    if not check(isinstance(data, dict), "report is not an object"):
+        return problems
+    check(data.get("schema") == SCHEMA, f"schema is not {SCHEMA!r}: {data.get('schema')!r}")
+    check(isinstance(data.get("created_unix"), (int, float)), "created_unix missing")
+
+    env = data.get("environment")
+    if check(isinstance(env, dict), "environment missing"):
+        for key in ("python", "platform", "machine", "cpu_count"):
+            check(key in env, f"environment.{key} missing")
+
+    metrics = data.get("metrics")
+    if check(isinstance(metrics, dict), "metrics missing"):
+        for section, value_keys in (
+            ("counters", ("value",)),
+            ("gauges", ("value",)),
+            ("histograms", ("count", "total", "buckets")),
+        ):
+            entries = metrics.get(section)
+            if not check(isinstance(entries, list), f"metrics.{section} missing"):
+                continue
+            for i, entry in enumerate(entries):
+                where = f"metrics.{section}[{i}]"
+                if not check(isinstance(entry, dict), f"{where} is not an object"):
+                    continue
+                check(isinstance(entry.get("name"), str), f"{where}.name missing")
+                check(isinstance(entry.get("labels"), dict), f"{where}.labels missing")
+                for key in value_keys:
+                    check(key in entry, f"{where}.{key} missing")
+
+    phases = data.get("phases")
+    if check(isinstance(phases, list), "phases missing"):
+        for i, entry in enumerate(phases):
+            _validate_phase(entry, f"phases[{i}]", problems)
+
+    if "shards" in data:
+        shards = data["shards"]
+        if check(isinstance(shards, list), "shards is not a list"):
+            for i, entry in enumerate(shards):
+                where = f"shards[{i}]"
+                if check(isinstance(entry, dict), f"{where} is not an object"):
+                    check(entry.get("shard") == i, f"{where}.shard != {i}")
+                    check(
+                        isinstance(entry.get("metrics"), dict),
+                        f"{where}.metrics missing",
+                    )
+    return problems
+
+
+def _validate_phase(entry: Any, where: str, problems: List[str]) -> None:
+    if not isinstance(entry, dict):
+        problems.append(f"{where} is not an object")
+        return
+    if not isinstance(entry.get("name"), str):
+        problems.append(f"{where}.name missing")
+    if not isinstance(entry.get("seconds"), (int, float)):
+        problems.append(f"{where}.seconds missing")
+    for i, child in enumerate(entry.get("children", ())):
+        _validate_phase(child, f"{where}.children[{i}]", problems)
+
+
+# ----------------------------------------------------------------------------
+# human-readable summary
+# ----------------------------------------------------------------------------
+
+
+def summary_table(report: dict, top_counters: int = 20) -> str:
+    """A compact stderr-friendly rendering of a RunReport."""
+    lines: List[str] = []
+    env = report.get("environment", {})
+    sha = env.get("git_sha")
+    lines.append(
+        f"run report  python {env.get('python')}  cpus {env.get('cpu_count')}"
+        + (f"  git {sha[:12]}" if sha else "")
+    )
+    extras = {
+        k: v
+        for k, v in env.items()
+        if k not in ("python", "platform", "machine", "cpu_count", "git_sha")
+        and v is not None
+    }
+    if extras:
+        lines.append("  " + "  ".join(f"{k}={v}" for k, v in sorted(extras.items())))
+
+    phases = report.get("phases", [])
+    if phases:
+        lines.append("phases:")
+        for entry in phases:
+            _render_phase(entry, lines, indent=1)
+
+    counters = report.get("metrics", {}).get("counters", [])
+    if counters:
+        lines.append("counters:")
+        shown = sorted(counters, key=lambda e: -abs(e["value"]))[:top_counters]
+        width = max(len(_entry_name(e)) for e in shown)
+        for entry in sorted(shown, key=_entry_name):
+            lines.append(f"  {_entry_name(entry).ljust(width)}  {entry['value']:,}")
+        if len(counters) > len(shown):
+            lines.append(f"  ... {len(counters) - len(shown)} more")
+
+    histograms = report.get("metrics", {}).get("histograms", [])
+    if histograms:
+        lines.append("histograms:")
+        for entry in histograms:
+            mean = entry["total"] / entry["count"] if entry["count"] else 0.0
+            lines.append(
+                f"  {_entry_name(entry)}  n={entry['count']:,}"
+                f"  mean={mean:.6g}  min={entry.get('min'):.6g}"
+                f"  max={entry.get('max'):.6g}"
+            )
+
+    shards = report.get("shards")
+    if shards:
+        lines.append(f"shards: {len(shards)} worker registries merged")
+    return "\n".join(lines)
+
+
+def _entry_name(entry: dict) -> str:
+    labels = entry.get("labels") or {}
+    if not labels:
+        return entry["name"]
+    rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{entry['name']}{{{rendered}}}"
+
+
+def _render_phase(entry: dict, lines: List[str], indent: int) -> None:
+    rate = entry.get("ops_per_second")
+    suffix = f"  ops={entry['ops']:,}" if "ops" in entry else ""
+    if rate is not None:
+        suffix += f"  ({rate:,.0f}/s)"
+    lines.append(f"{'  ' * indent}{entry['name']}: {entry['seconds']:.3f}s{suffix}")
+    for child in entry.get("children", ()):
+        _render_phase(child, lines, indent + 1)
+
+
+def print_summary(report: dict, stream=None) -> None:
+    print(summary_table(report), file=stream if stream is not None else sys.stderr)
+
+
+def main(argv=None) -> int:
+    """``python -m repro.obs.report PATH``: validate + summarize a report."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 1:
+        print("usage: python -m repro.obs.report REPORT.json", file=sys.stderr)
+        return 2
+    data = json.loads(Path(args[0]).read_text(encoding="utf-8"))
+    problems = validate_run_report(data)
+    if problems:
+        for problem in problems:
+            print(f"schema problem: {problem}", file=sys.stderr)
+        return 1
+    print(summary_table(data))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,9 +18,18 @@ see ``docs/PERFORMANCE.md``.
 
 from repro.perf.parallel import (
     ParallelMap,
+    chunk_stats,
+    collect_metrics,
     parallel_map,
     resolve_workers,
     set_default_workers,
 )
 
-__all__ = ["ParallelMap", "parallel_map", "resolve_workers", "set_default_workers"]
+__all__ = [
+    "ParallelMap",
+    "chunk_stats",
+    "collect_metrics",
+    "parallel_map",
+    "resolve_workers",
+    "set_default_workers",
+]

@@ -30,7 +30,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+import time
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.obs.registry import Histogram
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -79,9 +82,50 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+#: Worker chunk latencies for the life of the process.  Each pool chunk
+#: times itself in the worker and ships the duration back with its results,
+#: so the coordinator sees per-chunk latency (previously invisible: the pool
+#: only returned the result payload).  Harvested by :func:`collect_metrics`;
+#: :func:`chunk_stats` gives the min/median/max view directly.
+_CHUNK_SECONDS = Histogram()
+_CHUNK_DURATIONS: List[float] = []
+
+
+def chunk_stats() -> Optional[Tuple[float, float, float]]:
+    """(min, median, max) pool-chunk latency so far, or None if no chunks ran."""
+    if not _CHUNK_DURATIONS:
+        return None
+    ordered = sorted(_CHUNK_DURATIONS)
+    return ordered[0], ordered[len(ordered) // 2], ordered[-1]
+
+
+def collect_metrics(registry) -> None:
+    """Harvest pool-chunk latencies into *registry*.
+
+    The min/median/max gauges summarize this process's lifetime view; under
+    a registry merge gauges take the max, so only the histogram (exact
+    bucket-wise merge) should be trusted across merged reports.
+    """
+    registry.histogram("perf.parallel.chunk_seconds").merge_from(_CHUNK_SECONDS)
+    stats = chunk_stats()
+    if stats is not None:
+        low, median, high = stats
+        registry.gauge("perf.parallel.chunk_seconds_min").set(low)
+        registry.gauge("perf.parallel.chunk_seconds_median").set(median)
+        registry.gauge("perf.parallel.chunk_seconds_max").set(high)
+
+
+def _record_chunk_durations(durations: Iterable[float]) -> None:
+    for duration in durations:
+        _CHUNK_SECONDS.observe(duration)
+        _CHUNK_DURATIONS.append(duration)
+
+
 def _apply_chunk(args):
     fn, chunk = args
-    return [fn(item) for item in chunk]
+    start = time.perf_counter()
+    results = [fn(item) for item in chunk]
+    return time.perf_counter() - start, results
 
 
 class ParallelMap:
@@ -160,8 +204,11 @@ class ParallelMap:
             self.degraded = True
             return [fn(item) for item in items]
         out: List[R] = []
-        for chunk_result in results:
+        durations: List[float] = []
+        for elapsed, chunk_result in results:
+            durations.append(elapsed)
             out.extend(chunk_result)
+        _record_chunk_durations(durations)
         return out
 
     def _chunks(self, items: Sequence[T]) -> List[Sequence[T]]:

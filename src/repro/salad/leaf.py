@@ -68,6 +68,7 @@ class SaladLeaf(SimMachine):
         rng: Optional[random.Random] = None,
         reference_routing: bool = False,
         database: Optional[RecordStore] = None,
+        detailed_metrics: bool = False,
     ):
         super().__init__(identifier, network)
         if dimensions < 1:
@@ -138,6 +139,24 @@ class SaladLeaf(SimMachine):
             if reference_routing
             else self._route_record_indexed
         )
+
+        # Telemetry: plain attributes bumped on the hot paths, harvested
+        # into a MetricsRegistry at report time (repro.salad.telemetry).
+        # Identical across engines: every field below is driven purely by
+        # the deterministic message trace.  Record-flow tallies are gated
+        # on `detailed_metrics` because even bare integer increments cost
+        # several percent at ~15k arrivals per 2k-record insert; the store
+        # path is method-swapped here so the disabled path pays nothing.
+        self.detailed_metrics = detailed_metrics
+        self._store = self._store_record_metered if detailed_metrics else self._store_record
+        self.record_arrivals = 0
+        self.record_hops = 0
+        self.batch_envelopes = 0
+        self.batch_records = 0
+        # Exact size -> envelope-count mapping; the telemetry harvest folds
+        # it into the `salad.routing.batch_size` histogram.  A plain dict
+        # increment keeps the per-envelope cost to one hash op.
+        self.batch_size_counts: Dict[int, int] = {}
 
         # Duplicate notifications received for this machine's own files.
         self.matches: List[MatchPayload] = []
@@ -364,6 +383,12 @@ class SaladLeaf(SimMachine):
                 self.send(target, protocol.RECORD, batch[0])
             else:
                 self.send(target, protocol.RECORD_BATCH, tuple(batch))
+                if self.detailed_metrics:
+                    size = len(batch)
+                    self.batch_envelopes += 1
+                    self.batch_records += size
+                    counts = self.batch_size_counts
+                    counts[size] = counts.get(size, 0) + 1
 
     def _route_record_reference(
         self, record: SaladRecord, hops: int, forwards: Dict[int, List[tuple]]
@@ -393,7 +418,7 @@ class SaladLeaf(SimMachine):
                 for target in self._vector_members(d, self.coord(routing_id, d)):
                     forwards.setdefault(target, []).append((record, hops + 1))
                 return
-        self._store_record(record, hops, forwards)
+        self._store(record, hops, forwards)
 
     def _route_record_indexed(
         self, record: SaladRecord, hops: int, forwards: Dict[int, List[tuple]]
@@ -418,7 +443,7 @@ class SaladLeaf(SimMachine):
         else:
             self.next_hop_hits += 1
         if targets is _LOCAL:
-            self._store_record(record, hops, forwards)
+            self._store(record, hops, forwards)
             return
         if hops >= 2 * self.dimensions:
             return  # hop budget exhausted: the record is lost
@@ -440,7 +465,7 @@ class SaladLeaf(SimMachine):
         cache = self._next_hop_cache
         mask = self._cell_mask
         hop_budget = 2 * self.dimensions
-        store = self._store_record
+        store = self._store
         hits = misses = 0
         for record, hops in pairs:
             rid = record._rid  # precomputed routing_id; property skipped
@@ -483,6 +508,14 @@ class SaladLeaf(SimMachine):
             if diff & masks[d]:
                 return tuple(self._vector_members_key(d, routing_id & masks[d]))
         return _LOCAL  # unreachable: every cell-ID bit belongs to some axis
+
+    def _store_record_metered(
+        self, record: SaladRecord, hops: int, forwards: Dict[int, List[tuple]]
+    ) -> None:
+        """:meth:`_store_record` plus the detailed record-flow tallies."""
+        self.record_arrivals += 1
+        self.record_hops += hops
+        self._store_record(record, hops, forwards)
 
     def _store_record(
         self, record: SaladRecord, hops: int, forwards: Dict[int, List[tuple]]

@@ -40,6 +40,52 @@ _salad_sequence = itertools.count()
 #: Identifier width: 20-byte hashes (section 2).
 IDENTIFIER_BITS = 160
 
+#: Session default for SaladConfig.trace_invariants = None (the CLI
+#: ``--trace-invariants`` hook; mirrors set_default_db_backend).
+_default_trace_invariants = False
+
+
+def set_trace_invariants(enabled: bool) -> None:
+    """Set the process-wide default for runtime invariant tracing.
+
+    Configs whose ``trace_invariants`` is ``None`` resolve to this value,
+    so one CLI flag turns on tracing for every Salad an experiment builds
+    (including those built inside worker processes, which re-apply the flag
+    on startup; the sharded coordinator instead pins the resolved value
+    into the config it ships to its workers).
+    """
+    global _default_trace_invariants
+    _default_trace_invariants = bool(enabled)
+
+
+def resolve_trace_invariants(value) -> bool:
+    """``None`` means the session default; anything else is a plain bool."""
+    return _default_trace_invariants if value is None else bool(value)
+
+
+#: Session default for SaladConfig.detailed_metrics = None (set by
+#: ``--metrics-out`` on the CLIs; mirrors set_trace_invariants).
+_default_detailed_metrics = False
+
+
+def set_detailed_metrics(enabled: bool) -> None:
+    """Set the process-wide default for detailed record-flow metrics.
+
+    Detailed metrics (per-record arrival/hop counts and per-envelope batch
+    statistics) cost real time on the routing hot path -- measurably so on
+    insert-heavy workloads -- so they are off unless a run asks for a
+    report.  Configs whose ``detailed_metrics`` is ``None`` resolve to this
+    value; the sharded coordinator pins the resolved value into the config
+    it ships to workers, so both engines always count identically.
+    """
+    global _default_detailed_metrics
+    _default_detailed_metrics = bool(enabled)
+
+
+def resolve_detailed_metrics(value) -> bool:
+    """``None`` means the session default; anything else is a plain bool."""
+    return _default_detailed_metrics if value is None else bool(value)
+
 
 def validate_shard_workers(value) -> None:
     """Validate a ``shard_workers`` knob without resolving it.
@@ -101,6 +147,19 @@ class SaladConfig:
     #: :func:`repro.salad.sharded.make_salad` honors this knob; constructing
     #: :class:`Salad` directly always runs single-process.
     shard_workers: Optional[int] = None
+    #: Trace every message and check protocol invariants at harvest time
+    #: (the ``--trace-invariants`` runtime mode; see repro.sim.tracer).
+    #: None = the session default set by :func:`set_trace_invariants`.
+    #: Tracing does not alter the message trace, but it retains every
+    #: message in memory -- opt in deliberately on large runs.
+    trace_invariants: Optional[bool] = None
+    #: Count per-record arrivals/hops and per-envelope batch sizes
+    #: (``salad.records.arrivals``/``hops``, ``salad.routing.envelopes``/
+    #: ``envelope_records``/``batch_size``).  These increments sit on the
+    #: routing hot path, so they are opt-in: ``--metrics-out`` turns them
+    #: on; None = the session default set by :func:`set_detailed_metrics`.
+    #: Never alters the message trace -- only whether flow counters tally.
+    detailed_metrics: Optional[bool] = None
 
     def __post_init__(self) -> None:
         resolve_db_backend(self.db_backend)  # fail fast on unknown names
@@ -128,6 +187,16 @@ class Salad:
         )
         self.leaves: Dict[int, SaladLeaf] = {}
         self._join_order: List[int] = []
+        # Opt-in runtime invariant tracing.  Attached after the network is
+        # built (and after the network-seed RNG draw above, so traced and
+        # untraced runs see identical randomness).
+        self.tracer = None
+        if resolve_trace_invariants(config.trace_invariants):
+            from repro.sim.tracer import NetworkTracer
+
+            self.tracer = NetworkTracer(self.network)
+        # Resolved once so every leaf this SALAD builds counts identically.
+        self._detailed_metrics = resolve_detailed_metrics(config.detailed_metrics)
         # Durable-store housing: resolved lazily so memory-backed SALADs
         # (the default) never touch the filesystem.
         self._db_backend = resolve_db_backend(config.db_backend)
@@ -187,6 +256,7 @@ class Salad:
             rng=random.Random(self._rng.getrandbits(64)),
             reference_routing=self.config.reference_routing,
             database=self._database_for(identifier),
+            detailed_metrics=self._detailed_metrics,
         )
         self.leaves[identifier] = leaf
         return leaf
@@ -364,6 +434,24 @@ class Salad:
             self.network.messages_delivered,
             self.network.messages_dropped,
         )
+
+    def collect_metrics(self, registry):
+        """Harvest this SALAD's runtime state into *registry*; returns it.
+
+        Builds fresh entries from the leaves' plain attribute counters (see
+        repro.salad.telemetry), so harvesting twice into two registries
+        double-counts nothing.  When invariant tracing is on, the protocol
+        checks run here and their violation counts land under
+        ``sim.invariants.*``.
+        """
+        from repro.salad.telemetry import harvest_salad_metrics
+
+        harvest_salad_metrics(
+            registry, self.leaves.values(), self.network, self.config.dimensions
+        )
+        if self.tracer is not None:
+            self.tracer.feed_registry(registry, self.leaves, self.config.dimensions)
+        return registry
 
     def __len__(self) -> int:
         return len(self.leaves)

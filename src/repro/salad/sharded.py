@@ -58,10 +58,11 @@ import multiprocessing
 import os
 import random
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from operator import itemgetter
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.registry import Histogram, MetricsRegistry
 from repro.salad.leaf import SaladLeaf
 from repro.salad.protocol import MatchPayload, ShardEnvelope
 from repro.salad.records import SaladRecord
@@ -69,8 +70,11 @@ from repro.salad.salad import (
     IDENTIFIER_BITS,
     Salad,
     SaladConfig,
+    resolve_detailed_metrics,
+    resolve_trace_invariants,
     validate_shard_workers,
 )
+from repro.salad.telemetry import harvest_salad_metrics
 from repro.salad.storage import (
     make_record_store,
     resolve_db_backend,
@@ -232,6 +236,22 @@ def _shard_worker_main(
     leaves: Dict[int, SaladLeaf] = {}
     backend = resolve_db_backend(config.db_backend)
     db_dir = None
+    # Invariant tracing: the coordinator pins the resolved flag into the
+    # config it ships (set_trace_invariants session state does not cross the
+    # process boundary), so resolving again here is a no-op for sharded runs
+    # and only matters if a worker is somehow started with a None flag.
+    tracer = None
+    if resolve_trace_invariants(config.trace_invariants):
+        from repro.sim.tracer import NetworkTracer
+
+        tracer = NetworkTracer(network)
+    # Sharded-only transport telemetry, reported under salad.sharded.* by
+    # the ("metrics",) op -- namespaced so the engine-identity comparison
+    # can exclude it (the single-process engine has no envelopes).
+    envelopes = 0
+    envelope_messages = 0
+    windows_run = 0
+    envelope_hist = Histogram()
 
     def database_for(identifier: int):
         nonlocal db_dir
@@ -256,6 +276,7 @@ def _shard_worker_main(
         each pairwise exchange -- and hence the whole tournament -- is
         deadlock-free.
         """
+        nonlocal envelopes, envelope_messages
         received: List[tuple] = []
         for step in range(1, shards):
             peer = shard ^ step
@@ -265,6 +286,9 @@ def _shard_worker_main(
                 window=window,
                 messages=tuple(network.take_outbound(peer)),
             )
+            envelopes += 1
+            envelope_messages += len(out.messages)
+            envelope_hist.observe(len(out.messages))
             if shard < peer:
                 pconn.send(out)
                 envelope = pconn.recv()
@@ -283,6 +307,7 @@ def _shard_worker_main(
         try:
             if op == "step":
                 window = command[1]
+                windows_run += 1
                 incoming = exchange(window)
                 conn.send(("ok", network.deliver_window(window, incoming)))
             elif op == "add_leaf":
@@ -299,6 +324,7 @@ def _shard_worker_main(
                     rng=random.Random(leaf_seed),
                     reference_routing=config.reference_routing,
                     database=database_for(identifier),
+                    detailed_metrics=resolve_detailed_metrics(config.detailed_metrics),
                 )
                 leaves[identifier] = leaf
                 leaf.initiate_join(bootstrap)
@@ -359,6 +385,22 @@ def _shard_worker_main(
                     for identifier, leaf in leaves.items()
                 }
                 conn.send(("ok", dump))
+            elif op == "metrics":
+                registry = MetricsRegistry()
+                harvest_salad_metrics(
+                    registry, leaves.values(), network, config.dimensions
+                )
+                registry.counter("salad.sharded.envelopes").inc(envelopes)
+                registry.counter("salad.sharded.envelope_messages").inc(
+                    envelope_messages
+                )
+                registry.counter("salad.sharded.windows").inc(windows_run)
+                registry.histogram("salad.sharded.envelope_size").merge_from(
+                    envelope_hist
+                )
+                if tracer is not None:
+                    tracer.feed_registry(registry, leaves, config.dimensions)
+                conn.send(("ok", registry.to_dict()))
             elif op == "close_db":
                 for leaf in leaves.values():
                     leaf.database.close()
@@ -412,6 +454,14 @@ class ShardedSimulation:
             # Pool workers (e.g. a per-Lambda sweep fan-out) cannot spawn
             # children; degrade exactly as ParallelMap does.
             raise ShardingUnavailable("daemonic process cannot spawn shard workers")
+        # Pin the session-default trace/metrics flags into the config the
+        # workers receive: set_trace_invariants / set_detailed_metrics
+        # state lives in this process only.
+        config = replace(
+            config,
+            trace_invariants=resolve_trace_invariants(config.trace_invariants),
+            detailed_metrics=resolve_detailed_metrics(config.detailed_metrics),
+        )
         self.config = config
         self.shards = resolved
         self._mask = resolved - 1
@@ -729,6 +779,22 @@ class ShardedSimulation:
         """(sent, delivered, dropped) summed across shards."""
         _, _, counters = self._gather_stats()
         return counters
+
+    def collect_metrics(self, registry) -> List[dict]:
+        """Merge every worker's freshly harvested registry into *registry*.
+
+        Each worker harvests its sub-cube into a registry of its own and
+        ships the ``to_dict`` dump back; the merge (counters sum, gauges
+        max, histograms bucket-wise) is order-independent and -- outside
+        the sharded-only ``salad.sharded.*`` namespace -- bit-identical in
+        counter totals to a single-process harvest of the same trace.
+        Returns the per-shard dumps (shard order) for the RunReport's
+        ``shards`` section.
+        """
+        shard_dumps = [reply[1] for reply in self._broadcast(("metrics",))]
+        for dump in shard_dumps:
+            registry.merge_dict(dump)
+        return shard_dumps
 
     def __len__(self) -> int:
         return len(self._order)

@@ -54,11 +54,13 @@ import os
 import sqlite3
 import struct
 import tempfile
+import time
 import zlib
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.fingerprint import FINGERPRINT_BYTES, Fingerprint
+from repro.obs.registry import Histogram
 from repro.salad.records import SaladRecord
 
 #: Known backend names, in documentation order.
@@ -203,6 +205,10 @@ class SqliteRecordStore(RecordStore):
         self._commit_every = commit_every
         self._uncommitted = 0
         self._pending = 0  # net stored-record delta not yet committed
+        # Telemetry (harvested by repro.salad.telemetry): commits are rare
+        # (every commit_every mutations), so timing them is off-hot-path.
+        self.flushes = 0
+        self.flush_seconds = Histogram()
         self._conn = sqlite3.connect(self.path)
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
@@ -314,7 +320,10 @@ class SqliteRecordStore(RecordStore):
             self.flush()
 
     def flush(self) -> None:
+        start = time.perf_counter()
         self._conn.commit()
+        self.flush_seconds.observe(time.perf_counter() - start)
+        self.flushes += 1
         self._uncommitted = 0
         self._pending = 0
 
@@ -381,6 +390,9 @@ class WalRecordStore(RecordStore):
         self._log_ops = 0  # entries in the on-disk log plus the buffer
         self.recovered_records = 0
         self.torn_bytes_dropped = 0
+        # Telemetry (harvested by repro.salad.telemetry).
+        self.compactions = 0
+        self.sync_writes = 0
         if self.path.exists() and self.path.stat().st_size > 0:
             self._replay()
             # Replay re-runs the capacity policy; its eviction/rejection
@@ -444,6 +456,7 @@ class WalRecordStore(RecordStore):
         if self._buffer:
             self._fh.write(bytes(self._buffer))
             self._buffer.clear()
+            self.sync_writes += 1
         self._buffered_ops = 0
 
     # -- mutations -------------------------------------------------------------
@@ -558,6 +571,7 @@ class WalRecordStore(RecordStore):
         self._buffer.clear()
         self._buffered_ops = 0
         self._log_ops = count
+        self.compactions += 1
 
     # -- durability ------------------------------------------------------------
 

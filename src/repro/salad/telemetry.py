@@ -1,0 +1,108 @@
+"""Harvesting SALAD runtime state into a MetricsRegistry.
+
+The leaf/network/storage hot paths keep plain integer attributes (one int
+add each); this module turns those attributes into registry entries at
+report time.  Both engines share it: :meth:`repro.salad.salad.Salad.
+collect_metrics` harvests the in-process leaves, and the sharded engine's
+``("metrics",)`` worker op harvests each worker's sub-cube into a fresh
+registry that the coordinator merges.
+
+Because a harvest is a snapshot of trace-driven attributes, the merged
+sharded registry is bit-identical in counter totals to a single-process
+harvest of the same golden trace -- except for the ``salad.sharded.*``
+namespace, which only exists on the sharded engine and is excluded from
+the identity comparison (see ``tests/salad/test_sharded_golden.py``).
+
+Wall-clock quantities (sqlite flush latency) are histograms, never
+counters, so the counter-identity contract stays exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.registry import MetricsRegistry
+
+
+def harvest_salad_metrics(
+    registry: MetricsRegistry,
+    leaves: Iterable,
+    network,
+    dimensions: int,
+) -> MetricsRegistry:
+    """Build registry entries from live SALAD state; returns *registry*.
+
+    *leaves* is any iterable of :class:`~repro.salad.leaf.SaladLeaf`
+    (a whole SALAD or one shard's sub-cube); *network* is the engine's
+    :class:`~repro.sim.network.Network` (or per-shard ``ShardNetwork``).
+    """
+    registry.gauge("salad.config.dimensions").set(dimensions)
+
+    hits = misses = scans = width_changes = 0
+    arrivals = hops = notifications = 0
+    envelopes = envelope_records = 0
+    stored = evictions = rejections = 0
+    alive = total = 0
+    batch_hist = registry.histogram("salad.routing.batch_size")
+    flush_hist = registry.histogram("salad.storage.sqlite.flush_seconds")
+    flushes = compactions = sync_writes = 0
+    recovered = torn_bytes = log_ops = 0
+    for leaf in leaves:
+        total += 1
+        if leaf.alive:
+            alive += 1
+        hits += leaf.next_hop_hits
+        misses += leaf.next_hop_misses
+        scans += leaf.survivor_scans
+        width_changes += leaf.width_changes
+        arrivals += leaf.record_arrivals
+        hops += leaf.record_hops
+        # Notifications *delivered*: the recipient's matches list is already
+        # maintained by the protocol, so this costs the hot path nothing.
+        notifications += len(leaf.matches)
+        envelopes += leaf.batch_envelopes
+        envelope_records += leaf.batch_records
+        for size, n in leaf.batch_size_counts.items():
+            batch_hist.observe_count(size, n)
+        db = leaf.database
+        stored += len(db)
+        evictions += db.evictions
+        rejections += db.rejections
+        db_flush_hist = getattr(db, "flush_seconds", None)
+        if db_flush_hist is not None:  # sqlite backend
+            flushes += db.flushes
+            flush_hist.merge_from(db_flush_hist)
+        if getattr(db, "compactions", None) is not None:  # WAL backend
+            compactions += db.compactions
+            sync_writes += db.sync_writes
+            recovered += db.recovered_records
+            torn_bytes += db.torn_bytes_dropped
+            log_ops += db.log_ops
+
+    registry.counter("salad.leaves.total").inc(total)
+    registry.counter("salad.leaves.alive").inc(alive)
+    registry.counter("salad.routing.next_hop_hits").inc(hits)
+    registry.counter("salad.routing.next_hop_misses").inc(misses)
+    registry.counter("salad.routing.survivor_scans").inc(scans)
+    registry.counter("salad.width.changes").inc(width_changes)
+    registry.counter("salad.records.arrivals").inc(arrivals)
+    registry.counter("salad.records.hops").inc(hops)
+    registry.counter("salad.records.stored").inc(stored)
+    registry.counter("salad.records.match_notifications").inc(notifications)
+    registry.counter("salad.routing.envelopes").inc(envelopes)
+    registry.counter("salad.routing.envelope_records").inc(envelope_records)
+    registry.counter("salad.storage.evictions").inc(evictions)
+    registry.counter("salad.storage.rejections").inc(rejections)
+    registry.counter("salad.storage.sqlite.flushes").inc(flushes)
+    registry.counter("salad.storage.wal.compactions").inc(compactions)
+    registry.counter("salad.storage.wal.sync_writes").inc(sync_writes)
+    registry.counter("salad.storage.wal.recovered_records").inc(recovered)
+    registry.counter("salad.storage.wal.torn_bytes_dropped").inc(torn_bytes)
+    registry.counter("salad.storage.wal.log_ops").inc(log_ops)
+
+    registry.counter("salad.network.messages_sent").inc(network.messages_sent)
+    registry.counter("salad.network.messages_delivered").inc(
+        network.messages_delivered
+    )
+    registry.counter("salad.network.messages_dropped").inc(network.messages_dropped)
+    return registry

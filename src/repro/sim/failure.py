@@ -190,6 +190,23 @@ class CrashRecoveryHarness:
 
     def __init__(self) -> None:
         self._crashed: List[Tuple[object, CrashedLeaf]] = []
+        # Lifetime totals across every crash/rejoin cycle, harvested into
+        # the metrics registry by collect_metrics().
+        self.total_crashed_leaves = 0
+        self.total_rejoins = 0
+        self.total_records_before = 0
+        self.total_records_durable = 0
+        self.total_records_recovered = 0
+
+    def collect_metrics(self, registry) -> None:
+        """Harvest lifetime crash/recovery totals into *registry*."""
+        registry.counter("sim.crash.leaves_crashed").inc(self.total_crashed_leaves)
+        registry.counter("sim.crash.rejoin_cycles").inc(self.total_rejoins)
+        registry.counter("sim.crash.records_before").inc(self.total_records_before)
+        registry.counter("sim.crash.records_durable").inc(self.total_records_durable)
+        registry.counter("sim.crash.records_recovered").inc(
+            self.total_records_recovered
+        )
 
     def crash(self, leaves: Iterable) -> List[CrashedLeaf]:
         """Crash-stop each leaf and abandon its database without flushing."""
@@ -204,6 +221,9 @@ class CrashRecoveryHarness:
             leaf.fail()
             self._crashed.append((leaf, info))
             snapshots.append(info)
+            self.total_crashed_leaves += 1
+            self.total_records_before += info.records_before
+            self.total_records_durable += info.records_durable
         return snapshots
 
     def rejoin(self) -> CrashRecoveryReport:
@@ -223,6 +243,8 @@ class CrashRecoveryHarness:
             report.records_recovered += info.recovered
             report.per_leaf[leaf.identifier] = info
         self._crashed.clear()
+        self.total_rejoins += 1
+        self.total_records_recovered += report.records_recovered
         return report
 
     @staticmethod

@@ -11,7 +11,18 @@ validates structural invariants of the SALAD protocols over the trace:
 - *traffic conservation*: per-machine counters equal the trace totals.
 
 These checks run in tests to catch protocol regressions that black-box
-outcome assertions (loss rates, table sizes) might absorb silently.
+outcome assertions (loss rates, table sizes) might absorb silently -- and,
+since the ``--trace-invariants`` flag, as an opt-in runtime mode: the
+engines attach a tracer at construction and harvest per-check violation
+counts into the metrics registry (``sim.invariants.*``) at report time
+(:meth:`NetworkTracer.feed_registry`).
+
+The tracer wraps ``network.send`` by *instance-attribute* assignment, which
+composes with :class:`repro.salad.sharded.ShardNetwork` (whose ``send`` is
+a class override: the assignment shadows it and the saved original is the
+bound override).  :meth:`detach` restores the original only while this
+tracer is still the active wrapper, so attach/detach of stacked wrappers
+can interleave without clobbering each other.
 """
 
 from __future__ import annotations
@@ -56,7 +67,12 @@ class NetworkTracer:
         self._original_send(sender, recipient, kind, payload)
 
     def detach(self) -> None:
-        self.network.send = self._original_send  # type: ignore[assignment]
+        # Guarded restore: only unwind if this tracer's wrapper is still the
+        # network's current send.  If something wrapped send *after* us (a
+        # second tracer, a test double), blindly restoring would silently
+        # disconnect that outer wrapper too.
+        if self.network.send == self._traced_send:
+            self.network.send = self._original_send  # type: ignore[assignment]
 
     # -- queries -------------------------------------------------------------
 
@@ -159,6 +175,29 @@ class NetworkTracer:
             + self.check_join_suppression()
             + self.check_traffic_conservation()
         )
+
+    def feed_registry(self, registry, leaves: Dict[int, Any], dimensions: int) -> int:
+        """Run every invariant check and record violation counts; returns total.
+
+        One labeled ``sim.invariants.violations`` counter per check (created
+        even at zero, so a report proves the check ran), plus the number of
+        messages the trace covered.  Counters sum under registry merge, so
+        per-shard tracers aggregate like everything else.
+        """
+        checks = {
+            "hop_bound": self.check_record_hop_bound(dimensions),
+            "progress": self.check_record_progress(leaves),
+            "join_suppression": self.check_join_suppression(),
+            "traffic_conservation": self.check_traffic_conservation(),
+        }
+        total = 0
+        for name, violations in checks.items():
+            registry.counter("sim.invariants.violations", check=name).inc(
+                len(violations)
+            )
+            total += len(violations)
+        registry.counter("sim.invariants.messages_traced").inc(len(self.messages))
+        return total
 
 
 def _matching_prefix(leaf, routing_id: int) -> int:

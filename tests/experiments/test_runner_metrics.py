@@ -1,0 +1,94 @@
+"""The experiment CLI's telemetry surface: --metrics-out and --trace-invariants.
+
+Every experiment CLI must emit a schema-valid RunReport whose registry
+carries the harvested engine counters; with ``--trace-invariants`` the
+opt-in tracer's violation counters appear (at zero on healthy runs).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.obs.report import validate_run_report
+from repro.salad.salad import set_detailed_metrics, set_trace_invariants
+
+
+@pytest.fixture(autouse=True)
+def _reset_session_defaults():
+    yield
+    set_trace_invariants(False)
+    set_detailed_metrics(False)
+
+
+def _run(tmp_path, *extra):
+    path = tmp_path / "report.json"
+    code = runner.main(
+        ["--scale", "small", "--only", "fig07", "--metrics-out", str(path), *extra]
+    )
+    assert code == 0
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _counters(report):
+    return {
+        e["name"]: e["value"]
+        for e in report["metrics"]["counters"]
+        if not e["labels"]
+    }
+
+
+class TestMetricsOut:
+    def test_report_is_schema_valid_with_engine_counters(self, tmp_path):
+        report = _run(tmp_path)
+        assert validate_run_report(report) == []
+        counters = _counters(report)
+        assert counters["salad.records.arrivals"] > 0
+        assert counters["salad.network.messages_sent"] > 0
+        assert counters["salad.leaves.total"] > 0
+        # per-experiment phases were recorded
+        names = [p["name"] for p in report["phases"]]
+        assert "threshold_sweep" in names
+        assert "fig07" in names
+        # environment extras from the CLI
+        assert report["environment"]["scale"] == "small"
+        assert "git_sha" in report["environment"]
+        # healthy routing: no tracer => no invariant counters
+        assert "sim.invariants.messages_traced" not in counters
+
+    def test_growth_runs_report_too(self, tmp_path):
+        path = tmp_path / "g.json"
+        code = runner.main(
+            ["--scale", "small", "--only", "fig14", "--metrics-out", str(path)]
+        )
+        assert code == 0
+        report = json.loads(path.read_text(encoding="utf-8"))
+        assert validate_run_report(report) == []
+        assert _counters(report)["salad.leaves.total"] > 0
+
+    def test_no_metrics_out_writes_nothing(self, tmp_path):
+        code = runner.main(["--scale", "small", "--only", "dataset"])
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestTraceInvariants:
+    def test_tracer_feeds_violation_counters(self, tmp_path):
+        report = _run(tmp_path, "--trace-invariants")
+        assert validate_run_report(report) == []
+        counters = _counters(report)
+        assert counters["sim.invariants.messages_traced"] > 0
+        labeled = {
+            (e["name"], e["labels"].get("check")): e["value"]
+            for e in report["metrics"]["counters"]
+            if e["name"] == "sim.invariants.violations"
+        }
+        # all four checks ran and found a healthy trace
+        assert set(check for _, check in labeled) == {
+            "hop_bound",
+            "progress",
+            "join_suppression",
+            "traffic_conservation",
+        }
+        assert all(v == 0 for v in labeled.values())
+        assert report["environment"]["trace_invariants"] is True

@@ -1,0 +1,140 @@
+"""RunReport: schema stability, validation, and the summary/CLI surface.
+
+``validate_run_report`` is the contract consumers rely on
+(``check_regression.py --metrics``, CI's report step); these tests pin both
+directions -- a freshly built report validates clean, and each kind of
+corruption is caught.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import (
+    SCHEMA,
+    build_run_report,
+    environment,
+    main as report_main,
+    summary_table,
+    validate_run_report,
+    write_run_report,
+)
+from repro.obs.spans import span, take_phases
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("salad.records.arrivals").inc(10)
+    registry.counter("salad.routing.next_hop_hits", shard="0").inc(9)
+    registry.gauge("salad.config.dimensions").set(2)
+    registry.histogram("salad.routing.batch_size").observe_many([1, 2, 4])
+    return registry
+
+
+def _report(**kwargs):
+    take_phases()
+    with span("phase_a", ops=10):
+        with span("inner"):
+            pass
+    return build_run_report(_registry(), **kwargs)
+
+
+class TestBuildAndValidate:
+    def test_fresh_report_is_schema_valid(self):
+        report = _report()
+        assert report["schema"] == SCHEMA
+        assert validate_run_report(report) == []
+
+    def test_report_is_json_round_trippable(self):
+        report = _report()
+        assert validate_run_report(json.loads(json.dumps(report))) == []
+
+    def test_phases_default_to_drained_spans(self):
+        report = _report()
+        assert [p["name"] for p in report["phases"]] == ["phase_a"]
+        assert [c["name"] for c in report["phases"][0]["children"]] == ["inner"]
+        # and they were drained: a second report has no phases
+        assert build_run_report(_registry())["phases"] == []
+
+    def test_env_extras_land_in_environment(self):
+        report = _report(env={"scale": "small", "shard_workers": 4})
+        assert report["environment"]["scale"] == "small"
+        assert report["environment"]["shard_workers"] == 4
+        for key in ("python", "platform", "machine", "cpu_count"):
+            assert key in report["environment"]
+
+    def test_shards_section(self):
+        dumps = [_registry().to_dict(), _registry().to_dict()]
+        report = _report(shards=dumps)
+        assert validate_run_report(report) == []
+        assert [s["shard"] for s in report["shards"]] == [0, 1]
+
+    def test_environment_probe_has_required_keys(self):
+        env = environment()
+        for key in ("python", "platform", "machine", "cpu_count", "git_sha"):
+            assert key in env
+
+
+class TestCorruptionDetection:
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda r: r.pop("schema"), "schema"),
+            (lambda r: r.update(schema="bogus/9"), "schema"),
+            (lambda r: r.pop("created_unix"), "created_unix"),
+            (lambda r: r.pop("environment"), "environment"),
+            (lambda r: r["environment"].pop("cpu_count"), "cpu_count"),
+            (lambda r: r.pop("metrics"), "metrics"),
+            (lambda r: r["metrics"].pop("counters"), "counters"),
+            (lambda r: r["metrics"]["counters"][0].pop("value"), "value"),
+            (lambda r: r["metrics"]["counters"][0].pop("name"), "name"),
+            (lambda r: r["metrics"]["histograms"][0].pop("buckets"), "buckets"),
+            (lambda r: r.pop("phases"), "phases"),
+            (lambda r: r["phases"][0].pop("seconds"), "seconds"),
+        ],
+    )
+    def test_each_corruption_is_caught(self, mutate, fragment):
+        report = _report()
+        mutate(report)
+        problems = validate_run_report(report)
+        assert problems, f"corruption not caught: {fragment}"
+        assert any(fragment in p for p in problems)
+
+    def test_non_dict_is_rejected(self):
+        assert validate_run_report([1, 2]) == ["report is not an object"]
+
+    def test_bad_shard_index_is_caught(self):
+        report = _report(shards=[_registry().to_dict()])
+        report["shards"][0]["shard"] = 7
+        assert any("shard" in p for p in validate_run_report(report))
+
+
+class TestSummaryAndCli:
+    def test_summary_table_mentions_the_content(self):
+        table = summary_table(_report(env={"scale": "small"}))
+        assert "phase_a" in table
+        assert "salad.records.arrivals" in table
+        assert "salad.routing.next_hop_hits{shard=0}" in table
+        assert "salad.routing.batch_size" in table
+        assert "scale=small" in table
+
+    def test_cli_validates_and_summarizes(self, tmp_path, capsys):
+        path = write_run_report(tmp_path / "r.json", _report())
+        assert report_main([str(path)]) == 0
+        assert "phase_a" in capsys.readouterr().out
+
+    def test_cli_rejects_corrupt_report(self, tmp_path, capsys):
+        report = _report()
+        del report["metrics"]
+        path = write_run_report(tmp_path / "bad.json", report)
+        assert report_main([str(path)]) == 1
+        assert "schema problem" in capsys.readouterr().err
+
+    def test_cli_usage(self, capsys):
+        assert report_main([]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        path = write_run_report(tmp_path / "deep" / "nested" / "r.json", _report())
+        assert validate_run_report(json.loads(path.read_text())) == []

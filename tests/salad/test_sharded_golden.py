@@ -20,8 +20,11 @@ default construction's consumption sequence.
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.fingerprint import Fingerprint
+from repro.obs.registry import MetricsRegistry
 from repro.salad.records import SaladRecord
 from repro.salad.salad import Salad, SaladConfig
 from repro.salad.sharded import ShardedSimulation, make_salad
@@ -30,9 +33,33 @@ LEAVES = 24
 RECORDS_PER_LEAF = 10
 CONTENT_POOL = 60  # small pool => duplicate groups => MATCH traffic to compare
 
+#: Telemetry that measures the sharded *mechanism* (envelopes, windows) or
+#: per-process incidentals, not the simulated trace; excluded from the
+#: engine-identity comparison.
+ENGINE_SPECIFIC_PREFIXES = ("salad.sharded.", "sim.")
+
+
+def _trace_counters(registry):
+    """The engine-neutral counter totals a sharded run must reproduce."""
+    return {
+        name: value
+        for name, value in registry.counter_totals().items()
+        if not name.startswith(ENGINE_SPECIFIC_PREFIXES)
+    }
+
+
+def _trace_histograms(registry):
+    return [
+        entry
+        for entry in registry.to_dict()["histograms"]
+        if not entry["name"].startswith(ENGINE_SPECIFIC_PREFIXES)
+    ]
+
 
 def _config():
-    return SaladConfig(dimensions=2, seed=11)
+    # detailed_metrics exercises the record-flow counters in the
+    # engine-identity comparison (they are opt-in, off by default).
+    return SaladConfig(dimensions=2, seed=11, detailed_metrics=True)
 
 
 def _records_for(identifiers, rng, per_leaf=RECORDS_PER_LEAF):
@@ -51,6 +78,8 @@ def _records_for(identifiers, rng, per_leaf=RECORDS_PER_LEAF):
 
 def _observe(sim):
     """Every observable the experiment drivers read, engine-neutrally."""
+    registry = MetricsRegistry()
+    sim.collect_metrics(registry)
     return {
         "stored_records": sim.stored_records(),
         "matches": sim.collected_matches(),
@@ -60,6 +89,10 @@ def _observe(sim):
         "counters": sim.message_counters(),
         "total_records": sim.total_stored_records(),
         "db_sizes": sim.database_sizes(alive_only=False),
+        # Harvested telemetry must agree too: the merge of per-shard
+        # registries is counter- and histogram-identical to single-process.
+        "metric_counters": _trace_counters(registry),
+        "metric_histograms": _trace_histograms(registry),
     }
 
 
@@ -126,5 +159,54 @@ class TestFactoryGolden:
     def test_make_salad_sharded_engine_is_identical(self, single_build_insert):
         # Whatever engine the factory picks for this environment (sharded,
         # or Salad after degradation), the observations must be identical.
-        sim = make_salad(SaladConfig(dimensions=2, seed=11, shard_workers=2))
+        sim = make_salad(
+            SaladConfig(dimensions=2, seed=11, shard_workers=2, detailed_metrics=True)
+        )
         _assert_identical(_drive_build_insert(sim), single_build_insert)
+
+
+@pytest.fixture(scope="module")
+def shard_registry_dumps():
+    """Per-shard registry dumps of the build+insert workload, 4 workers."""
+    sim = ShardedSimulation(_config(), workers=4)
+    try:
+        sim.build(LEAVES)
+        sim.insert_records(_records_for(sim.alive_identifiers(), random.Random(5)))
+        dumps = sim.collect_metrics(MetricsRegistry())
+    finally:
+        sim.shutdown()
+    assert len(dumps) == 4
+    return dumps
+
+
+class TestRegistryMergeProperties:
+    """Merging per-shard registries is order-independent and associative,
+    and the merged counters equal the single-process run's (satellite of the
+    telemetry layer: the sharded breakdown in a RunReport loses nothing)."""
+
+    def _merged_counters(self, dumps, order):
+        registry = MetricsRegistry()
+        for index in order:
+            registry.merge_dict(dumps[index])
+        return _trace_counters(registry)
+
+    @settings(deadline=None, max_examples=20)
+    @given(order=st.permutations(list(range(4))))
+    def test_merge_is_commutative(self, order, shard_registry_dumps, single_build_insert):
+        merged = self._merged_counters(shard_registry_dumps, order)
+        assert merged == single_build_insert["metric_counters"]
+
+    def test_merge_is_associative(self, shard_registry_dumps, single_build_insert):
+        # ((a+b) + (c+d)) via intermediate registries, vs the flat fold.
+        left = MetricsRegistry()
+        left.merge_dict(shard_registry_dumps[0])
+        left.merge_dict(shard_registry_dumps[1])
+        right = MetricsRegistry()
+        right.merge_dict(shard_registry_dumps[2])
+        right.merge_dict(shard_registry_dumps[3])
+        combined = MetricsRegistry()
+        combined.merge_dict(left.to_dict())
+        combined.merge_dict(right.to_dict())
+        assert _trace_counters(combined) == single_build_insert["metric_counters"]
+        # Histograms merge exactly too (bucket-wise integer sums).
+        assert _trace_histograms(combined) == single_build_insert["metric_histograms"]
