@@ -27,11 +27,14 @@ tolerance is still visible.
 
 ``--metrics REPORT.json`` gates *behavioral* rates derived from a RunReport
 (``record_trajectory.py --metrics-out`` / ``repro-experiments
---metrics-out``) rather than wall-clock throughput: the routing next-hop
-cache hit rate must stay above a floor, and mean hops per record must stay
-within the 2D bound of the paper's Fig. 4 routing.  Absolute counters need
-no baseline snapshot, so these gates are machine-independent.  A rate whose
-inputs are absent from the report is skipped, never failed.
+--metrics-out`` / ``repro.experiments.flagship --metrics-out``) rather than
+wall-clock throughput: the routing next-hop cache hit rate must stay above
+a floor, mean hops per record must stay within the 2D bound of the paper's
+Fig. 4 routing, and survivor scans must stay within one per committed width
+change (the amortized width path's bound; the flagship configuration scans
+zero times).  Absolute counters need no baseline snapshot, so these gates
+are machine-independent.  A rate whose inputs are absent from the report is
+skipped, never failed.
 """
 
 from __future__ import annotations
@@ -49,9 +52,21 @@ GATED_METRICS = (
     ("salad_inserts", "inserts_per_sec", "salad ins/s"),
     ("salad_routing", "indexed_inserts_per_sec", "indexed ins/s"),
     ("sharded_inserts", "sharded_inserts_per_sec", "sharded ins/s"),
+    ("flagship", "flagship_joins_per_sec", "flagship joins/s"),
     ("aes_ctr", "bulk_bytes_per_sec", "aes B/s"),
     ("fingerprints", "batched_fingerprints_per_sec", "fprint/s"),
 )
+
+#: Sections whose wall-clock depends on how many cores the barrier-synced
+#: worker processes actually got: comparing a 1-core snapshot against an
+#: 8-core baseline (or vice versa) measures the hardware, not the code.
+CORE_SENSITIVE_SECTIONS = frozenset({"sharded_inserts"})
+
+
+def snapshot_cpu_count(path: Path) -> Optional[int]:
+    snapshot = json.loads(path.read_text(encoding="utf-8"))
+    value = snapshot.get("cpu_count")
+    return int(value) if value is not None else None
 
 
 def snapshot_series(exclude: Optional[Path] = None) -> List[Path]:
@@ -84,6 +99,8 @@ def check(fresh_path: Path, tolerance: float) -> int:
     print(f"baseline {baseline_path.name}  vs  fresh {fresh_path.name}")
     failures: List[str] = []
     gated = 0
+    fresh_cpus = snapshot_cpu_count(fresh_path)
+    baseline_cpus = snapshot_cpu_count(baseline_path)
     for section, key, label in GATED_METRICS:
         fresh = read_metric(fresh_path, section, key)
         baseline = read_metric(baseline_path, section, key)
@@ -91,6 +108,17 @@ def check(fresh_path: Path, tolerance: float) -> int:
         if fresh is None or baseline is None:
             where = "fresh" if fresh is None else "baseline"
             print(f"  skip  {name} (absent from {where} snapshot)")
+            continue
+        if (
+            section in CORE_SENSITIVE_SECTIONS
+            and fresh_cpus is not None
+            and baseline_cpus is not None
+            and fresh_cpus != baseline_cpus
+        ):
+            print(
+                f"  skip  {name} (cpu_count {fresh_cpus} vs baseline "
+                f"{baseline_cpus}: core-sensitive wall-clock is not comparable)"
+            )
             continue
         gated += 1
         floor = baseline * (1.0 - tolerance)
@@ -168,6 +196,26 @@ def check_metrics(report_path: Path) -> int:
         )
         if mean_hops > ceiling:
             failures.append("hops_per_record")
+
+    scans = _report_entry(report, "counters", "salad.routing.survivor_scans")
+    width_changes = _report_entry(report, "counters", "salad.width.changes")
+    if scans is None or width_changes is None:
+        print("  skip  survivor_scans_per_width_change (no width telemetry)")
+    else:
+        # The amortized width path derives the dropped set incrementally, so
+        # a healthy run scans at most once per committed width change (the
+        # reference oracle's rate) and the flagship path not at all.  A
+        # regression to per-join scanning blows past this bound by orders of
+        # magnitude at any real scale.
+        gated += 1
+        bound = max(width_changes, 1)
+        verdict = "ok  " if scans <= bound else "FAIL"
+        print(
+            f"  {verdict}  survivor_scans: {scans:,.0f}"
+            f" (bound: width_changes = {width_changes:,.0f})"
+        )
+        if scans > bound:
+            failures.append("survivor_scans")
 
     if not gated:
         print("OK (nothing to gate in this report)")

@@ -1,0 +1,275 @@
+"""The flagship-scale SALAD run: 10^5 leaves, ~10^6 records, bounded RSS.
+
+Section 5 of the paper simulates a 10^5-machine deployment; this driver is
+the repo's equivalent stress run, exercising every flagship-path
+optimization at once:
+
+- **amortized width maintenance** (the leaf's incrementally maintained
+  survivor partition -- zero ``survivor_scans``) plus **deferred width
+  recalculation** (Fig. 6 coalesced to settle-round boundaries during the
+  bulk-join growth storm; opt-out via ``--eager-width``);
+- the **paging WAL backend** (``--db-backend wal-paged``), which keeps
+  record bodies on disk behind a key->offset index and a small LRU, so
+  peak RSS stays bounded while a million records accumulate;
+- the **sub-cube sharded engine** (``--shard-workers``), whose per-worker
+  phase trees land in the RunReport's ``shards[*].phases``.
+
+Growth runs in geometric stages and insert in waves, each under its own
+span, so the report shows where the wall-clock went at every scale step.
+The environment block records the peak RSS of the driver and (for sharded
+runs) its reaped workers, plus the actual scale reached -- the committed
+report at ``docs/flagship_report.json`` is regenerated with this CLI.
+
+Usage::
+
+    python -m repro.experiments.flagship --smoke --metrics-out smoke.json
+    python -m repro.experiments.flagship --db-backend wal-paged \
+        --shard-workers 4 --metrics-out docs/flagship_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core.fingerprint import Fingerprint
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import build_run_report, print_summary, write_run_report
+from repro.obs.spans import phase, span
+from repro.salad.records import SaladRecord
+from repro.salad.salad import SaladConfig, set_detailed_metrics, validate_shard_workers
+from repro.salad.sharded import make_salad
+from repro.salad.storage import BACKENDS
+
+FULL_LEAVES = 100_000
+FULL_RECORDS = 1_000_000
+SMOKE_LEAVES = 96
+SMOKE_RECORDS = 960
+
+#: Leaves per insert_records call: bounds the coordinator-side record batch
+#: (and its pickled envelope to shard workers) regardless of system size.
+CHUNK_LEAVES = 4096
+
+
+def growth_stages(target: int, first: int = 1000) -> List[int]:
+    """Geometric growth checkpoints: first, 2*first, ... , target."""
+    stages = []
+    size = min(first, target)
+    while size < target:
+        stages.append(size)
+        size *= 2
+    stages.append(target)
+    return stages
+
+
+def _wave_records(
+    identifiers: List[int], wave: int, per_leaf: int, pool: int
+) -> Dict[int, List[SaladRecord]]:
+    """Deterministic synthetic records: wave x leaf -> per_leaf records.
+
+    Content ids are drawn from a pool of ``pool`` values by a cheap integer
+    hash, so duplicate groups form across leaves (the MATCH traffic the
+    paper's workload is about) without any RNG state to keep in sync.
+    """
+    by_leaf: Dict[int, List[SaladRecord]] = {}
+    for identifier in identifiers:
+        records = []
+        for i in range(per_leaf):
+            content = ((identifier * 2654435761 + wave * 40503 + i) ^ 0x9E3779B9) % pool
+            fingerprint = Fingerprint(
+                size=1024 + content, content_digest=content.to_bytes(20, "big")
+            )
+            records.append(SaladRecord(fingerprint=fingerprint, location=identifier))
+        by_leaf[identifier] = records
+    return by_leaf
+
+
+def run_flagship(
+    leaves: int,
+    records: int,
+    seed: int = 0,
+    db_backend: Optional[str] = "wal-paged",
+    db_dir: Optional[str] = None,
+    shard_workers: Optional[int] = None,
+    eager_width: bool = False,
+    reference_width: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+) -> dict:
+    """Grow to *leaves*, insert ~*records*; returns run facts for the report.
+
+    The return dict carries the observables the committed report and the
+    bench section read: wall-clock per phase comes from the span tree (not
+    from here), worker phase trees ride on ``"worker_phases"``.
+    """
+    config = SaladConfig(
+        dimensions=2,
+        seed=seed,
+        db_backend=db_backend,
+        db_dir=db_dir,
+        shard_workers=shard_workers,
+        reference_width=reference_width,
+        deferred_width_recalc=not eager_width and not reference_width,
+        detailed_metrics=registry is not None,
+    )
+    sim = make_salad(config)
+    per_leaf = max(1, records // leaves)
+    waves = min(per_leaf, 4)
+    pool = max(records // 4, 16)  # ~4 copies per content => duplicate groups
+    try:
+        with phase("growth") as growth_span:
+            for stage in growth_stages(leaves):
+                with span(f"grow_to_{stage}", ops=stage):
+                    sim.build(stage)
+            growth_span.set_ops(leaves)
+
+        inserted_total = 0
+        with phase("insert") as insert_span:
+            identifiers = sorted(sim.alive_identifiers())
+            base, extra = divmod(per_leaf, waves)
+            for wave in range(waves):
+                count = base + (1 if wave < extra else 0)
+                if count == 0:
+                    continue
+                with span(f"wave_{wave}") as wave_span:
+                    wave_inserted = 0
+                    for start in range(0, len(identifiers), CHUNK_LEAVES):
+                        chunk = identifiers[start : start + CHUNK_LEAVES]
+                        batch = _wave_records(chunk, wave, count, pool)
+                        wave_inserted += sim.insert_records(batch)
+                    wave_span.set_ops(wave_inserted)
+                inserted_total += wave_inserted
+            insert_span.set_ops(inserted_total)
+
+        with phase("harvest"):
+            if registry is None:
+                registry = MetricsRegistry()
+            # Salad returns the registry; ShardedSimulation returns the
+            # per-worker registry dumps (already merged into *registry*).
+            harvested = sim.collect_metrics(registry)
+            facts = {
+                "leaves": leaves,
+                "alive_leaves": sim.alive_count(),
+                "records_requested": records,
+                "records_inserted": inserted_total,
+                "total_stored": sim.total_stored_records(),
+                "widths": sim.width_distribution(),
+                "worker_phases": list(getattr(sim, "worker_phases", []) or []),
+                "shard_dumps": harvested if isinstance(harvested, list) else None,
+            }
+    finally:
+        sim.shutdown()
+    return facts
+
+
+def _peak_rss_mib(who: int) -> float:
+    # ru_maxrss is KiB on Linux.
+    return resource.getrusage(who).ru_maxrss / 1024.0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Flagship-scale SALAD run (growth + insert, full telemetry)."
+    )
+    parser.add_argument("--leaves", type=int, default=FULL_LEAVES)
+    parser.add_argument("--records", type=int, default=FULL_RECORDS)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI tier: {SMOKE_LEAVES} leaves / {SMOKE_RECORDS} records "
+        "(overrides --leaves/--records)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--db-backend",
+        choices=sorted(BACKENDS),
+        default="wal-paged",
+        help="record-store backend per leaf (default: wal-paged, the backend "
+        "that bounds peak RSS at this scale)",
+    )
+    parser.add_argument("--db-dir", metavar="DIR", default=None)
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard across N worker processes (power of two; 0 = auto); "
+        "per-worker phase trees land in the report's shards section",
+    )
+    parser.add_argument(
+        "--eager-width",
+        action="store_true",
+        help="disable deferred width recalculation (the flagship default "
+        "coalesces Fig. 6 runs to settle-round boundaries)",
+    )
+    parser.add_argument(
+        "--reference-width",
+        action="store_true",
+        help="commit width changes via the full-table survivor scan (the "
+        "pre-change oracle path; implies --eager-width)",
+    )
+    parser.add_argument("--metrics-out", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.leaves, args.records = SMOKE_LEAVES, SMOKE_RECORDS
+    if args.leaves < 1 or args.records < 1:
+        parser.error("--leaves and --records must be positive")
+    if args.shard_workers is not None:
+        try:
+            validate_shard_workers(args.shard_workers)
+        except (TypeError, ValueError) as exc:
+            parser.error(str(exc))
+    set_detailed_metrics(bool(args.metrics_out))
+
+    registry = MetricsRegistry() if args.metrics_out else None
+    start = time.time()
+    facts = run_flagship(
+        args.leaves,
+        args.records,
+        seed=args.seed,
+        db_backend=args.db_backend,
+        db_dir=args.db_dir,
+        shard_workers=args.shard_workers,
+        eager_width=args.eager_width,
+        reference_width=args.reference_width,
+        registry=registry,
+    )
+    elapsed = time.time() - start
+    print(
+        f"flagship: {facts['alive_leaves']:,} leaves, "
+        f"{facts['records_inserted']:,} records inserted "
+        f"({facts['total_stored']:,} stored) in {elapsed:.1f}s"
+    )
+    if args.metrics_out:
+        report = build_run_report(
+            registry,
+            env={
+                "experiment": "flagship",
+                "scale": "smoke" if args.smoke else "full",
+                "leaves": facts["alive_leaves"],
+                "records_inserted": facts["records_inserted"],
+                "seed": args.seed,
+                "db_backend": args.db_backend,
+                "shard_workers": args.shard_workers,
+                "deferred_width_recalc": not args.eager_width
+                and not args.reference_width,
+                "reference_width": args.reference_width or None,
+                "wall_seconds": elapsed,
+                "peak_rss_mib": round(_peak_rss_mib(resource.RUSAGE_SELF), 1),
+                "children_peak_rss_mib": round(
+                    _peak_rss_mib(resource.RUSAGE_CHILDREN), 1
+                ),
+            },
+            shards=facts["shard_dumps"],
+            shard_phases=facts["worker_phases"] or None,
+        )
+        write_run_report(args.metrics_out, report)
+        print_summary(report)
+        print(f"run report written to {args.metrics_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

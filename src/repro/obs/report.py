@@ -73,13 +73,17 @@ def build_run_report(
     phases: Optional[Sequence[Span]] = None,
     env: Optional[Dict[str, Any]] = None,
     shards: Optional[List[dict]] = None,
+    shard_phases: Optional[List[List[dict]]] = None,
 ) -> dict:
     """Assemble the report dict.
 
     *phases* defaults to draining :func:`repro.obs.spans.take_phases`;
     *env* entries extend (and may override) the probed environment;
     *shards* is the per-worker registry dumps of a sharded run, in shard
-    order -- their merge is already folded into *registry*.
+    order -- their merge is already folded into *registry*; *shard_phases*
+    (same shard order, from ``ShardedSimulation.worker_phases``) attaches
+    each worker's aggregated span tree to its shards entry, so a report
+    shows where *worker* wall-clock went, not just the coordinator's.
     """
     if phases is None:
         phases = take_phases()
@@ -94,6 +98,9 @@ def build_run_report(
         report["shards"] = [
             {"shard": index, "metrics": dump} for index, dump in enumerate(shards)
         ]
+        if shard_phases is not None:
+            for entry, worker_tree in zip(report["shards"], shard_phases):
+                entry["phases"] = list(worker_tree)
     return report
 
 
@@ -164,6 +171,15 @@ def validate_run_report(data: Any) -> List[str]:
                         isinstance(entry.get("metrics"), dict),
                         f"{where}.metrics missing",
                     )
+                    if "phases" in entry:
+                        if check(
+                            isinstance(entry["phases"], list),
+                            f"{where}.phases is not a list",
+                        ):
+                            for j, node in enumerate(entry["phases"]):
+                                _validate_phase(
+                                    node, f"{where}.phases[{j}]", problems
+                                )
     return problems
 
 
@@ -232,6 +248,15 @@ def summary_table(report: dict, top_counters: int = 20) -> str:
     shards = report.get("shards")
     if shards:
         lines.append(f"shards: {len(shards)} worker registries merged")
+        for entry in shards:
+            worker_phases = entry.get("phases")
+            if not worker_phases:
+                continue
+            busiest = sorted(worker_phases, key=lambda p: -p["seconds"])[:3]
+            rendered = "  ".join(
+                f"{p['name']}={p['seconds']:.3f}s" for p in busiest
+            )
+            lines.append(f"  shard {entry.get('shard')}: {rendered}")
     return "\n".join(lines)
 
 

@@ -129,6 +129,19 @@ class SaladConfig:
     #: next-hop cache.  Message-for-message identical (the golden-trace tests
     #: assert it); only useful as the oracle side of that comparison.
     reference_routing: bool = False
+    #: Commit width increases with the seed's full-table survivor scan
+    #: instead of the incrementally maintained drop bucket.  Trace-identical
+    #: (the width-golden tests assert it); only useful as the oracle side of
+    #: that comparison and as the pre-change leg of the flagship bench.
+    reference_width: bool = False
+    #: Coalesce width recalculations during bulk-join storms to settle-round
+    #: (delivery-window) boundaries instead of running Fig. 6 after every
+    #: leaf-table change.  NOT trace-identical to the eager default -- width
+    #: transitions land at window granularity, which changes e.g. which
+    #: WELCOMEs a joining leaf accepts -- so it is opt-in; the flagship run
+    #: turns it on.  Engine-neutral: single-process and sharded runs with
+    #: the same setting stay trace-identical to each other.
+    deferred_width_recalc: bool = False
     #: Record-database backend per leaf: "memory" (default), "sqlite", or
     #: "wal" (see repro.salad.storage).  None defers to the session default
     #: set by set_default_db_backend (the CLI --db-backend hook).  All three
@@ -187,6 +200,11 @@ class Salad:
         )
         self.leaves: Dict[int, SaladLeaf] = {}
         self._join_order: List[int] = []
+        # Alive-leaf list in creation order, maintained incrementally so the
+        # per-join alive scan in add_leaf/build is O(1) amortized instead of
+        # O(leaves) -- at flagship scale (1e5 joins) the rescan is O(L^2).
+        # Invalidated by machine-liveness flips via on_liveness_change.
+        self._alive_cache: Optional[List[SaladLeaf]] = None
         # Opt-in runtime invariant tracing.  Attached after the network is
         # built (and after the network-seed RNG draw above, so traced and
         # untraced runs see identical randomness).
@@ -257,8 +275,12 @@ class Salad:
             reference_routing=self.config.reference_routing,
             database=self._database_for(identifier),
             detailed_metrics=self._detailed_metrics,
+            reference_width=self.config.reference_width,
+            deferred_width_recalc=self.config.deferred_width_recalc,
         )
         self.leaves[identifier] = leaf
+        leaf.on_liveness_change = self._invalidate_alive_cache
+        self._alive_cache = None  # callers may rebuild or patch incrementally
         return leaf
 
     def add_leaf(
@@ -273,12 +295,16 @@ class Salad:
         *settle* (the default), the network runs to quiescence before
         returning, matching the paper's incremental-growth experiments.
         """
-        alive = [leaf for leaf in self.leaves.values() if leaf.alive]
-        leaf = self.create_leaf(identifier)
+        alive = self._alive_leaves_cached()
+        leaf = self.create_leaf(identifier)  # invalidates the cache
         if alive:
             count = min(self.config.bootstrap_count, len(alive))
             bootstrap = [extant.identifier for extant in self._rng.sample(alive, count)]
             leaf.initiate_join(bootstrap)
+        # The pre-join snapshot plus the (alive) newcomer is the new alive
+        # list, in creation order -- reinstall it instead of rescanning.
+        alive.append(leaf)
+        self._alive_cache = alive
         self._join_order.append(leaf.identifier)
         if settle:
             self.network.run()
@@ -290,7 +316,7 @@ class Salad:
         Departed or failed leaves do not count toward the target, so a
         shrunken SALAD can be regrown past its former size.
         """
-        while sum(1 for leaf in self.leaves.values() if leaf.alive) < count:
+        while len(self._alive_leaves_cached()) < count:
             self.add_leaf(settle=settle_each)
         if not settle_each:
             self.network.run()
@@ -299,14 +325,30 @@ class Salad:
         """Settle the network to quiescence (engine-neutral facade name)."""
         return self.network.run()
 
+    def _invalidate_alive_cache(self) -> None:
+        self._alive_cache = None
+
+    def _alive_leaves_cached(self) -> List[SaladLeaf]:
+        """Alive leaves in creation order; rebuilt only after liveness flips.
+
+        Returns the cache itself -- callers other than add_leaf must not
+        mutate it (add_leaf appends the newcomer and reinstalls).
+        """
+        cache = self._alive_cache
+        if cache is None:
+            cache = self._alive_cache = [
+                leaf for leaf in self.leaves.values() if leaf.alive
+            ]
+        return cache
+
     def alive_leaves(self) -> List[SaladLeaf]:
-        return [leaf for leaf in self.leaves.values() if leaf.alive]
+        return list(self._alive_leaves_cached())
 
     def alive_count(self) -> int:
-        return sum(1 for leaf in self.leaves.values() if leaf.alive)
+        return len(self._alive_leaves_cached())
 
     def alive_identifiers(self) -> List[int]:
-        return [leaf.identifier for leaf in self.leaves.values() if leaf.alive]
+        return [leaf.identifier for leaf in self._alive_leaves_cached()]
 
     def depart_leaf(self, identifier: int, settle: bool = True) -> None:
         """Cleanly depart one leaf (section 4.5) by identifier.

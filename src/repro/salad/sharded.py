@@ -63,6 +63,7 @@ from operator import itemgetter
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.spans import Span, aggregate_phases, reset_spans, span, take_phases
 from repro.salad.leaf import SaladLeaf
 from repro.salad.protocol import MatchPayload, ShardEnvelope
 from repro.salad.records import SaladRecord
@@ -156,10 +157,31 @@ class ShardNetwork(Network):
             peer: [] for peer in range(shards) if peer != shard
         }
 
+    #: Sort-key root for post-window callbacks: above any driver root
+    #: sequence, so a deferred callback's sends order *after* every
+    #: handler-originated send of the same window across all shards --
+    #: exactly where the single-process engine appends them (its post-window
+    #: queue drains after the delivery batch).
+    _POST_WINDOW_ROOT = 1 << 63
+
     def begin_root(self, root: int) -> None:
         """Start a driver command: its sends get keys ``(root, 0..)``."""
         self._route_key = (root,)
         self._route_seq = 0
+
+    def defer_post_window(self, callback: Any) -> bool:
+        """Queue *callback* until the current window's batch has delivered.
+
+        The queue entry remembers the route key of the message that first
+        requested the deferral: replayed under ``(_POST_WINDOW_ROOT,) +
+        that_key``, the callback's sends sort identically to the
+        single-process engine's post-window drain (first-deferral order is,
+        by the trace-identity induction, the merged key order).
+        """
+        if not self._delivering:
+            return False
+        self._post_window.append((self._route_key, callback))
+        return True
 
     def send(self, sender: int, recipient: int, kind: str, payload: Any) -> None:
         traffic = self.traffic.get(sender)
@@ -203,10 +225,20 @@ class ShardNetwork(Network):
         # see exactly the single-process window timestamp.
         self.scheduler.run(until=time)
         deliver = self._deliver
-        for key, message in due:
-            self._route_key = key
-            self._route_seq = 0
-            deliver(message)
+        self._delivering = True
+        try:
+            for key, message in due:
+                self._route_key = key
+                self._route_seq = 0
+                deliver(message)
+        finally:
+            self._delivering = False
+        if self._post_window:
+            entries, self._post_window = self._post_window, []
+            for first_key, callback in entries:
+                self._route_key = (self._POST_WINDOW_ROOT,) + first_key
+                self._route_seq = 0
+                callback()
         return self.pending_count()
 
     def partition(self, groups) -> None:
@@ -225,6 +257,9 @@ def _shard_worker_main(
     peers: Dict[int, Any],
 ) -> None:
     """Worker command loop: owns one sub-cube's leaves, scheduler, network."""
+    # Fork-started workers inherit a copy of the parent's span state (open
+    # stack, completed roots); this worker's phase tree must start clean.
+    reset_spans()
     scheduler = EventScheduler()
     network = ShardNetwork(
         shard=shard,
@@ -252,6 +287,15 @@ def _shard_worker_main(
     envelope_messages = 0
     windows_run = 0
     envelope_hist = Histogram()
+    # Worker-side phase tree: every work op runs under a span, drained and
+    # folded into one name-keyed aggregate per command so memory stays
+    # O(distinct op kinds) however many windows the run steps through.  The
+    # ("metrics",) op ships the folded tree for the RunReport's per-shard
+    # breakdown.
+    phase_agg: Dict[str, Span] = {}
+
+    def drain_phases() -> None:
+        aggregate_phases(take_phases(), phase_agg)
 
     def database_for(identifier: int):
         nonlocal db_dir
@@ -308,48 +352,70 @@ def _shard_worker_main(
             if op == "step":
                 window = command[1]
                 windows_run += 1
-                incoming = exchange(window)
-                conn.send(("ok", network.deliver_window(window, incoming)))
+                with span("shard.step") as step_span:
+                    with span("exchange"):
+                        incoming = exchange(window)
+                    with span("deliver"):
+                        pending = network.deliver_window(window, incoming)
+                    step_span.set_ops(1)
+                drain_phases()
+                conn.send(("ok", pending))
             elif op == "add_leaf":
                 _, root, identifier, leaf_seed, bootstrap = command
-                network.begin_root(root)
-                leaf = SaladLeaf(
-                    identifier,
-                    network,
-                    target_redundancy=config.target_redundancy,
-                    dimensions=config.dimensions,
-                    damping=config.damping,
-                    database_capacity=config.database_capacity,
-                    notify_limit=config.notify_limit,
-                    rng=random.Random(leaf_seed),
-                    reference_routing=config.reference_routing,
-                    database=database_for(identifier),
-                    detailed_metrics=resolve_detailed_metrics(config.detailed_metrics),
-                )
-                leaves[identifier] = leaf
-                leaf.initiate_join(bootstrap)
+                with span("shard.add_leaf", ops=1):
+                    network.begin_root(root)
+                    leaf = SaladLeaf(
+                        identifier,
+                        network,
+                        target_redundancy=config.target_redundancy,
+                        dimensions=config.dimensions,
+                        damping=config.damping,
+                        database_capacity=config.database_capacity,
+                        notify_limit=config.notify_limit,
+                        rng=random.Random(leaf_seed),
+                        reference_routing=config.reference_routing,
+                        database=database_for(identifier),
+                        detailed_metrics=resolve_detailed_metrics(
+                            config.detailed_metrics
+                        ),
+                        reference_width=config.reference_width,
+                        deferred_width_recalc=config.deferred_width_recalc,
+                    )
+                    leaves[identifier] = leaf
+                    leaf.initiate_join(bootstrap)
+                drain_phases()
                 conn.send(("ok", network.pending_count()))
             elif op == "insert":
-                for root, leaf_id, records in command[1]:
-                    network.begin_root(root)
-                    leaves[leaf_id].insert_records(records)
+                with span("shard.insert") as insert_span:
+                    inserted = 0
+                    for root, leaf_id, records in command[1]:
+                        network.begin_root(root)
+                        inserted += leaves[leaf_id].insert_records(records)
+                    insert_span.set_ops(inserted)
+                drain_phases()
                 conn.send(("ok", network.pending_count()))
             elif op == "depart":
                 _, root, leaf_id = command
-                network.begin_root(root)
-                leaves[leaf_id].depart_cleanly()
+                with span("shard.depart", ops=1):
+                    network.begin_root(root)
+                    leaves[leaf_id].depart_cleanly()
+                drain_phases()
                 conn.send(("ok", network.pending_count()))
             elif op == "fail":
-                for leaf_id in command[1]:
-                    leaves[leaf_id].fail()
+                with span("shard.fail", ops=len(command[1])):
+                    for leaf_id in command[1]:
+                        leaves[leaf_id].fail()
+                drain_phases()
                 conn.send(("ok", network.pending_count()))
             elif op == "set_loss":
                 network.loss_probability = command[1]
                 conn.send(("ok",))
             elif op == "flush":
-                for leaf in leaves.values():
-                    if leaf.alive:
-                        leaf.database.flush()
+                with span("shard.flush"):
+                    for leaf in leaves.values():
+                        if leaf.alive:
+                            leaf.database.flush()
+                drain_phases()
                 conn.send(("ok",))
             elif op == "stats":
                 leaf_stats = {
@@ -400,7 +466,11 @@ def _shard_worker_main(
                 )
                 if tracer is not None:
                     tracer.feed_registry(registry, leaves, config.dimensions)
-                conn.send(("ok", registry.to_dict()))
+                drain_phases()
+                phases = [
+                    phase_agg[name].to_dict() for name in sorted(phase_agg)
+                ]
+                conn.send(("ok", registry.to_dict(), phases))
             elif op == "close_db":
                 for leaf in leaves.values():
                     leaf.database.close()
@@ -473,6 +543,14 @@ class ShardedSimulation:
         self._root = 0
         self._order: List[int] = []  # every leaf ever created, creation order
         self._alive: Dict[int, bool] = {}
+        # Alive identifiers in creation order, maintained incrementally (the
+        # per-join rescan of _order is O(L^2) over a flagship-scale build).
+        # The coordinator sees every liveness flip (depart/crash ops), so a
+        # simple invalidate-on-death suffices.
+        self._alive_list: Optional[List[int]] = None
+        #: Per-shard folded span trees from the latest collect_metrics call
+        #: (list of span dicts per shard, shard order).
+        self.worker_phases: List[List[dict]] = []
         self._buffered = [0] * resolved
         self._procs: List[Any] = []
         self._conns: List[Any] = []
@@ -561,7 +639,7 @@ class ShardedSimulation:
         # leaf seed, then the bootstrap sample (whose rng consumption
         # depends only on the population length, so sampling identifiers
         # here selects exactly the leaves Salad's object sample would).
-        alive_ids = [i for i in self._order if self._alive[i]]
+        alive_ids = self._alive_ids_cached()
         if identifier is None:
             identifier = self._fresh_identifier()
         elif identifier in self._alive:
@@ -578,13 +656,17 @@ class ShardedSimulation:
         self._buffered[shard] = reply[1]
         self._order.append(identifier)
         self._alive[identifier] = True
+        # The pre-join snapshot plus the newcomer is the new alive list
+        # (creation order); extend it instead of rescanning _order.
+        alive_ids.append(identifier)
+        self._alive_list = alive_ids
         if settle:
             self.run()
         return ShardLeafRef(identifier=identifier, shard=shard)
 
     def build(self, count: int, settle_each: bool = True) -> None:
         """Grow to *count* live leaves by incremental joins (cf. Salad.build)."""
-        while sum(1 for i in self._order if self._alive[i]) < count:
+        while len(self._alive_ids_cached()) < count:
             self.add_leaf(settle=settle_each)
         if not settle_each:
             self.run()
@@ -597,14 +679,26 @@ class ShardedSimulation:
         reply = self._request(shard, ("depart", self._next_root(), identifier))
         self._buffered[shard] = reply[1]
         self._alive[identifier] = False
+        self._alive_list = None
         if settle:
             self.run()
 
+    def _alive_ids_cached(self) -> List[int]:
+        """Alive identifiers, creation order; rebuilt only after deaths.
+
+        Returns the cache itself -- callers other than add_leaf must not
+        mutate it (add_leaf appends the newcomer and reinstalls).
+        """
+        ids = self._alive_list
+        if ids is None:
+            ids = self._alive_list = [i for i in self._order if self._alive[i]]
+        return ids
+
     def alive_count(self) -> int:
-        return sum(1 for alive in self._alive.values() if alive)
+        return len(self._alive_ids_cached())
 
     def alive_identifiers(self) -> List[int]:
-        return [i for i in self._order if self._alive[i]]
+        return list(self._alive_ids_cached())
 
     # ------------------------------------------------------------------
     # failure injection
@@ -631,6 +725,7 @@ class ShardedSimulation:
         for identifier in chosen:
             per_shard.setdefault(identifier & self._mask, []).append(identifier)
             self._alive[identifier] = False
+        self._alive_list = None
         for shard, ids in per_shard.items():
             self._conns[shard].send(("fail", ids))
         for shard in per_shard:
@@ -789,9 +884,14 @@ class ShardedSimulation:
         the sharded-only ``salad.sharded.*`` namespace -- bit-identical in
         counter totals to a single-process harvest of the same trace.
         Returns the per-shard dumps (shard order) for the RunReport's
-        ``shards`` section.
+        ``shards`` section; the workers' folded span trees land on
+        :attr:`worker_phases` (same shard order), kept separate so the
+        return shape every caller depends on stays a list of registry
+        dumps.
         """
-        shard_dumps = [reply[1] for reply in self._broadcast(("metrics",))]
+        replies = self._broadcast(("metrics",))
+        shard_dumps = [reply[1] for reply in replies]
+        self.worker_phases = [list(reply[2]) for reply in replies]
         for dump in shard_dumps:
             registry.merge_dict(dump)
         return shard_dumps

@@ -16,7 +16,14 @@ already implements and adds two durable backends:
   operations with per-entry CRC32 framing.  Replay rebuilds the in-memory
   index; a truncated or corrupt tail (a torn write from a crash) is detected
   by the CRC and *dropped*, never fatal.  A stale-ratio-triggered compaction
-  rewrites the log as a snapshot of the live records.
+  rewrites the log as a snapshot of the live records;
+- :class:`PagedWalRecordStore` (``wal-paged``) -- the same log format, but the
+  records themselves stay on disk: memory holds only a flat open-addressed
+  key->offset index (16 bytes per slot) plus a small LRU record cache, and
+  record bodies are read back from the log on demand.  This is the backend
+  that bounds a flagship-scale run's RSS: the plain WAL store keeps a full
+  :class:`~repro.salad.database.RecordDatabase` in memory and therefore
+  *tracks* the memory backend's footprint, it never beats it.
 
 All three backends are observably identical for in-memory behavior: the
 shared contract suite (``tests/salad/test_record_stores.py``) runs them
@@ -56,6 +63,9 @@ import struct
 import tempfile
 import time
 import zlib
+from array import array
+from bisect import insort
+from collections import OrderedDict
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -64,7 +74,7 @@ from repro.obs.registry import Histogram
 from repro.salad.records import SaladRecord
 
 #: Known backend names, in documentation order.
-BACKENDS = ("memory", "sqlite", "wal")
+BACKENDS = ("memory", "sqlite", "wal", "wal-paged")
 
 #: Fixed-width big-endian location encoding for sqlite: lexicographic blob
 #: order equals numeric order, so ``ORDER BY location`` is the numeric sort
@@ -593,6 +603,506 @@ class WalRecordStore(RecordStore):
         return min(self._buffered_ops, len(self._mem))
 
 
+class _OffsetIndex:
+    """Flat open-addressed hash multimap: 64-bit key -> log offsets.
+
+    The paged store's only per-record memory: one ``array('Q')`` holding
+    interleaved ``[key, value]`` slot pairs (16 bytes each), linear probing,
+    power-of-two sizing.  ``value`` is a log offset; offsets are always
+    ``>= len(WAL_MAGIC)``, freeing 0 (EMPTY) and 1 (TOMBSTONE) as sentinels.
+    Keys are a 64-bit digest slice of the record's sort key, so distinct
+    fingerprints may collide -- the store disambiguates by reading the
+    records back, which is why this is a multimap (lookup returns every
+    offset filed under the key, probing past tombstones until EMPTY).
+    """
+
+    __slots__ = ("_slots", "_mask", "_table", "_used", "_live")
+
+    _EMPTY = 0
+    _TOMBSTONE = 1
+
+    def __init__(self, slots: int = 16):
+        self._slots = slots
+        self._mask = slots - 1
+        self._table = array("Q", bytes(16 * slots))
+        self._used = 0  # non-EMPTY slots (live + tombstones)
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def add(self, key: int, offset: int) -> None:
+        if 3 * (self._used + 1) >= 2 * self._slots:
+            self._rebuild()
+        table, mask = self._table, self._mask
+        i = key & mask
+        while True:
+            value = table[2 * i + 1]
+            if value <= self._TOMBSTONE:
+                table[2 * i] = key
+                table[2 * i + 1] = offset
+                if value == self._EMPTY:
+                    self._used += 1
+                self._live += 1
+                return
+            i = (i + 1) & mask
+
+    def lookup(self, key: int) -> List[int]:
+        """Every offset filed under *key* (hash collisions included)."""
+        table, mask = self._table, self._mask
+        i = key & mask
+        out: List[int] = []
+        while True:
+            value = table[2 * i + 1]
+            if value == self._EMPTY:
+                return out
+            if value != self._TOMBSTONE and table[2 * i] == key:
+                out.append(value)
+            i = (i + 1) & mask
+
+    def remove(self, key: int, offset: int) -> bool:
+        table, mask = self._table, self._mask
+        i = key & mask
+        while True:
+            value = table[2 * i + 1]
+            if value == self._EMPTY:
+                return False
+            if value == offset and table[2 * i] == key:
+                table[2 * i + 1] = self._TOMBSTONE
+                self._live -= 1
+                return True
+            i = (i + 1) & mask
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """All live ``(key, offset)`` pairs, in slot order."""
+        table = self._table
+        for i in range(self._slots):
+            value = table[2 * i + 1]
+            if value > self._TOMBSTONE:
+                yield table[2 * i], value
+
+    def _rebuild(self) -> None:
+        # Double when live entries are genuinely dense; otherwise rebuild at
+        # the same size, which drops the tombstones that tripped the load
+        # check.
+        slots = self._slots
+        if 3 * (self._live + 1) >= 2 * slots:
+            slots *= 2
+        old = self._table
+        self._slots = slots
+        self._mask = slots - 1
+        self._table = array("Q", bytes(16 * slots))
+        self._used = 0
+        self._live = 0
+        for i in range(len(old) // 2):
+            value = old[2 * i + 1]
+            if value > self._TOMBSTONE:
+                self.add(old[2 * i], value)
+
+
+class PagedWalRecordStore(RecordStore):
+    """The WAL with paging: records live in the log, not in memory.
+
+    Same on-disk format as :class:`WalRecordStore` (the two classes open
+    each other's files), but instead of mirroring the log into a full
+    in-memory :class:`~repro.salad.database.RecordDatabase`, memory holds:
+
+    - a :class:`_OffsetIndex` mapping a 64-bit slice of each record's sort
+      key to the offset of its INSERT frame (~16-32 bytes per record at the
+      index's load factor, vs hundreds for dict-of-set mirrors);
+    - a bounded LRU cache of decoded records keyed by offset
+      (``cache_records`` entries; :attr:`page_hits` / :attr:`page_misses`
+      count its effectiveness);
+    - only when a ``capacity`` is set: a bisect-sorted list of live
+      ``(sort_key, location)`` pairs serving the Fig. 13 lowest-record
+      probe (bounded by the capacity itself, so it never grows with the
+      log).
+
+    Cache misses read the frame back from the log: a short ``seek + read``
+    against the backing file, or a parse out of the append buffer for
+    offsets not yet written out.  No file descriptor is held between
+    operations -- a flagship-scale run opens one store per leaf (10^5 of
+    them), which would exhaust the fd table if each pinned one.
+
+    Compaction rewrites the log as a live snapshot exactly like the plain
+    WAL, then *remaps* every index entry to its new offset and drops the
+    (offset-keyed) cache.  Recovery semantics are identical: CRC-framed
+    replay, torn tails trimmed, capacity policy re-run.
+    """
+
+    _COMPACT_FLOOR = 1024
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        capacity: Optional[int] = None,
+        sync_every: int = 64,
+        compact_ratio: float = 4.0,
+        cache_records: int = 512,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive if set: {capacity}")
+        if sync_every < 1:
+            raise ValueError(f"sync_every must be positive: {sync_every}")
+        if compact_ratio < 1.0:
+            raise ValueError(f"compact_ratio must be at least 1: {compact_ratio}")
+        if cache_records < 1:
+            raise ValueError(f"cache_records must be positive: {cache_records}")
+        self.path = Path(path)
+        self.capacity = capacity
+        self.evictions = 0
+        self.rejections = 0
+        self._sync_every = sync_every
+        self._compact_ratio = compact_ratio
+        self._cache_limit = cache_records
+        self._index = _OffsetIndex()
+        #: Live (sort_key, location) pairs, sorted; capacity stores only.
+        self._sorted: Optional[List[Tuple[bytes, int]]] = (
+            [] if capacity is not None else None
+        )
+        self._cache: "OrderedDict[int, SaladRecord]" = OrderedDict()
+        self._buffer = bytearray()
+        self._buffered_ops = 0
+        self._file_end = len(WAL_MAGIC)  # logical offsets >= this are buffered
+        self._log_ops = 0
+        # Replay-time window into the whole file, so recovery reads need no
+        # per-record file opens; None outside __init__.
+        self._replay_data: Optional[bytes] = None
+        self.recovered_records = 0
+        self.torn_bytes_dropped = 0
+        # Telemetry (harvested by repro.salad.telemetry).
+        self.compactions = 0
+        self.sync_writes = 0
+        self.page_hits = 0
+        self.page_misses = 0
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._replay()
+            # Replay re-runs the capacity policy; its eviction/rejection
+            # outcomes belong to the previous session, not this one.
+            self.evictions = 0
+            self.rejections = 0
+        else:
+            self.path.write_bytes(WAL_MAGIC)
+        self.recovered_records = len(self._index)
+
+    @staticmethod
+    def _key64(sort_key: bytes) -> int:
+        # The sort key ends in the fingerprint's hash digest, so its last 8
+        # bytes are uniform -- exactly what the hash index wants.
+        return int.from_bytes(sort_key[-8:], "big")
+
+    # -- reads -----------------------------------------------------------------
+
+    def _record_at(self, offset: int, cache: bool = True) -> SaladRecord:
+        """The record whose INSERT frame starts at logical *offset*."""
+        if self._replay_data is not None:
+            return self._parse_insert(self._replay_data, offset)
+        record = self._cache.get(offset)
+        if record is not None:
+            self._cache.move_to_end(offset)
+            self.page_hits += 1
+            return record
+        self.page_misses += 1
+        if offset >= self._file_end:
+            record = self._parse_insert(self._buffer, offset - self._file_end)
+        else:
+            with open(self.path, "rb") as fh:
+                fh.seek(offset)
+                op, length = _HEADER.unpack(fh.read(_HEADER.size))
+                record = self._decode_insert(fh.read(length))
+        if cache:
+            self._cache_put(offset, record)
+        return record
+
+    @classmethod
+    def _parse_insert(cls, buf, offset: int) -> SaladRecord:
+        op, length = _HEADER.unpack_from(buf, offset)
+        start = offset + _HEADER.size
+        return cls._decode_insert(bytes(buf[start : start + length]))
+
+    @staticmethod
+    def _decode_insert(payload: bytes) -> SaladRecord:
+        key = payload[:FINGERPRINT_BYTES]
+        loc_bytes = payload[FINGERPRINT_BYTES + 2 :]
+        return SaladRecord(
+            fingerprint=Fingerprint.from_bytes(key),
+            location=int.from_bytes(loc_bytes, "big"),
+        )
+
+    def _cache_put(self, offset: int, record: SaladRecord) -> None:
+        cache = self._cache
+        cache[offset] = record
+        cache.move_to_end(offset)
+        if len(cache) > self._cache_limit:
+            cache.popitem(last=False)
+
+    def _live_matches(self, sort_key: bytes) -> List[Tuple[int, SaladRecord]]:
+        """Live ``(offset, record)`` pairs whose sort key equals *sort_key*.
+
+        The index key is only a 64-bit slice, so every candidate offset is
+        read back and verified against the full sort key.
+        """
+        out = [
+            (offset, record)
+            for offset in self._index.lookup(self._key64(sort_key))
+            if (record := self._record_at(offset)).sort_key() == sort_key
+        ]
+        out.sort(key=lambda pair: pair[1].location)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, fingerprint: Fingerprint) -> bool:
+        return bool(self._live_matches(fingerprint.to_bytes()))
+
+    def locations(self, fingerprint: Fingerprint) -> Set[int]:
+        matches = self._live_matches(fingerprint.to_bytes())
+        return {record.location for _, record in matches}
+
+    def has_location(self, fingerprint: Fingerprint, location: int) -> bool:
+        matches = self._live_matches(fingerprint.to_bytes())
+        return any(record.location == location for _, record in matches)
+
+    def records(self) -> Iterator[SaladRecord]:
+        everything = [
+            self._record_at(offset, cache=False)
+            for _, offset in self._index.items()
+        ]
+        everything.sort(key=lambda r: (r.sort_key(), r.location))
+        return iter(everything)
+
+    # -- mutations -------------------------------------------------------------
+
+    def insert(self, record: SaladRecord) -> Tuple[bool, List[SaladRecord]]:
+        sort_key = record.sort_key()
+        matches = [rec for _, rec in self._live_matches(sort_key)]
+        if any(m.location == record.location for m in matches):
+            return False, matches
+        if self.capacity is not None and len(self._index) >= self.capacity:
+            lowest = self._sorted[0] if self._sorted else None
+            if lowest is None or sort_key <= lowest[0]:
+                self.rejections += 1
+                return False, matches
+            self._evict(*lowest)
+            self.evictions += 1
+        offset = self._file_end + len(self._buffer)
+        self._append(_OP_INSERT, self._insert_payload(record))
+        self._index.add(self._key64(sort_key), offset)
+        if self._sorted is not None:
+            insort(self._sorted, (sort_key, record.location))
+        self._cache_put(offset, record)
+        self._maybe_compact()
+        return True, matches
+
+    def insert_many(
+        self, records: Iterable[SaladRecord]
+    ) -> List[Tuple[SaladRecord, bool, List[SaladRecord]]]:
+        results = [(record, *self.insert(record)) for record in records]
+        self._write_out()  # batch boundary: make the whole batch durable
+        return results
+
+    def _evict(self, sort_key: bytes, location: int) -> None:
+        """Drop the record (known live) with this exact key and location.
+
+        Evictions write no log entry: replaying the logged inserts through
+        the same capacity policy re-derives them, exactly as in the plain
+        WAL store.
+        """
+        for offset, record in self._live_matches(sort_key):
+            if record.location == location:
+                self._index.remove(self._key64(sort_key), offset)
+                self._cache.pop(offset, None)
+                self._sorted.remove((sort_key, location))
+                return
+        raise AssertionError("eviction target vanished from the index")
+
+    def remove_location(self, location: int) -> int:
+        """Drop every record pointing at *location* (a departed machine).
+
+        A full index scan with read-back -- the paged store keeps no
+        per-location index in memory.  Departures are rare (once per machine
+        death) and per-leaf logs are small, so the scan is the right trade
+        against carrying another always-on in-memory index.
+        """
+        victims = [
+            (key, offset, record)
+            for key, offset in list(self._index.items())
+            if (record := self._record_at(offset, cache=False)).location == location
+        ]
+        for key, offset, record in victims:
+            self._index.remove(key, offset)
+            self._cache.pop(offset, None)
+            if self._sorted is not None:
+                self._sorted.remove((record.sort_key(), location))
+        if victims:
+            self._append(_OP_REMOVE_LOCATION, self._remove_payload(location))
+            self._maybe_compact()
+        return len(victims)
+
+    # -- log append (shared framing with WalRecordStore) -----------------------
+
+    _frame = staticmethod(WalRecordStore._frame)
+    _insert_payload = staticmethod(WalRecordStore._insert_payload)
+    _remove_payload = staticmethod(WalRecordStore._remove_payload)
+
+    def _append(self, op: int, payload: bytes) -> None:
+        self._buffer += self._frame(op, payload)
+        self._buffered_ops += 1
+        self._log_ops += 1
+        if self._buffered_ops >= self._sync_every:
+            self._write_out()
+
+    def _write_out(self) -> None:
+        if self._buffer:
+            with open(self.path, "ab") as fh:
+                fh.write(bytes(self._buffer))
+            self._file_end += len(self._buffer)
+            self._buffer.clear()
+            self.sync_writes += 1
+        self._buffered_ops = 0
+
+    # -- replay & recovery -----------------------------------------------------
+
+    def _replay(self) -> None:
+        data = self.path.read_bytes()
+        if not data.startswith(WAL_MAGIC):
+            self.torn_bytes_dropped = len(data)
+            self.path.write_bytes(WAL_MAGIC)
+            return
+        self._replay_data = data
+        try:
+            offset = len(WAL_MAGIC)
+            valid_end = offset
+            while offset < len(data):
+                if offset + _HEADER.size > len(data):
+                    break  # truncated header
+                op, length = _HEADER.unpack_from(data, offset)
+                frame_end = offset + _HEADER.size + length + _CRC.size
+                if frame_end > len(data):
+                    break  # truncated payload/CRC
+                payload = data[offset + _HEADER.size : offset + _HEADER.size + length]
+                (crc,) = _CRC.unpack_from(data, offset + _HEADER.size + length)
+                if crc != zlib.crc32(data[offset : offset + _HEADER.size + length]):
+                    break  # corrupt entry: drop it and everything after
+                if not self._apply(op, payload, offset):
+                    break  # unparseable payload: same treatment as a bad CRC
+                offset = frame_end
+                valid_end = frame_end
+                self._log_ops += 1
+        finally:
+            self._replay_data = None
+        self.torn_bytes_dropped = len(data) - valid_end
+        if self.torn_bytes_dropped:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(valid_end)
+        self._file_end = valid_end
+
+    def _apply(self, op: int, payload: bytes, offset: int) -> bool:
+        """Replay one frame at *offset* through the live-state policy."""
+        try:
+            if op == _OP_INSERT:
+                key = payload[:FINGERPRINT_BYTES]
+                (loc_len,) = struct.unpack_from(">H", payload, FINGERPRINT_BYTES)
+                loc_bytes = payload[FINGERPRINT_BYTES + 2 :]
+                if len(key) != FINGERPRINT_BYTES or len(loc_bytes) != loc_len:
+                    return False
+                record = SaladRecord(
+                    fingerprint=Fingerprint.from_bytes(key),
+                    location=int.from_bytes(loc_bytes, "big"),
+                )
+                sort_key = record.sort_key()
+                matches = self._live_matches(sort_key)
+                if any(r.location == record.location for _, r in matches):
+                    return True  # idempotent replay of an odd log
+                if self.capacity is not None and len(self._index) >= self.capacity:
+                    lowest = self._sorted[0] if self._sorted else None
+                    if lowest is None or sort_key <= lowest[0]:
+                        self.rejections += 1
+                        return True
+                    self._evict(*lowest)
+                    self.evictions += 1
+                self._index.add(self._key64(sort_key), offset)
+                if self._sorted is not None:
+                    insort(self._sorted, (sort_key, record.location))
+            elif op == _OP_REMOVE_LOCATION:
+                (loc_len,) = struct.unpack_from(">H", payload, 0)
+                loc_bytes = payload[2:]
+                if len(loc_bytes) != loc_len:
+                    return False
+                location = int.from_bytes(loc_bytes, "big")
+                for key, off in list(self._index.items()):
+                    record = self._parse_insert(self._replay_data, off)
+                    if record.location == location:
+                        self._index.remove(key, off)
+                        if self._sorted is not None:
+                            self._sorted.remove((record.sort_key(), location))
+            else:
+                return False
+        except (ValueError, struct.error, IndexError):
+            return False
+        return True
+
+    # -- compaction ------------------------------------------------------------
+
+    @property
+    def log_ops(self) -> int:
+        """Entries currently in the log (disk plus buffer)."""
+        return self._log_ops
+
+    def _maybe_compact(self) -> None:
+        if self._log_ops <= self._COMPACT_FLOOR:
+            return
+        if self._log_ops <= self._compact_ratio * max(1, len(self._index)):
+            return
+        self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the log as a live snapshot and remap every index offset."""
+        live = [
+            self._record_at(offset, cache=False)
+            for _, offset in self._index.items()
+        ]
+        live.sort(key=lambda r: (r.sort_key(), r.location))
+        tmp = self.path.with_suffix(self.path.suffix + ".compact")
+        rebuilt = _OffsetIndex()
+        with open(tmp, "wb") as fh:
+            fh.write(WAL_MAGIC)
+            position = len(WAL_MAGIC)
+            for record in live:
+                frame = self._frame(_OP_INSERT, self._insert_payload(record))
+                fh.write(frame)
+                rebuilt.add(self._key64(record.sort_key()), position)
+                position += len(frame)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._index = rebuilt
+        self._cache.clear()  # offset-keyed: every key just moved
+        self._buffer.clear()
+        self._buffered_ops = 0
+        self._file_end = position
+        self._log_ops = len(live)
+        self.compactions += 1
+
+    # -- durability ------------------------------------------------------------
+
+    def flush(self) -> None:
+        self._write_out()
+
+    def close(self) -> None:
+        self._write_out()
+
+    def crash(self) -> None:
+        # Abandon the buffered tail: those operations never reached the file.
+        self._buffer.clear()
+        self._buffered_ops = 0
+
+    @property
+    def pending_records(self) -> int:
+        return min(self._buffered_ops, len(self._index))
+
+
 # ----------------------------------------------------------------------------
 # factory & session defaults
 # ----------------------------------------------------------------------------
@@ -661,4 +1171,8 @@ def make_record_store(
     directory = resolve_db_dir(db_dir)
     if backend == "sqlite":
         return SqliteRecordStore(directory / f"{name}.sqlite", capacity=capacity)
+    if backend == "wal-paged":
+        # Same file format and extension as "wal": a log written by either
+        # class reopens under the other.
+        return PagedWalRecordStore(directory / f"{name}.wal", capacity=capacity)
     return WalRecordStore(directory / f"{name}.wal", capacity=capacity)

@@ -38,7 +38,7 @@ def harvest_salad_metrics(
     """
     registry.gauge("salad.config.dimensions").set(dimensions)
 
-    hits = misses = scans = width_changes = 0
+    hits = misses = scans = width_changes = width_recalcs = 0
     arrivals = hops = notifications = 0
     envelopes = envelope_records = 0
     stored = evictions = rejections = 0
@@ -47,6 +47,7 @@ def harvest_salad_metrics(
     flush_hist = registry.histogram("salad.storage.sqlite.flush_seconds")
     flushes = compactions = sync_writes = 0
     recovered = torn_bytes = log_ops = 0
+    page_hits = page_misses = 0
     for leaf in leaves:
         total += 1
         if leaf.alive:
@@ -55,6 +56,7 @@ def harvest_salad_metrics(
         misses += leaf.next_hop_misses
         scans += leaf.survivor_scans
         width_changes += leaf.width_changes
+        width_recalcs += leaf.width_recalcs
         arrivals += leaf.record_arrivals
         hops += leaf.record_hops
         # Notifications *delivered*: the recipient's matches list is already
@@ -72,12 +74,15 @@ def harvest_salad_metrics(
         if db_flush_hist is not None:  # sqlite backend
             flushes += db.flushes
             flush_hist.merge_from(db_flush_hist)
-        if getattr(db, "compactions", None) is not None:  # WAL backend
+        if getattr(db, "compactions", None) is not None:  # WAL backends
             compactions += db.compactions
             sync_writes += db.sync_writes
             recovered += db.recovered_records
             torn_bytes += db.torn_bytes_dropped
             log_ops += db.log_ops
+        if getattr(db, "page_hits", None) is not None:  # paging WAL backend
+            page_hits += db.page_hits
+            page_misses += db.page_misses
 
     registry.counter("salad.leaves.total").inc(total)
     registry.counter("salad.leaves.alive").inc(alive)
@@ -85,6 +90,7 @@ def harvest_salad_metrics(
     registry.counter("salad.routing.next_hop_misses").inc(misses)
     registry.counter("salad.routing.survivor_scans").inc(scans)
     registry.counter("salad.width.changes").inc(width_changes)
+    registry.counter("salad.width.recalcs").inc(width_recalcs)
     registry.counter("salad.records.arrivals").inc(arrivals)
     registry.counter("salad.records.hops").inc(hops)
     registry.counter("salad.records.stored").inc(stored)
@@ -99,6 +105,8 @@ def harvest_salad_metrics(
     registry.counter("salad.storage.wal.recovered_records").inc(recovered)
     registry.counter("salad.storage.wal.torn_bytes_dropped").inc(torn_bytes)
     registry.counter("salad.storage.wal.log_ops").inc(log_ops)
+    registry.counter("salad.storage.wal.page_hits").inc(page_hits)
+    registry.counter("salad.storage.wal.page_misses").inc(page_misses)
 
     registry.counter("salad.network.messages_sent").inc(network.messages_sent)
     registry.counter("salad.network.messages_delivered").inc(

@@ -9,7 +9,7 @@ kind.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim.network import Message, Network
 
@@ -27,6 +27,10 @@ class SimMachine:
         self.identifier = identifier
         self.network = network
         self.alive = True
+        #: Drivers that cache which machines are alive set this to learn of
+        #: liveness flips without polling (they cannot otherwise observe a
+        #: direct ``machine.fail()`` call).
+        self.on_liveness_change: Optional[Callable[[], None]] = None
         self._handlers: Dict[str, Handler] = {}
         network.register(self)
 
@@ -35,14 +39,20 @@ class SimMachine:
     def fail(self) -> None:
         """Crash-stop: the machine drops all future traffic."""
         self.alive = False
+        if self.on_liveness_change is not None:
+            self.on_liveness_change()
 
     def recover(self) -> None:
         self.alive = True
+        if self.on_liveness_change is not None:
+            self.on_liveness_change()
 
     def depart(self) -> None:
         """Cleanly leave the network (deregisters)."""
         self.alive = False
         self.network.deregister(self.identifier)
+        if self.on_liveness_change is not None:
+            self.on_liveness_change()
 
     # -- messaging -----------------------------------------------------------
 

@@ -108,6 +108,11 @@ class Network:
         self.messages_dropped = 0
         #: In-flight messages per delivery timestamp (batch_delivery mode).
         self._pending: Dict[float, List[Message]] = {}
+        # Post-window work (see defer_post_window): callbacks queued while a
+        # delivery batch is draining, run once the whole batch has been
+        # delivered.  Only populated by machines that opt into deferral.
+        self._delivering = False
+        self._post_window: List[Any] = []
         # Partition map: machine id -> partition label.  Messages crossing
         # partition labels are dropped.  Unlabeled machines share the
         # implicit default partition.
@@ -203,9 +208,33 @@ class Network:
         else:
             self.scheduler.schedule(delay, lambda: self._deliver(message))
 
+    def defer_post_window(self, callback: Any) -> bool:
+        """Queue *callback* to run after the current delivery batch drains.
+
+        Returns True if the callback was queued (a batch is draining right
+        now), False otherwise -- in which case the caller must do the work
+        eagerly itself.  Each queued callback runs exactly once, in
+        first-queued order, at the current timestep; anything it sends joins
+        the next delivery window after every handler-originated message of
+        this one (the queue drains after the batch, so its sends append to
+        the pending batches last).
+        """
+        if not self._delivering:
+            return False
+        self._post_window.append(callback)
+        return True
+
     def _deliver_pending(self, time: float) -> None:
-        for message in self._pending.pop(time):
-            self._deliver(message)
+        self._delivering = True
+        try:
+            for message in self._pending.pop(time):
+                self._deliver(message)
+        finally:
+            self._delivering = False
+        if self._post_window:
+            callbacks, self._post_window = self._post_window, []
+            for callback in callbacks:
+                callback()
 
     def _deliver(self, message: Message) -> None:
         # Partition membership is re-checked at delivery time, mirroring the

@@ -70,6 +70,20 @@ class TestBuildAndValidate:
         assert validate_run_report(report) == []
         assert [s["shard"] for s in report["shards"]] == [0, 1]
 
+    def test_shard_phases_attach_per_worker(self):
+        dumps = [_registry().to_dict(), _registry().to_dict()]
+        trees = [
+            [{"name": "shard.step", "seconds": 0.5, "ops": 12}],
+            [{"name": "shard.step", "seconds": 0.4, "children": [
+                {"name": "deliver", "seconds": 0.3}]}],
+        ]
+        report = _report(shards=dumps, shard_phases=trees)
+        assert validate_run_report(report) == []
+        assert report["shards"][0]["phases"] == trees[0]
+        assert report["shards"][1]["phases"][0]["children"][0]["name"] == "deliver"
+        # Round-trips through JSON with the phases intact.
+        assert validate_run_report(json.loads(json.dumps(report))) == []
+
     def test_environment_probe_has_required_keys(self):
         env = environment()
         for key in ("python", "platform", "machine", "cpu_count", "git_sha"):
@@ -108,6 +122,30 @@ class TestCorruptionDetection:
         report = _report(shards=[_registry().to_dict()])
         report["shards"][0]["shard"] = 7
         assert any("shard" in p for p in validate_run_report(report))
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda s: s.update(phases="not-a-list"), "phases is not a list"),
+            (lambda s: s["phases"][0].pop("seconds"), "seconds"),
+            (lambda s: s["phases"][0].pop("name"), "name"),
+            (
+                lambda s: s["phases"][0]["children"].append({"seconds": 1.0}),
+                "children",
+            ),
+        ],
+    )
+    def test_corrupt_shard_phases_are_caught(self, mutate, fragment):
+        report = _report(
+            shards=[_registry().to_dict()],
+            shard_phases=[
+                [{"name": "shard.step", "seconds": 0.1, "children": []}]
+            ],
+        )
+        mutate(report["shards"][0])
+        problems = validate_run_report(report)
+        assert problems, f"shard-phase corruption not caught: {fragment}"
+        assert any(fragment in p for p in problems)
 
 
 class TestSummaryAndCli:

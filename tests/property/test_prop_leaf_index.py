@@ -55,6 +55,15 @@ def check_index(leaf: SaladLeaf) -> None:
     )
     assert leaf._next_width_survivors == expected_survivors
 
+    # The other half of the partition: the dropped bucket must equal a fresh
+    # rescan's non-survivor set exactly (not just in count), because a
+    # committed width increase deletes precisely these entries without
+    # scanning (the amortized path of _recalculate_width_inner).
+    assert leaf._next_width_dropped == {
+        other for other in table if not leaf._survives_next_width(other)
+    }
+    assert len(leaf._next_width_dropped) + leaf._next_width_survivors == len(table)
+
     for other in table:
         delta = mismatching_dimensions(
             leaf.identifier, other, leaf.width, leaf.dimensions

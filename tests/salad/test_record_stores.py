@@ -19,6 +19,7 @@ from repro.salad.records import SaladRecord
 from repro.salad.storage import (
     BACKENDS,
     WAL_MAGIC,
+    PagedWalRecordStore,
     SqliteRecordStore,
     WalRecordStore,
     make_record_store,
@@ -164,7 +165,12 @@ class TestBackendEquivalence:
                 store.rejections,
             )
             store.close()
-        assert outcomes["memory"] == outcomes["sqlite"] == outcomes["wal"]
+        assert (
+            outcomes["memory"]
+            == outcomes["sqlite"]
+            == outcomes["wal"]
+            == outcomes["wal-paged"]
+        )
 
 
 class TestDurability:
@@ -283,6 +289,178 @@ class TestWalRecovery:
         reopened = WalRecordStore(path)
         assert len(reopened) == 0
         reopened.close()
+
+
+class TestPagedWalRecovery:
+    """The paged store shares the WAL's recovery guarantees and adds paging.
+
+    Same torn-tail / corrupt-CRC / garbage-file matrix as TestWalRecovery
+    (same log format), plus the paged-specific contracts: cache misses read
+    the record back from the log byte-identically, the LRU stays bounded,
+    and compaction remaps every index entry to its post-rewrite offset.
+    """
+
+    def _populate(self, tmp_path, n=10, **kwargs):
+        store = PagedWalRecordStore(tmp_path / "t.wal", **kwargs)
+        for i in range(n):
+            store.insert(rec(10 + i, location=1))
+        store.close()
+        return tmp_path / "t.wal"
+
+    def test_torn_final_record_is_dropped_not_fatal(self, tmp_path):
+        path = self._populate(tmp_path)
+        intact = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(struct.pack(">BI", 0x01, 500) + b"\x00" * 12)
+        store = PagedWalRecordStore(path)
+        assert len(store) == 10
+        assert store.recovered_records == 10
+        assert store.torn_bytes_dropped == 17
+        assert path.stat().st_size == intact  # tail trimmed off the file
+        # The trimmed file must still page records back correctly.
+        assert [r.fingerprint.size for r in store.records()] == list(range(10, 20))
+        store.close()
+
+    def test_corrupt_crc_drops_entry_and_everything_after(self, tmp_path):
+        path = self._populate(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a CRC byte of the final entry
+        path.write_bytes(data)
+        store = PagedWalRecordStore(path)
+        assert len(store) == 9
+        assert store.torn_bytes_dropped > 0
+        store.close()
+
+    def test_garbage_file_is_reset_not_fatal(self, tmp_path):
+        path = tmp_path / "t.wal"
+        path.write_bytes(b"not a wal at all")
+        store = PagedWalRecordStore(path)
+        assert len(store) == 0
+        assert store.torn_bytes_dropped == 16
+        store.insert(rec(10, location=1))
+        store.close()
+        assert path.read_bytes().startswith(WAL_MAGIC)
+
+    def test_replay_reruns_the_capacity_policy(self, tmp_path):
+        path = tmp_path / "t.wal"
+        store = PagedWalRecordStore(path, capacity=4)
+        for i in range(10):
+            store.insert(rec(10 + i, location=1))
+        expected = list(store.records())
+        store.close()
+        reopened = PagedWalRecordStore(path, capacity=4)
+        assert list(reopened.records()) == expected
+        reopened.close()
+
+    def test_wal_and_paged_open_each_others_files(self, tmp_path):
+        # Same format, same extension: a log written by one class must
+        # recover identically under the other.
+        store = WalRecordStore(tmp_path / "t.wal", capacity=6)
+        for i in range(9):
+            store.insert(rec(10 + i, location=i))
+        expected = list(store.records())
+        store.close()
+        paged = PagedWalRecordStore(tmp_path / "t.wal", capacity=6)
+        assert list(paged.records()) == expected
+        paged.insert(rec(99, location=99))
+        expected = list(paged.records())
+        paged.close()
+        plain = WalRecordStore(tmp_path / "t.wal", capacity=6)
+        assert list(plain.records()) == expected
+        plain.close()
+
+    def test_cache_miss_reads_record_back_from_log(self, tmp_path):
+        store = PagedWalRecordStore(tmp_path / "t.wal", cache_records=2)
+        inserted = [rec(10 + i, content=i, location=i) for i in range(8)]
+        for r in inserted:
+            store.insert(r)
+        store.flush()
+        before = store.page_misses
+        # Only 2 of 8 records can be cached; looking every record up again
+        # must page the rest in from the file, byte-identically.
+        for r in inserted:
+            assert store.locations(r.fingerprint) == {r.location}
+        assert store.page_misses > before
+        assert list(store.records()) == sorted(
+            inserted, key=lambda r: (r.sort_key(), r.location)
+        )
+        store.close()
+
+    def test_cache_stays_bounded(self, tmp_path):
+        store = PagedWalRecordStore(tmp_path / "t.wal", cache_records=4)
+        for i in range(100):
+            store.insert(rec(10 + i, location=i))
+        assert len(store._cache) <= 4
+        assert len(store) == 100
+        store.close()
+
+    def test_unflushed_records_are_served_from_the_buffer(self, tmp_path):
+        store = PagedWalRecordStore(
+            tmp_path / "t.wal", sync_every=1000, cache_records=1
+        )
+        inserted = [rec(10 + i, location=i) for i in range(6)]
+        for r in inserted:
+            store.insert(r)
+        # Nothing written out yet; a cache miss must parse the append buffer.
+        assert store.sync_writes == 0
+        for r in inserted:
+            assert store.has_location(r.fingerprint, r.location)
+        store.close()
+
+    def test_compaction_remaps_offsets_and_preserves_reads(self, tmp_path):
+        path = tmp_path / "t.wal"
+        store = PagedWalRecordStore(path, cache_records=2)
+        store._COMPACT_FLOOR = 16  # shrink the floor so a small test triggers it
+        for round_ in range(20):
+            for i in range(8):
+                store.insert(rec(10 + i, content=round_, location=1))
+            store.remove_location(1)
+        assert store.compactions > 0
+        assert store.log_ops <= store._compact_ratio * max(1, len(store)) + 8
+        expected = list(store.records())
+        # Every index entry must point at a valid post-compaction offset:
+        # page everything back in through the remapped index.
+        for r in expected:
+            assert store.has_location(r.fingerprint, r.location)
+        store.close()
+        reopened = PagedWalRecordStore(path)
+        assert list(reopened.records()) == expected
+        reopened.close()
+
+    def test_crash_discards_buffered_appends(self, tmp_path):
+        path = tmp_path / "t.wal"
+        store = PagedWalRecordStore(path, sync_every=1000)
+        for i in range(10):
+            store.insert(rec(10 + i, location=1))
+        assert store.pending_records == 10
+        store.crash()
+        reopened = PagedWalRecordStore(path)
+        assert len(reopened) == 0
+        reopened.close()
+
+    def test_index_survives_heavy_churn(self, tmp_path):
+        # Exercises tombstone reuse and same-size index rebuilds: many
+        # insert/remove rounds over a small live set.
+        store = PagedWalRecordStore(tmp_path / "t.wal")
+        store._COMPACT_FLOOR = 10**9  # keep compaction out of this test
+        rng = random.Random(3)
+        live = {}
+        for step in range(600):
+            if live and rng.random() < 0.45:
+                location = rng.choice(sorted({r.location for r in live.values()}))
+                removed = store.remove_location(location)
+                expected_removed = [k for k, r in live.items() if r.location == location]
+                assert removed == len(expected_removed)
+                for k in expected_removed:
+                    del live[k]
+            else:
+                r = rec(10 + step % 40, content=step % 7, location=step % 9)
+                stored, _ = store.insert(r)
+                key = (r.sort_key(), r.location)
+                assert stored == (key not in live)
+                live[key] = r
+        assert list(store.records()) == [live[k] for k in sorted(live)]
+        store.close()
 
 
 class TestSqliteIndexing:
