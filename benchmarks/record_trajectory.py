@@ -20,6 +20,10 @@ current fast paths so every snapshot carries its own before/after ratio:
 - ``sharded_inserts``: the insert workload on the single-process engine vs
   the sub-cube sharded multi-process engine, trace identity asserted before
   timing (sharding pays only with real cores; ``cpu_count`` is recorded);
+- ``sharded_speedup``: multi-core scaling of the overlapped sharded engine
+  at 1/2/4 workers (speedup ratios only on hosts with >= 2 CPUs, recorded
+  as skipped otherwise) plus the binary-vs-pickle envelope-codec
+  exchange-bytes reduction, which is core-count independent;
 - ``flagship``: the flagship insert path -- amortized width maintenance and
   deferred (settle-round-coalesced) recalculation -- vs the pre-change
   full-scan path on a growth-heavy workload, trace/settled identity
@@ -320,6 +324,86 @@ def bench_sharded_inserts(leaves: int = 64, records: int = 2000, workers: int = 
     return out
 
 
+def bench_sharded_speedup(leaves: int = 64, records: int = 2000) -> dict:
+    """Multi-core scaling of the overlapped sharded engine, plus codec bytes.
+
+    One seeded build+insert workload runs on the single-process engine and
+    then on 2- and 4-worker sharded engines (binary envelope codec), with
+    trace identity asserted before any ratio is computed.  ``speedup_N_workers``
+    keys are emitted only on hosts with at least 2 CPUs -- on a single-core
+    host the barrier-bound sharded run is honestly slower, so the snapshot
+    records ``speedup_skipped`` (with the reason) instead of a meaningless
+    ratio, and ``check_regression.py`` skips the speedup gate.
+
+    A final 2-worker leg re-runs under the pickle codec (the pre-codec wire
+    format, same cost model) so every snapshot carries its own
+    exchange-bytes before/after: ``exchange_bytes_reduction`` is
+    pickle-bytes over binary-bytes on identical traffic, core-count
+    independent and therefore gated everywhere.
+    """
+    from repro.salad.sharded import ShardedSimulation, ShardingUnavailable
+
+    def drive(sim):
+        start = time.perf_counter()
+        sim.build(leaves)
+        sim.insert_records(_sharded_batches(sim.alive_identifiers(), records))
+        seconds = time.perf_counter() - start
+        observed = (sim.message_counters(), sim.total_stored_records())
+        registry = MetricsRegistry()
+        sim.collect_metrics(registry)
+        exchange = registry.counter_value("salad.sharded.exchange_bytes") or 0
+        sim.shutdown()
+        return seconds, observed, exchange
+
+    cpus = os.cpu_count() or 1
+    serial_seconds, serial_observed, _ = drive(Salad(SaladConfig(dimensions=2, seed=7)))
+    out: dict = {
+        "leaves": leaves,
+        "records": records,
+        "cpu_count": cpus,
+        "wall_seconds_1_worker": serial_seconds,
+    }
+    if cpus < 2:
+        out["speedup_skipped"] = (
+            f"host has {cpus} CPU(s); sharded speedup needs >= 2 cores to be "
+            "meaningful, so speedup_N_workers keys are omitted"
+        )
+
+    for workers in (2, 4):
+        try:
+            sharded = ShardedSimulation(
+                SaladConfig(dimensions=2, seed=7), workers=workers
+            )
+        except ShardingUnavailable as exc:
+            out["sharded_unavailable"] = str(exc)
+            return out
+        seconds, observed, exchange = drive(sharded)
+        assert observed == serial_observed, (
+            f"{workers}-worker overlapped engine diverged from single-process"
+        )
+        out[f"wall_seconds_{workers}_workers"] = seconds
+        out[f"exchange_bytes_{workers}_workers"] = exchange
+        if cpus >= 2:
+            out[f"speedup_{workers}_workers"] = serial_seconds / seconds
+
+    try:
+        pickled = ShardedSimulation(
+            SaladConfig(dimensions=2, seed=7, envelope_codec="pickle"), workers=2
+        )
+    except ShardingUnavailable as exc:
+        out["sharded_unavailable"] = str(exc)
+        return out
+    _, observed, pickle_bytes = drive(pickled)
+    assert observed == serial_observed, "pickle-codec engine diverged"
+    binary_bytes = out["exchange_bytes_2_workers"]
+    out["exchange_bytes_binary"] = binary_bytes
+    out["exchange_bytes_pickle"] = pickle_bytes
+    out["exchange_bytes_reduction"] = (
+        pickle_bytes / binary_bytes if binary_bytes else 0.0
+    )
+    return out
+
+
 def bench_flagship(leaves: int = 512, records: int = 2048) -> dict:
     """Pre-change vs flagship width-maintenance path on a growth-heavy workload.
 
@@ -570,6 +654,7 @@ def main(argv=None) -> int:
         ("salad_inserts", bench_salad_inserts),
         ("salad_routing", bench_salad_routing),
         ("sharded_inserts", bench_sharded_inserts),
+        ("sharded_speedup", bench_sharded_speedup),
         ("flagship", bench_flagship),
         ("db_backends", bench_db_backends),
         ("experiment_sweep", bench_experiment_sweep),
@@ -580,6 +665,7 @@ def main(argv=None) -> int:
             ("salad_inserts", bench_salad_inserts),
             ("salad_routing", bench_salad_routing),
             ("sharded_inserts", bench_sharded_inserts),
+            ("sharded_speedup", bench_sharded_speedup),
             ("flagship", bench_flagship),
         ]
     for name, bench in benches:

@@ -40,7 +40,13 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.report import build_run_report, print_summary, write_run_report
 from repro.obs.spans import phase, span
 from repro.salad.records import SaladRecord
-from repro.salad.salad import SaladConfig, set_detailed_metrics, validate_shard_workers
+from repro.salad.salad import (
+    ENVELOPE_CODECS,
+    SaladConfig,
+    set_detailed_metrics,
+    set_envelope_codec,
+    validate_shard_workers,
+)
 from repro.salad.sharded import make_salad
 from repro.salad.storage import BACKENDS
 
@@ -199,6 +205,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "per-worker phase trees land in the report's shards section",
     )
     parser.add_argument(
+        "--envelope-codec",
+        choices=ENVELOPE_CODECS,
+        default=None,
+        help="cross-shard envelope wire format (default: binary; pickle "
+        "reproduces the pre-codec cost model for comparison runs)",
+    )
+    parser.add_argument(
         "--eager-width",
         action="store_true",
         help="disable deferred width recalculation (the flagship default "
@@ -222,6 +235,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         except (TypeError, ValueError) as exc:
             parser.error(str(exc))
     set_detailed_metrics(bool(args.metrics_out))
+    if args.envelope_codec is not None:
+        set_envelope_codec(args.envelope_codec)
 
     registry = MetricsRegistry() if args.metrics_out else None
     start = time.time()
@@ -253,6 +268,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "seed": args.seed,
                 "db_backend": args.db_backend,
                 "shard_workers": args.shard_workers,
+                "envelope_codec": args.envelope_codec,
                 "deferred_width_recalc": not args.eager_width
                 and not args.reference_width,
                 "reference_width": args.reference_width or None,

@@ -44,7 +44,9 @@ from repro.perf import set_default_workers
 from repro.experiments.scales import PAPER_LAMBDAS, SCALES, get_scale
 from repro.experiments.threshold_sweep import run_threshold_sweep
 from repro.salad.salad import (
+    ENVELOPE_CODECS,
     set_detailed_metrics,
+    set_envelope_codec,
     set_trace_invariants,
     validate_shard_workers,
 )
@@ -248,6 +250,14 @@ def main(argv: List[str] = None) -> int:
         "to the single-process engine, so results are unchanged",
     )
     parser.add_argument(
+        "--envelope-codec",
+        choices=ENVELOPE_CODECS,
+        default=None,
+        help="cross-shard envelope wire format for sharded runs (default: "
+        "binary, the compact struct-packed codec; pickle reproduces the "
+        "pre-codec cost model -- traces are identical either way)",
+    )
+    parser.add_argument(
         "--db-backend",
         choices=sorted(BACKENDS),
         default="memory",
@@ -289,6 +299,8 @@ def main(argv: List[str] = None) -> int:
         except (TypeError, ValueError) as exc:
             parser.error(str(exc))
     set_default_workers(args.workers)
+    if args.envelope_codec is not None:
+        set_envelope_codec(args.envelope_codec)
     # Session default so every Salad built anywhere in the run (including
     # experiments that build their own) picks up the chosen backend; the
     # database-centric experiments additionally get it threaded explicitly.
@@ -344,6 +356,7 @@ def main(argv: List[str] = None) -> int:
                 "experiments": ",".join(names),
                 "workers": args.workers,
                 "shard_workers": args.shard_workers,
+                "envelope_codec": args.envelope_codec,
                 "db_backend": args.db_backend,
                 "trace_invariants": args.trace_invariants or None,
             },

@@ -247,17 +247,31 @@ def summary_table(report: dict, top_counters: int = 20) -> str:
 
     shards = report.get("shards")
     if shards:
-        lines.append(f"shards: {len(shards)} worker registries merged")
+        total_exchange = sum(
+            _shard_counter(entry, "salad.sharded.exchange_bytes") for entry in shards
+        )
+        header = f"shards: {len(shards)} worker registries merged"
+        if total_exchange:
+            header += f"  exchange_bytes={total_exchange:,}"
+        lines.append(header)
         for entry in shards:
+            parts: List[str] = []
             worker_phases = entry.get("phases")
-            if not worker_phases:
-                continue
-            busiest = sorted(worker_phases, key=lambda p: -p["seconds"])[:3]
-            rendered = "  ".join(
-                f"{p['name']}={p['seconds']:.3f}s" for p in busiest
-            )
-            lines.append(f"  shard {entry.get('shard')}: {rendered}")
+            if worker_phases:
+                busiest = sorted(worker_phases, key=lambda p: -p["seconds"])[:3]
+                parts.extend(f"{p['name']}={p['seconds']:.3f}s" for p in busiest)
+            exchange = _shard_counter(entry, "salad.sharded.exchange_bytes")
+            if exchange:
+                parts.append(f"exchange_bytes={exchange:,}")
+            if parts:
+                lines.append(f"  shard {entry.get('shard')}: {'  '.join(parts)}")
     return "\n".join(lines)
+
+
+def _shard_counter(shard_entry: dict, name: str) -> int:
+    """Sum a counter's value across a shard's registry dump (0 if absent)."""
+    counters = (shard_entry.get("metrics") or {}).get("counters", [])
+    return sum(e.get("value", 0) for e in counters if e.get("name") == name)
 
 
 def _entry_name(entry: dict) -> str:

@@ -1,0 +1,694 @@
+"""Compact binary wire codec for cross-shard envelope frames.
+
+The sharded engine (:mod:`repro.salad.sharded`) originally shipped each
+window's cross-shard messages as one pickled
+:class:`~repro.salad.protocol.ShardEnvelope` per (source, target) pair.
+Pickle is general but pays for that generality twice on the exchange hot
+path: the byte stream carries full class/module names and memo machinery,
+and both ends run the generic pickle VM.  Every field of a SALAD message is
+actually fixed-width -- identifiers are ``IDENTIFIER_BITS``-bit integers,
+fingerprints encode to exactly :data:`~repro.core.fingerprint.
+FINGERPRINT_BYTES` bytes, route-key elements fit in 64 bits -- so this
+module packs messages with :mod:`struct` instead and keeps pickle only as a
+per-message fallback for anything outside those bounds.
+
+Frame layout (little-endian)::
+
+    magic    4s   b"SEnv"
+    version  u8   FRAME_VERSION
+    flags    u8   FLAG_FINAL | FLAG_PICKLED_BODY
+    source   u16  sending shard
+    window   u32  exchange-round sequence number (not a float timestamp:
+                  every worker sees the same step sequence, so an integer
+                  index identifies the delivery window exactly)
+    count    u32  messages in the body
+    body_len u32  length of the body in bytes
+    crc      u32  zlib.crc32 of the body
+    body     body_len bytes
+
+A FINAL-flagged frame is the rendezvous marker of the overlapped exchange:
+it tells the receiver "you now hold everything I will ever send you for
+this window".  Empty FINAL frames are legal (and common -- quiescing
+shards still rendezvous every window).
+
+Body: a sequence of ``count`` message records.  Each starts with a one-byte
+kind code -- an index into :data:`~repro.salad.protocol.ALL_KINDS`, or
+:data:`KIND_PICKLED` (0xFF) when the message fell back to pickle::
+
+    kind          u8
+    key_len       u8       elements in the delivery sort key
+    key           key_len * varint (unsigned LEB128)
+    sender        ID_BYTES big-endian
+    recipient     ID_BYTES big-endian
+    payload       kind-specific (see the per-kind encoders below)
+
+Route-key elements, hop counts, and batch lengths are unsigned LEB128
+varints rather than fixed u64/u32: they are almost always tiny (per-hop
+send sequence numbers, sub-ten hop counts), and a fixed 8-byte slot per
+key element would hand the byte-count win straight back to pickle's
+compact small-int opcodes.  Values outside ``[0, 2**64)`` take the
+pickle fallback, matching the old fixed-width contract.
+
+Record entries (RECORD and RECORD_BATCH payloads) are interned per frame:
+a record routed through several hops in one window appears in many
+messages of the same frame, and pickle's object memo collapsed those
+repeats to 3-byte refs -- a naive fixed-width encoding re-paying 48 bytes
+per occurrence would lose the byte-count comparison outright.  Each entry
+starts with a varint: ``0`` introduces a new record (fingerprint +
+location follow, appended to the frame's record table), ``k > 0`` refers
+to table entry ``k - 1``.  The table is keyed by value (fingerprint
+bytes, location), resets at every frame boundary, and rolls back the
+additions of any message that falls back to pickle, so backref indices
+always match what is actually on the wire.
+
+The ``codec="pickle"`` encoder mode reproduces the original transport cost
+model -- the whole message list is pickled at frame time into a
+FLAG_PICKLED_BODY body under the same header and CRC -- so byte counts and
+serialization spans of the two codecs are directly comparable and the
+corruption checks cover both.
+
+Corruption surfaces as typed errors (:class:`TruncatedFrameError`,
+:class:`FrameChecksumError`, :class:`CodecVersionError` -- all
+:class:`EnvelopeCodecError`), never as garbage messages: the CRC is checked
+before any body byte is interpreted.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.fingerprint import FINGERPRINT_BYTES, Fingerprint
+from repro.salad.protocol import (
+    ALL_KINDS,
+    DEPARTURE,
+    JOIN,
+    LEAF_REQUEST,
+    LEAF_RESPONSE,
+    MATCH,
+    RECORD,
+    RECORD_BATCH,
+    REFRESH,
+    WELCOME,
+    WELCOME_ACK,
+    JoinPayload,
+    MatchPayload,
+)
+from repro.salad.records import SaladRecord
+from repro.salad.salad import IDENTIFIER_BITS
+
+MAGIC = b"SEnv"
+FRAME_VERSION = 1
+
+FLAG_FINAL = 0x01
+FLAG_PICKLED_BODY = 0x02
+
+#: Machine identifiers are IDENTIFIER_BITS-bit integers; 20 bytes at the
+#: paper's 160-bit identifier space.
+ID_BYTES = (IDENTIFIER_BITS + 7) // 8
+
+#: Kind code marking a message that fell back to pickle (the whole
+#: ``(key, sender, recipient, kind, payload)`` tuple is pickled).
+KIND_PICKLED = 0xFF
+
+_KIND_CODE: Dict[str, int] = {kind: code for code, kind in enumerate(ALL_KINDS)}
+
+_HEADER = struct.Struct("<4sBBHIIII")
+HEADER_BYTES = _HEADER.size
+
+_U32 = struct.Struct("<I")
+
+CODEC_BINARY = "binary"
+CODEC_PICKLE = "pickle"
+CODECS = (CODEC_BINARY, CODEC_PICKLE)
+
+
+class EnvelopeCodecError(ValueError):
+    """A frame failed to decode (corruption, truncation, or bad version)."""
+
+
+class TruncatedFrameError(EnvelopeCodecError):
+    """The frame ends before its declared length."""
+
+
+class FrameChecksumError(EnvelopeCodecError):
+    """The body does not match the frame's CRC32."""
+
+
+class CodecVersionError(EnvelopeCodecError):
+    """The frame was written by an incompatible codec version."""
+
+
+# ----------------------------------------------------------------------
+# per-kind payload encoders
+# ----------------------------------------------------------------------
+
+class _Unencodable(Exception):
+    """Internal: this message needs the pickle fallback."""
+
+
+def _enc_varint_into(buf: bytearray, value: int) -> None:
+    # Unsigned LEB128, appended in place.  The contract matches a fixed
+    # u64 slot: negatives and values >= 2**64 route to the pickle
+    # fallback.  Callers roll the buffer back wholesale on fallback, so a
+    # partial append never reaches the wire.
+    if value < 0 or value >= 1 << 64:
+        raise _Unencodable
+    while value >= 0x80:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def _dec_varint(body: bytes, offset: int) -> Tuple[int, int]:
+    # Single-byte values dominate (send sequences, hop counts), so they
+    # skip the accumulation loop entirely.
+    if offset >= len(body):
+        raise TruncatedFrameError(
+            f"message record overruns frame body at offset {offset}"
+        )
+    byte = body[offset]
+    if byte < 0x80:
+        return byte, offset + 1
+    result = byte & 0x7F
+    shift = 7
+    offset += 1
+    while True:
+        _need(body, offset, 1)
+        byte = body[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if result >= 1 << 64:
+                raise EnvelopeCodecError("varint exceeds 64 bits")
+            return result, offset
+        shift += 7
+        if shift >= 64:
+            raise EnvelopeCodecError("varint exceeds 64 bits")
+
+
+def _enc_id(value: int) -> bytes:
+    # int.to_bytes raises OverflowError for negatives and out-of-range
+    # values; both route to the pickle fallback.
+    return value.to_bytes(ID_BYTES, "big")
+
+
+class _FrameInterner:
+    """Per-frame record table: (fingerprint bytes, location) -> index.
+
+    Indices are assigned in insertion order, matching the order "new
+    record" entries appear on the wire, so the decoder can rebuild the
+    table by appending.  :meth:`rollback` undoes the tail additions of a
+    message that fell back to pickle mid-encode.
+    """
+
+    __slots__ = ("_index",)
+
+    def __init__(self):
+        self._index: Dict[Tuple[bytes, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, key: Tuple[bytes, int]) -> Optional[int]:
+        return self._index.get(key)
+
+    def add(self, key: Tuple[bytes, int]) -> None:
+        self._index[key] = len(self._index)
+
+    def rollback(self, size: int) -> None:
+        while len(self._index) > size:
+            self._index.popitem()  # LIFO: exactly the entries past *size*
+
+    def reset(self) -> None:
+        self._index.clear()
+
+
+def _enc_record_entry(
+    buf: bytearray, record: SaladRecord, hops: int, intern: _FrameInterner
+) -> None:
+    if type(record) is not SaladRecord:
+        raise _Unencodable
+    fp = record.fingerprint.to_bytes()
+    key = (fp, record.location)
+    index = intern.get(key)
+    if index is not None:
+        index += 1
+        if index < 0x80:
+            buf.append(index)
+        else:
+            _enc_varint_into(buf, index)
+    else:
+        buf.append(0)
+        buf += fp
+        buf += _enc_id(record.location)
+        # Safe to intern before *hops* encodes: a fallback truncates the
+        # buffer and rolls the intern table back to the message start.
+        intern.add(key)
+    if type(hops) is int and 0 <= hops < 0x80:
+        buf.append(hops)
+    else:
+        _enc_varint_into(buf, hops)
+
+
+def _enc_record(buf: bytearray, payload: Any, intern: _FrameInterner) -> None:
+    record, hops = payload  # RECORD payload is a (record, hops) pair
+    _enc_record_entry(buf, record, hops, intern)
+
+
+def _enc_record_batch(buf: bytearray, payload: Any, intern: _FrameInterner) -> None:
+    _enc_varint_into(buf, len(payload))
+    for record, hops in payload:
+        _enc_record_entry(buf, record, hops, intern)
+
+
+def _enc_join(buf: bytearray, payload: Any, intern: _FrameInterner) -> None:
+    if type(payload) is not JoinPayload:
+        raise _Unencodable
+    buf += _enc_id(payload.sender)
+    buf += _enc_id(payload.new_leaf)
+
+
+def _enc_leaf_response(buf: bytearray, payload: Any, intern: _FrameInterner) -> None:
+    _enc_varint_into(buf, len(payload))
+    for identifier in payload:
+        buf += _enc_id(identifier)
+
+
+def _enc_match(buf: bytearray, payload: Any, intern: _FrameInterner) -> None:
+    if type(payload) is not MatchPayload:
+        raise _Unencodable
+    buf += payload.fingerprint.to_bytes()
+    buf += _enc_id(payload.other_machine)
+
+
+def _enc_none(buf: bytearray, payload: Any, intern: _FrameInterner) -> None:
+    if payload is not None:
+        raise _Unencodable
+
+
+_PAYLOAD_ENCODERS: Dict[str, Callable[[bytearray, Any, _FrameInterner], None]] = {
+    RECORD: _enc_record,
+    RECORD_BATCH: _enc_record_batch,
+    JOIN: _enc_join,
+    WELCOME: _enc_none,
+    WELCOME_ACK: _enc_none,
+    LEAF_REQUEST: _enc_none,
+    LEAF_RESPONSE: _enc_leaf_response,
+    DEPARTURE: _enc_none,
+    REFRESH: _enc_none,
+    MATCH: _enc_match,
+}
+
+#: Everything that routes a message to the pickle fallback: unknown kind
+#: (KeyError), out-of-range integers (OverflowError/struct.error), payload
+#: shape surprises (TypeError/ValueError/AttributeError/_Unencodable).
+_FALLBACK_ERRORS = (
+    _Unencodable,
+    KeyError,
+    AttributeError,
+    OverflowError,
+    TypeError,
+    ValueError,
+    struct.error,
+)
+
+
+def _encode_binary_into(
+    buf: bytearray,
+    key: Tuple[int, ...],
+    sender: int,
+    recipient: int,
+    kind: str,
+    payload: Any,
+    intern: _FrameInterner,
+) -> None:
+    code = _KIND_CODE[kind]
+    n = len(key)
+    if n > 0xFF:
+        raise _Unencodable
+    buf.append(code)
+    buf.append(n)
+    for element in key:
+        # Key elements are per-hop send sequences, almost always < 128.
+        if type(element) is int and 0 <= element < 0x80:
+            buf.append(element)
+        else:
+            _enc_varint_into(buf, element)
+    buf += _enc_id(sender)
+    buf += _enc_id(recipient)
+    _PAYLOAD_ENCODERS[kind](buf, payload, intern)
+
+
+def _encode_pickled(message: tuple) -> bytes:
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return struct.pack("<BI", KIND_PICKLED, len(blob)) + blob
+
+
+# ----------------------------------------------------------------------
+# encoder
+# ----------------------------------------------------------------------
+
+class EnvelopeEncoder:
+    """Incremental per-peer frame builder for the overlapped exchange.
+
+    Handlers emit cross-shard messages one at a time; :meth:`add` serializes
+    each immediately (binary mode), so by the time the window barrier
+    arrives the frame body is already bytes and :meth:`take_frame` only
+    joins and stamps a header -- serialization overlaps computation instead
+    of extending the barrier.
+
+    In ``pickle`` mode messages are staged raw and the whole list is
+    pickled at frame time, reproducing the pre-codec transport's cost
+    profile for honest byte/time comparisons.
+
+    Lifetime telemetry (never reset by :meth:`take_frame`):
+    ``messages_total``, ``pickled_total``, ``encode_seconds``.
+    """
+
+    __slots__ = (
+        "codec",
+        "count",
+        "messages_total",
+        "pickled_total",
+        "encode_seconds",
+        "_buf",
+        "_staged",
+        "_intern",
+    )
+
+    def __init__(self, codec: str = CODEC_BINARY):
+        if codec not in CODECS:
+            raise ValueError(f"unknown envelope codec {codec!r} (use one of {CODECS})")
+        self.codec = codec
+        #: Messages currently staged for the next frame.
+        self.count = 0
+        self.messages_total = 0
+        self.pickled_total = 0
+        self.encode_seconds = 0.0
+        #: Binary mode serializes straight into one growing frame body --
+        #: no per-message byte strings to allocate and join at frame time.
+        self._buf = bytearray()
+        self._staged: List[tuple] = []
+        self._intern = _FrameInterner()
+
+    def add(
+        self,
+        key: Tuple[int, ...],
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any,
+    ) -> None:
+        """Stage one message, serializing it now in binary mode."""
+        if self.codec == CODEC_BINARY:
+            start = perf_counter()
+            buf = self._buf
+            mark = len(buf)
+            interned = len(self._intern)
+            try:
+                _encode_binary_into(
+                    buf, key, sender, recipient, kind, payload, self._intern
+                )
+            except _FALLBACK_ERRORS:
+                # Drop the partial message and any records it interned:
+                # neither reached the wire, so backrefs must not see them.
+                del buf[mark:]
+                self._intern.rollback(interned)
+                buf += _encode_pickled((key, sender, recipient, kind, payload))
+                self.pickled_total += 1
+            self.encode_seconds += perf_counter() - start
+        else:
+            self._staged.append((key, sender, recipient, kind, payload))
+        self.count += 1
+        self.messages_total += 1
+
+    def take_frame(
+        self, source_shard: int, window: int, final: bool = False
+    ) -> Optional[bytes]:
+        """The staged messages as one framed byte string, resetting the stage.
+
+        Returns ``None`` when nothing is staged and *final* is false (no
+        frame needed); a FINAL frame is always produced, even empty -- it is
+        the rendezvous marker.
+        """
+        if not self.count and not final:
+            return None
+        start = perf_counter()
+        flags = FLAG_FINAL if final else 0
+        if self.codec == CODEC_BINARY:
+            body = bytes(self._buf)
+            self._buf.clear()
+            self._intern.reset()  # backrefs never cross a frame boundary
+        else:
+            flags |= FLAG_PICKLED_BODY
+            body = pickle.dumps(self._staged, protocol=pickle.HIGHEST_PROTOCOL)
+            self.pickled_total += self.count
+            self._staged = []
+        count, self.count = self.count, 0
+        frame = (
+            _HEADER.pack(
+                MAGIC,
+                FRAME_VERSION,
+                flags,
+                source_shard,
+                window,
+                count,
+                len(body),
+                zlib.crc32(body),
+            )
+            + body
+        )
+        self.encode_seconds += perf_counter() - start
+        return frame
+
+
+# ----------------------------------------------------------------------
+# decoder
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """One decoded exchange frame."""
+
+    source_shard: int
+    window: int
+    final: bool
+    messages: List[tuple]
+
+
+def _need(body: bytes, offset: int, length: int) -> None:
+    if offset + length > len(body):
+        raise TruncatedFrameError(
+            f"message record overruns frame body at offset {offset}"
+        )
+
+
+def _dec_id(body: bytes, offset: int) -> int:
+    return int.from_bytes(body[offset:offset + ID_BYTES], "big")
+
+
+def _dec_record_entry(
+    body: bytes, offset: int, records: List[SaladRecord]
+) -> Tuple[Tuple[SaladRecord, int], int]:
+    # Ref and hops are single-byte varints in the overwhelming common
+    # case; read them inline and fall back to _dec_varint for the rest.
+    body_len = len(body)
+    if offset >= body_len:
+        raise TruncatedFrameError(
+            f"message record overruns frame body at offset {offset}"
+        )
+    ref = body[offset]
+    if ref < 0x80:
+        offset += 1
+    else:
+        ref, offset = _dec_varint(body, offset)
+    if ref:
+        if ref > len(records):
+            raise EnvelopeCodecError(
+                f"record backref {ref} beyond the frame's {len(records)}-entry table"
+            )
+        record = records[ref - 1]
+    else:
+        _need(body, offset, FINGERPRINT_BYTES + ID_BYTES)
+        fingerprint = Fingerprint.from_bytes(body[offset:offset + FINGERPRINT_BYTES])
+        offset += FINGERPRINT_BYTES
+        location = _dec_id(body, offset)
+        offset += ID_BYTES
+        record = SaladRecord(fingerprint, location)
+        records.append(record)
+    if offset < body_len:
+        hops = body[offset]
+        if hops < 0x80:
+            return (record, hops), offset + 1
+    hops, offset = _dec_varint(body, offset)
+    return (record, hops), offset
+
+
+def _dec_record(
+    body: bytes, offset: int, records: List[SaladRecord]
+) -> Tuple[Any, int]:
+    return _dec_record_entry(body, offset, records)
+
+
+def _dec_record_batch(
+    body: bytes, offset: int, records: List[SaladRecord]
+) -> Tuple[Any, int]:
+    n, offset = _dec_varint(body, offset)
+    entries = []
+    for _ in range(n):
+        entry, offset = _dec_record_entry(body, offset, records)
+        entries.append(entry)
+    return tuple(entries), offset
+
+
+def _dec_join(body: bytes, offset: int) -> Tuple[Any, int]:
+    _need(body, offset, 2 * ID_BYTES)
+    sender = _dec_id(body, offset)
+    new_leaf = _dec_id(body, offset + ID_BYTES)
+    return JoinPayload(sender, new_leaf), offset + 2 * ID_BYTES
+
+
+def _dec_leaf_response(body: bytes, offset: int) -> Tuple[Any, int]:
+    n, offset = _dec_varint(body, offset)
+    _need(body, offset, n * ID_BYTES)
+    ids = tuple(
+        _dec_id(body, offset + i * ID_BYTES) for i in range(n)
+    )
+    return ids, offset + n * ID_BYTES
+
+
+def _dec_match(body: bytes, offset: int) -> Tuple[Any, int]:
+    _need(body, offset, FINGERPRINT_BYTES + ID_BYTES)
+    fingerprint = Fingerprint.from_bytes(body[offset:offset + FINGERPRINT_BYTES])
+    offset += FINGERPRINT_BYTES
+    return MatchPayload(fingerprint, _dec_id(body, offset)), offset + ID_BYTES
+
+
+def _dec_none(body: bytes, offset: int) -> Tuple[Any, int]:
+    return None, offset
+
+
+#: Decoders for record-carrying kinds additionally take the frame's record
+#: table (see _decode_messages); the rest are (body, offset) -> (payload, offset).
+_RECORD_DECODERS: Dict[
+    str, Callable[[bytes, int, List[SaladRecord]], Tuple[Any, int]]
+] = {
+    RECORD: _dec_record,
+    RECORD_BATCH: _dec_record_batch,
+}
+
+_PAYLOAD_DECODERS: Dict[str, Callable[[bytes, int], Tuple[Any, int]]] = {
+    JOIN: _dec_join,
+    WELCOME: _dec_none,
+    WELCOME_ACK: _dec_none,
+    LEAF_REQUEST: _dec_none,
+    LEAF_RESPONSE: _dec_leaf_response,
+    DEPARTURE: _dec_none,
+    REFRESH: _dec_none,
+    MATCH: _dec_match,
+}
+
+
+def _decode_messages(body: bytes, count: int) -> List[tuple]:
+    messages: List[tuple] = []
+    records: List[SaladRecord] = []  # the frame's record table, in wire order
+    offset = 0
+    body_len = len(body)
+    n_kinds = len(ALL_KINDS)
+    from_bytes = int.from_bytes
+    for _ in range(count):
+        _need(body, offset, 1)
+        code = body[offset]
+        if code == KIND_PICKLED:
+            _need(body, offset + 1, 4)
+            (length,) = _U32.unpack_from(body, offset + 1)
+            offset += 5
+            _need(body, offset, length)
+            messages.append(pickle.loads(body[offset:offset + length]))
+            offset += length
+            continue
+        if code >= n_kinds:
+            raise EnvelopeCodecError(f"unknown message kind code {code:#x}")
+        kind = ALL_KINDS[code]
+        _need(body, offset + 1, 1)
+        key_len = body[offset + 1]
+        offset += 2
+        elements = []
+        for _ in range(key_len):
+            # Inline fast path for the dominant single-byte elements.
+            if offset < body_len:
+                element = body[offset]
+                if element < 0x80:
+                    offset += 1
+                    elements.append(element)
+                    continue
+            element, offset = _dec_varint(body, offset)
+            elements.append(element)
+        key = tuple(elements)
+        _need(body, offset, 2 * ID_BYTES)
+        sender = from_bytes(body[offset:offset + ID_BYTES], "big")
+        offset += ID_BYTES
+        recipient = from_bytes(body[offset:offset + ID_BYTES], "big")
+        offset += ID_BYTES
+        record_decoder = _RECORD_DECODERS.get(kind)
+        if record_decoder is not None:
+            payload, offset = record_decoder(body, offset, records)
+        else:
+            payload, offset = _PAYLOAD_DECODERS[kind](body, offset)
+        messages.append((key, sender, recipient, kind, payload))
+    if offset != len(body):
+        raise EnvelopeCodecError(
+            f"{len(body) - offset} trailing bytes after the last message"
+        )
+    return messages
+
+
+def decode_frame(data: bytes) -> DecodedFrame:
+    """Decode one frame produced by :meth:`EnvelopeEncoder.take_frame`.
+
+    Raises an :class:`EnvelopeCodecError` subclass on any corruption; the
+    CRC is verified before a single body byte is interpreted.
+    """
+    if len(data) < HEADER_BYTES:
+        raise TruncatedFrameError(
+            f"frame shorter than its {HEADER_BYTES}-byte header: {len(data)} bytes"
+        )
+    magic, version, flags, source_shard, window, count, body_len, crc = (
+        _HEADER.unpack_from(data)
+    )
+    if magic != MAGIC:
+        raise EnvelopeCodecError(f"bad frame magic {magic!r}")
+    if version != FRAME_VERSION:
+        raise CodecVersionError(
+            f"frame version {version} unsupported (expected {FRAME_VERSION})"
+        )
+    body = data[HEADER_BYTES:]
+    if len(body) < body_len:
+        raise TruncatedFrameError(
+            f"frame body truncated: {len(body)} of {body_len} bytes"
+        )
+    if len(body) > body_len:
+        raise EnvelopeCodecError(
+            f"{len(body) - body_len} bytes beyond the declared frame body"
+        )
+    if zlib.crc32(body) != crc:
+        raise FrameChecksumError("frame body fails its CRC32 check")
+    if flags & FLAG_PICKLED_BODY:
+        messages = list(pickle.loads(body))
+        if len(messages) != count:
+            raise EnvelopeCodecError(
+                f"pickled body holds {len(messages)} messages, header says {count}"
+            )
+    else:
+        messages = _decode_messages(body, count)
+    return DecodedFrame(
+        source_shard=source_shard,
+        window=window,
+        final=bool(flags & FLAG_FINAL),
+        messages=messages,
+    )

@@ -87,6 +87,48 @@ def resolve_detailed_metrics(value) -> bool:
     return _default_detailed_metrics if value is None else bool(value)
 
 
+#: Cross-shard envelope codecs (see :mod:`repro.salad.envelope_codec`):
+#: "binary" is the struct-packed wire format, "pickle" reproduces the
+#: pre-codec transport for byte/time comparisons.  Trace-identical to each
+#: other -- the codec changes how messages travel, never what they say.
+ENVELOPE_CODECS = ("binary", "pickle")
+
+#: Session default for SaladConfig.envelope_codec = None (the CLI
+#: ``--envelope-codec`` hook; mirrors set_trace_invariants).
+_default_envelope_codec = "binary"
+
+
+def set_envelope_codec(codec: str) -> None:
+    """Set the session-default cross-shard envelope codec.
+
+    Configs whose ``envelope_codec`` is ``None`` resolve to this value when
+    a :class:`~repro.salad.sharded.ShardedSimulation` is constructed.  Only
+    the sharded engine reads the knob -- single-process runs have no
+    envelopes.
+    """
+    validate_envelope_codec(codec)
+    global _default_envelope_codec
+    _default_envelope_codec = codec
+
+
+def resolve_envelope_codec(value) -> str:
+    """``None`` means the session default; anything else is validated."""
+    if value is None:
+        return _default_envelope_codec
+    validate_envelope_codec(value)
+    return value
+
+
+def validate_envelope_codec(value) -> None:
+    """Validate an ``envelope_codec`` knob without resolving it."""
+    if value is None:
+        return
+    if value not in ENVELOPE_CODECS:
+        raise ValueError(
+            f"envelope_codec must be one of {ENVELOPE_CODECS} or None: {value!r}"
+        )
+
+
 def validate_shard_workers(value) -> None:
     """Validate a ``shard_workers`` knob without resolving it.
 
@@ -160,6 +202,12 @@ class SaladConfig:
     #: :func:`repro.salad.sharded.make_salad` honors this knob; constructing
     #: :class:`Salad` directly always runs single-process.
     shard_workers: Optional[int] = None
+    #: Cross-shard envelope wire codec for the sharded engine: "binary"
+    #: (struct-packed, the default) or "pickle" (the pre-codec transport,
+    #: kept for byte/time comparisons).  Trace-identical either way.  None
+    #: = the session default set by :func:`set_envelope_codec`.  Ignored by
+    #: single-process runs.
+    envelope_codec: Optional[str] = None
     #: Trace every message and check protocol invariants at harvest time
     #: (the ``--trace-invariants`` runtime mode; see repro.sim.tracer).
     #: None = the session default set by :func:`set_trace_invariants`.
@@ -177,6 +225,7 @@ class SaladConfig:
     def __post_init__(self) -> None:
         resolve_db_backend(self.db_backend)  # fail fast on unknown names
         validate_shard_workers(self.shard_workers)
+        validate_envelope_codec(self.envelope_codec)
         if self.dimensions < 1:
             raise ValueError(f"dimensions must be >= 1: {self.dimensions}")
         if self.target_redundancy < 1.0:

@@ -16,12 +16,31 @@ assigns each sub-cube to a worker process:
   during window ``t`` is delivered at ``t + latency``, so a barrier per
   window is a conservative synchronization: no worker can receive a message
   for a window that another worker is still producing;
-- at each barrier, cross-shard messages travel as one
-  :class:`~repro.salad.protocol.ShardEnvelope` per (source, target) pair --
-  the RECORD_BATCH aggregation idea applied at the transport layer -- over
-  direct worker-to-worker pipes in a XOR-schedule tournament (partner at
-  step ``k`` is ``shard ^ k``; the lower rank sends first, so every pairwise
-  exchange is deadlock-free).
+- cross-shard messages travel as framed byte envelopes (one logical
+  :class:`~repro.salad.protocol.ShardEnvelope` per (source, target, window),
+  serialized by :mod:`repro.salad.envelope_codec`) over direct
+  worker-to-worker pipes, and the exchange is *overlapped* with local work
+  rather than serialized behind the barrier (see below).
+
+**Overlapped exchange.**  Each worker runs a background *drainer* thread
+that continuously reads its peer pipes, decodes frames, and parks the
+messages by (window, peer); the main thread never blocks on a pipe read.
+Outbound messages are serialized *incrementally* as handlers emit them
+(:class:`~repro.salad.envelope_codec.EnvelopeEncoder` staging per peer),
+and already-staged frames are shipped eagerly -- right after a window's
+delivery finishes and right after each driver command -- as non-FINAL
+frames tagged with the *next* window's sequence number.  At the next step,
+each worker sends one FINAL frame per peer (whatever remains staged, often
+empty) as the rendezvous marker, then waits only for every peer's FINAL
+tag for that window: by then most bytes have long been drained and
+decoded, so the barrier shrinks to a rendezvous on already-staged data.
+The conservative send-at-``t``/deliver-at-``t+latency`` invariant makes
+eager shipping safe: a frame tagged for window ``k+1`` is never *needed*
+until every worker has finished step ``k``, so early arrival only ever
+moves bytes sooner, never reorders delivery (the merged lexicographic key
+sort fully determines delivery order -- keys are globally unique).
+Windows are identified by an integer step sequence number, not the float
+timestamp: every worker sees the same step sequence, so the tag is exact.
 
 **Trace identity.**  The single-process scheduler delivers a window's
 messages in the order they were *sent* during the previous window.  To
@@ -38,13 +57,18 @@ leaf seeds, bootstrap samples), so a sharded run is message-for-message and
 record-for-record identical to the single-process engine --
 ``tests/salad/test_sharded_golden.py`` asserts it.
 
-**Degradation.**  :func:`make_salad` follows the rules of
+**Degradation and failure.**  :func:`make_salad` follows the rules of
 :mod:`repro.perf.parallel`: if worker processes cannot be created in this
 environment (sandbox, resource limits, or a daemonic parent such as a
 ``ParallelMap`` pool worker running a sweep point), construction raises
-:class:`ShardingUnavailable` and the factory silently falls back to the
-single-process engine.  Failures *inside* a worker propagate -- degradation
-hides environmental limits, never bugs.
+:class:`ShardingUnavailable` and the factory falls back to the
+single-process engine with a one-line :class:`RuntimeWarning` naming the
+fallback worker count.  Failures *inside* a worker propagate -- degradation
+hides environmental limits, never bugs.  A worker process that *dies*
+mid-run (crash, OOM kill) raises :class:`ShardWorkerDied` naming the shard
+and window instead of blocking the barrier forever: the coordinator polls
+worker liveness while awaiting replies, and each worker's drainer thread
+detects a peer pipe EOF and reports the lost peer.
 
 Unsupported under sharding (use the single-process engine): network
 partitions, jitter, and direct access to leaf objects.  Loss is supported
@@ -57,25 +81,39 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
+import threading
 import traceback
+import warnings
 from dataclasses import dataclass, replace
+from multiprocessing.connection import wait as _connection_wait
 from operator import itemgetter
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import Span, aggregate_phases, reset_spans, span, take_phases
+from repro.salad.envelope_codec import (
+    CODEC_BINARY,
+    EnvelopeCodecError,
+    EnvelopeEncoder,
+    decode_frame,
+)
 from repro.salad.leaf import SaladLeaf
-from repro.salad.protocol import MatchPayload, ShardEnvelope
+from repro.salad.protocol import MatchPayload
 from repro.salad.records import SaladRecord
 from repro.salad.salad import (
     IDENTIFIER_BITS,
     Salad,
     SaladConfig,
     resolve_detailed_metrics,
+    resolve_envelope_codec,
     resolve_trace_invariants,
     validate_shard_workers,
 )
-from repro.salad.telemetry import harvest_salad_metrics
+from repro.salad.telemetry import (
+    ShardTransportStats,
+    harvest_salad_metrics,
+    harvest_shard_transport_metrics,
+)
 from repro.salad.storage import (
     make_record_store,
     resolve_db_backend,
@@ -87,6 +125,33 @@ from repro.sim.network import MachineTraffic, Message, Network
 
 class ShardingUnavailable(RuntimeError):
     """Worker processes cannot be created in this environment."""
+
+
+class ShardWorkerDied(RuntimeError):
+    """A shard worker process died mid-run (crash, OOM kill, signal).
+
+    Raised by the coordinator instead of blocking a barrier forever; names
+    the dead shard and the window being exchanged when death was detected.
+    """
+
+    def __init__(self, shard: int, window: float):
+        super().__init__(
+            f"shard {shard} worker died (window {window:g}); the sharded run "
+            "cannot continue -- worker state is unrecoverable"
+        )
+        self.shard = shard
+        self.window = window
+
+
+class _PeerConnectionLost(RuntimeError):
+    """Worker-internal: a peer's exchange pipe closed mid-run."""
+
+    def __init__(self, peer: int, window: int):
+        super().__init__(
+            f"peer shard {peer} connection lost (exchange window {window})"
+        )
+        self.peer = peer
+        self.window = window
 
 
 def resolve_shard_workers(value: Optional[int]) -> int:
@@ -122,9 +187,12 @@ class ShardNetwork(Network):
     Inherits delivery (:meth:`Network._deliver`, including the alive and
     partition re-checks and all traffic counters) but replaces scheduling:
     a sent message is appended, with its hierarchical sort key, to the local
-    next-window buffer or to the outbound buffer of the recipient's shard.
-    The worker loop exchanges outbound buffers at each window barrier and
-    calls :meth:`deliver_window` to merge, sort, and deliver.
+    next-window buffer or handed to the recipient shard's
+    :class:`~repro.salad.envelope_codec.EnvelopeEncoder`, which serializes
+    it immediately (binary codec) so outbound bytes accumulate while
+    handlers run.  The worker loop ships staged frames eagerly between
+    barriers, rendezvouses on FINAL frames at each barrier, and calls
+    :meth:`deliver_window` to merge, sort, and deliver.
 
     Counter placement mirrors the single-process engine under summation:
     sender-side counters accrue on the sender's shard, receiver-side (and
@@ -139,6 +207,7 @@ class ShardNetwork(Network):
         scheduler: EventScheduler,
         latency: float,
         loss_seed: str,
+        codec: str = CODEC_BINARY,
     ):
         super().__init__(scheduler=scheduler, latency=latency)
         self.shard = shard
@@ -152,9 +221,13 @@ class ShardNetwork(Network):
         self._route_seq = 0
         #: Messages for the next window that stay on this shard.
         self._local_next: List[Tuple[Tuple[int, ...], Message]] = []
-        #: Messages for the next window bound for each peer shard.
-        self._outbound: Dict[int, List[tuple]] = {
-            peer: [] for peer in range(shards) if peer != shard
+        #: Per-peer incremental frame encoders: a cross-shard send is
+        #: serialized the moment it is emitted (binary codec), so frame
+        #: bodies are ready bytes by the time the barrier arrives.
+        self._outbound: Dict[int, EnvelopeEncoder] = {
+            peer: EnvelopeEncoder(codec)
+            for peer in range(shards)
+            if peer != shard
         }
 
     #: Sort-key root for post-window callbacks: above any driver root
@@ -200,15 +273,33 @@ class ShardNetwork(Network):
         if target == self.shard:
             self._local_next.append((key, Message(sender, recipient, kind, payload)))
         else:
-            self._outbound[target].append((key, sender, recipient, kind, payload))
+            self._outbound[target].add(key, sender, recipient, kind, payload)
 
     def pending_count(self) -> int:
-        return len(self._local_next) + sum(map(len, self._outbound.values()))
+        """Messages buffered locally or staged-but-unshipped for peers.
 
-    def take_outbound(self, peer: int) -> List[tuple]:
-        out = self._outbound[peer]
-        self._outbound[peer] = []
-        return out
+        Frames already shipped eagerly are *not* visible here -- the worker
+        loop tracks those separately (they still count as in-flight for the
+        coordinator's quiescence check until the peers deliver them).
+        """
+        return len(self._local_next) + self.cross_staged()
+
+    def cross_staged(self) -> int:
+        """Messages staged for peer shards but not yet shipped."""
+        return sum(encoder.count for encoder in self._outbound.values())
+
+    def take_frame(
+        self, peer: int, window: int, final: bool = False
+    ) -> Tuple[Optional[bytes], int]:
+        """One serialized frame of *peer*'s staged messages and its count.
+
+        Returns ``(None, 0)`` when nothing is staged and *final* is false;
+        a FINAL frame is produced even when empty (rendezvous marker).
+        """
+        encoder = self._outbound[peer]
+        count = encoder.count
+        frame = encoder.take_frame(self.shard, window, final=final)
+        return frame, count
 
     def deliver_window(self, time: float, incoming: Iterable[tuple]) -> int:
         """Deliver one window: merge local + cross-shard messages by key.
@@ -220,10 +311,10 @@ class ShardNetwork(Network):
         for key, sender, recipient, kind, payload in incoming:
             due.append((key, Message(sender, recipient, kind, payload)))
         due.sort(key=itemgetter(0))
-        # Advance virtual time through the scheduler (it is empty: sharded
-        # sends never schedule events), so handlers reading scheduler.now
-        # see exactly the single-process window timestamp.
-        self.scheduler.run(until=time)
+        # Advance virtual time (the scheduler is empty: sharded sends never
+        # schedule events), so handlers reading scheduler.now see exactly
+        # the single-process window timestamp.
+        self.scheduler.advance_to(time)
         deliver = self._deliver
         self._delivering = True
         try:
@@ -248,6 +339,118 @@ class ShardNetwork(Network):
         )
 
 
+class _ExchangeInbox:
+    """Drainer-thread side of the overlapped exchange.
+
+    A daemon thread continuously waits on the peer pipes, decodes arriving
+    frames off the main thread's critical path, and parks the decoded
+    messages by (window, peer).  :meth:`collect` hands the main thread one
+    window's merged messages, blocking only until every peer's FINAL frame
+    for that window has arrived -- which, with eager shipping, has usually
+    already happened while the main thread was delivering the previous
+    window.
+
+    Thread safety: each duplex peer pipe has exactly one reader (this
+    thread) and one writer (the worker main thread), using opposite pipe
+    directions -- no shared direction, no tournament scheduling needed.
+    A peer pipe EOF (the peer process died) is recorded, not raised, so the
+    main thread gets a precise :class:`_PeerConnectionLost` from
+    :meth:`collect` instead of a blocked barrier.
+    """
+
+    _WAIT_SECONDS = 0.5
+
+    def __init__(self, shard: int, peers: Dict[int, Any]):
+        self._peers = peers
+        self._by_conn = {conn: peer for peer, conn in peers.items()}
+        self._cond = threading.Condition()
+        #: window -> peer -> decoded messages accumulated so far.
+        self._messages: Dict[int, Dict[int, List[tuple]]] = {}
+        #: window -> peers whose FINAL frame for that window has arrived.
+        self._final: Dict[int, Set[int]] = {}
+        self._lost: Set[int] = set()
+        self._error: Optional[str] = None
+        self._stop = False
+        self.bytes_received = 0
+        self.frames_received = 0
+        self._thread = threading.Thread(
+            target=self._drain, name=f"shard{shard}-exchange-drainer", daemon=True
+        )
+        self._thread.start()
+
+    def _drain(self) -> None:
+        conns = list(self._peers.values())
+        while conns and not self._stop:
+            try:
+                ready = _connection_wait(conns, timeout=self._WAIT_SECONDS)
+            except OSError:
+                ready = []
+            for conn in ready:
+                peer = self._by_conn[conn]
+                try:
+                    blob = conn.recv_bytes()
+                except (EOFError, OSError):
+                    conns.remove(conn)
+                    with self._cond:
+                        self._lost.add(peer)
+                        self._cond.notify_all()
+                    continue
+                try:
+                    frame = decode_frame(blob)
+                except EnvelopeCodecError as exc:
+                    with self._cond:
+                        self._error = f"frame from shard {peer} undecodable: {exc}"
+                        self._cond.notify_all()
+                    return
+                with self._cond:
+                    self.bytes_received += len(blob)
+                    self.frames_received += 1
+                    per_peer = self._messages.setdefault(frame.window, {})
+                    per_peer.setdefault(peer, []).extend(frame.messages)
+                    if frame.final:
+                        self._final.setdefault(frame.window, set()).add(peer)
+                        self._cond.notify_all()
+
+    def collect(self, window: int) -> List[tuple]:
+        """Every peer's messages for *window* once all FINAL frames are in.
+
+        Concatenated in ascending peer order (any fixed order works -- the
+        delivery sort keys are globally unique, so the caller's merge sort
+        fully determines delivery order) and removed from the inbox.
+        Raises :class:`_PeerConnectionLost` if a peer died before sending
+        its FINAL frame for this window.
+        """
+        expected = frozenset(self._peers)
+        with self._cond:
+            while True:
+                if self._error is not None:
+                    raise RuntimeError(self._error)
+                finals = self._final.get(window, set())
+                if expected <= finals:
+                    break
+                missing_lost = (self._lost & expected) - finals
+                if missing_lost:
+                    raise _PeerConnectionLost(min(missing_lost), window)
+                self._cond.wait(timeout=self._WAIT_SECONDS)
+            per_peer = self._messages.pop(window, {})
+            self._final.pop(window, None)
+        merged: List[tuple] = []
+        for peer in sorted(per_peer):
+            merged.extend(per_peer[peer])
+        return merged
+
+    def snapshot(self) -> Tuple[int, int]:
+        """(bytes received, frames received) -- consistent pair."""
+        with self._cond:
+            return self.bytes_received, self.frames_received
+
+    def close(self) -> None:
+        self._stop = True
+        with self._cond:
+            self._cond.notify_all()
+        self._thread.join(timeout=2)
+
+
 def _shard_worker_main(
     config: SaladConfig,
     shard: int,
@@ -267,6 +470,7 @@ def _shard_worker_main(
         scheduler=scheduler,
         latency=config.latency,
         loss_seed=loss_seed,
+        codec=resolve_envelope_codec(config.envelope_codec),
     )
     leaves: Dict[int, SaladLeaf] = {}
     backend = resolve_db_backend(config.db_backend)
@@ -283,10 +487,7 @@ def _shard_worker_main(
     # Sharded-only transport telemetry, reported under salad.sharded.* by
     # the ("metrics",) op -- namespaced so the engine-identity comparison
     # can exclude it (the single-process engine has no envelopes).
-    envelopes = 0
-    envelope_messages = 0
-    windows_run = 0
-    envelope_hist = Histogram()
+    transport = ShardTransportStats()
     # Worker-side phase tree: every work op runs under a span, drained and
     # folded into one name-keyed aggregate per command so memory stays
     # O(distinct op kinds) however many windows the run steps through.  The
@@ -312,35 +513,57 @@ def _shard_worker_main(
             name=f"leaf-{identifier:040x}",
         )
 
-    def exchange(window: float) -> List[tuple]:
-        """XOR-tournament pairwise envelope swap with every peer shard.
+    inbox = _ExchangeInbox(shard, peers)
+    peer_order = sorted(peers)
+    # Exchange-round sequence number: increments once per "step" op (every
+    # worker sees the same step sequence, so the integer tags windows
+    # exactly); frames emitted after round k completes are tagged k+1.
+    exchange_round = 0
+    # Messages already shipped eagerly for round exchange_round + 1: gone
+    # from the network's staging but still in flight from the coordinator's
+    # perspective until the peers deliver them, so every pending reply adds
+    # this count.
+    shipped_ahead = 0
+    # encode_seconds/messages already folded into phase_agg by a previous
+    # ("metrics",) op -- the fold ships deltas so repeat harvests never
+    # double-count.
+    reported_encode_seconds = 0.0
+    reported_encoded = 0
 
-        Partner at step k is ``shard ^ k``; partners always meet at the same
-        step (the relation is symmetric), and the lower rank sends first, so
-        each pairwise exchange -- and hence the whole tournament -- is
-        deadlock-free.
+    def ship(window: int, final: bool = False) -> int:
+        """Send staged frames (and FINAL markers) to every peer.
+
+        Returns the number of messages shipped.  Fixed peer order; frame
+        arrival order is irrelevant (the inbox parks by window and peer,
+        and delivery order comes entirely from the key sort).
         """
-        nonlocal envelopes, envelope_messages
-        received: List[tuple] = []
-        for step in range(1, shards):
-            peer = shard ^ step
-            pconn = peers[peer]
-            out = ShardEnvelope(
-                source_shard=shard,
-                window=window,
-                messages=tuple(network.take_outbound(peer)),
-            )
-            envelopes += 1
-            envelope_messages += len(out.messages)
-            envelope_hist.observe(len(out.messages))
-            if shard < peer:
-                pconn.send(out)
-                envelope = pconn.recv()
-            else:
-                envelope = pconn.recv()
-                pconn.send(out)
-            received.extend(envelope.messages)
-        return received
+        shipped = 0
+        for peer in peer_order:
+            frame, count = network.take_frame(peer, window, final=final)
+            if frame is None:
+                continue
+            try:
+                peers[peer].send_bytes(frame)
+            except (BrokenPipeError, OSError):
+                raise _PeerConnectionLost(peer, window) from None
+            transport.envelopes += 1
+            transport.envelope_messages += count
+            transport.envelope_hist.observe(count)
+            transport.exchange_bytes += len(frame)
+            shipped += count
+        return shipped
+
+    def pending() -> int:
+        return network.pending_count() + shipped_ahead
+
+    def cross_pending() -> int:
+        """Cross-shard backlog: staged for peers or already shipped ahead.
+
+        The coordinator sums this across workers; a zero sum proves the
+        next exchange round moves no frame at all, so the step command can
+        skip the rendezvous (``exchange=False``).
+        """
+        return network.cross_staged() + shipped_ahead
 
     while True:
         try:
@@ -351,15 +574,47 @@ def _shard_worker_main(
         try:
             if op == "step":
                 window = command[1]
-                windows_run += 1
+                exchange = command[2]
+                exchange_round += 1
+                transport.windows += 1
                 with span("shard.step") as step_span:
-                    with span("exchange"):
-                        incoming = exchange(window)
+                    if exchange:
+                        # Rendezvous: whatever is still staged goes out as
+                        # the FINAL frame per peer (often empty -- eager
+                        # shipping already moved the bulk), then wait only
+                        # for every peer's FINAL tag.  The drainer has been
+                        # decoding their frames in the background all along.
+                        with span("exchange.finalize"):
+                            ship(exchange_round, final=True)
+                        with span("exchange.wait"):
+                            incoming = inbox.collect(exchange_round)
+                        # The eagerly shipped messages of this round are in
+                        # the peers' hands now (their FINALs arrived after
+                        # them); they stop counting as ours.
+                        shipped_ahead = 0
+                    else:
+                        # The coordinator proved no shard staged or shipped
+                        # anything for this round; no frame exists to wait
+                        # for.  Guard the invariant -- silently skipping a
+                        # round that does hold messages would diverge the
+                        # trace.
+                        if shipped_ahead or network.cross_staged():
+                            raise RuntimeError(
+                                f"shard {shard}: exchange-free step for round "
+                                f"{exchange_round} but cross-shard messages "
+                                "are pending"
+                            )
+                        incoming = ()
                     with span("deliver"):
-                        pending = network.deliver_window(window, incoming)
+                        network.deliver_window(window, incoming)
+                    # Overlap: handler-emitted messages for the next round
+                    # are already serialized bytes -- ship them while peers
+                    # are still delivering.
+                    with span("exchange.eager"):
+                        shipped_ahead = ship(exchange_round + 1)
                     step_span.set_ops(1)
                 drain_phases()
-                conn.send(("ok", pending))
+                conn.send(("ok", pending(), cross_pending()))
             elif op == "add_leaf":
                 _, root, identifier, leaf_seed, bootstrap = command
                 with span("shard.add_leaf", ops=1):
@@ -383,8 +638,11 @@ def _shard_worker_main(
                     )
                     leaves[identifier] = leaf
                     leaf.initiate_join(bootstrap)
+                    # Driver-command sends belong to the next window; ship
+                    # them now so the step's rendezvous finds them staged.
+                    shipped_ahead += ship(exchange_round + 1)
                 drain_phases()
-                conn.send(("ok", network.pending_count()))
+                conn.send(("ok", pending(), cross_pending()))
             elif op == "insert":
                 with span("shard.insert") as insert_span:
                     inserted = 0
@@ -392,21 +650,23 @@ def _shard_worker_main(
                         network.begin_root(root)
                         inserted += leaves[leaf_id].insert_records(records)
                     insert_span.set_ops(inserted)
+                    shipped_ahead += ship(exchange_round + 1)
                 drain_phases()
-                conn.send(("ok", network.pending_count()))
+                conn.send(("ok", pending(), cross_pending()))
             elif op == "depart":
                 _, root, leaf_id = command
                 with span("shard.depart", ops=1):
                     network.begin_root(root)
                     leaves[leaf_id].depart_cleanly()
+                    shipped_ahead += ship(exchange_round + 1)
                 drain_phases()
-                conn.send(("ok", network.pending_count()))
+                conn.send(("ok", pending(), cross_pending()))
             elif op == "fail":
                 with span("shard.fail", ops=len(command[1])):
                     for leaf_id in command[1]:
                         leaves[leaf_id].fail()
                 drain_phases()
-                conn.send(("ok", network.pending_count()))
+                conn.send(("ok", pending(), cross_pending()))
             elif op == "set_loss":
                 network.loss_probability = command[1]
                 conn.send(("ok",))
@@ -456,17 +716,39 @@ def _shard_worker_main(
                 harvest_salad_metrics(
                     registry, leaves.values(), network, config.dimensions
                 )
-                registry.counter("salad.sharded.envelopes").inc(envelopes)
-                registry.counter("salad.sharded.envelope_messages").inc(
-                    envelope_messages
+                transport.exchange_bytes_received, transport.frames_received = (
+                    inbox.snapshot()
                 )
-                registry.counter("salad.sharded.windows").inc(windows_run)
-                registry.histogram("salad.sharded.envelope_size").merge_from(
-                    envelope_hist
+                transport.pickled_messages = sum(
+                    encoder.pickled_total
+                    for encoder in network._outbound.values()
                 )
+                harvest_shard_transport_metrics(registry, transport)
                 if tracer is not None:
                     tracer.feed_registry(registry, leaves, config.dimensions)
                 drain_phases()
+                # Serialization happens inside EnvelopeEncoder, outside any
+                # span (during handlers and ship calls); fold the accrued
+                # time into the phase tree as a synthetic root span, delta
+                # since the last harvest so repeat harvests never
+                # double-count.
+                encode_seconds = sum(
+                    e.encode_seconds for e in network._outbound.values()
+                )
+                encoded = sum(
+                    e.messages_total for e in network._outbound.values()
+                )
+                if (
+                    encode_seconds > reported_encode_seconds
+                    or encoded > reported_encoded
+                ):
+                    serialize = Span(
+                        "exchange.serialize", ops=encoded - reported_encoded
+                    )
+                    serialize.seconds = encode_seconds - reported_encode_seconds
+                    aggregate_phases([serialize], phase_agg)
+                    reported_encode_seconds = encode_seconds
+                    reported_encoded = encoded
                 phases = [
                     phase_agg[name].to_dict() for name in sorted(phase_agg)
                 ]
@@ -481,12 +763,22 @@ def _shard_worker_main(
             else:
                 conn.send(("error", f"unknown command {op!r}"))
                 break
+        except _PeerConnectionLost as exc:
+            # A peer's process died: tell the coordinator *which* shard is
+            # gone (it maps this to ShardWorkerDied) instead of dressing a
+            # neighbour's death up as our own failure.
+            try:
+                conn.send(("peer_lost", exc.peer, exc.window))
+            except Exception:
+                pass
+            break
         except BaseException:
             try:
                 conn.send(("error", traceback.format_exc()))
             except Exception:
                 pass
             break
+    inbox.close()
     conn.close()
 
 
@@ -531,6 +823,7 @@ class ShardedSimulation:
             config,
             trace_invariants=resolve_trace_invariants(config.trace_invariants),
             detailed_metrics=resolve_detailed_metrics(config.detailed_metrics),
+            envelope_codec=resolve_envelope_codec(config.envelope_codec),
         )
         self.config = config
         self.shards = resolved
@@ -552,6 +845,13 @@ class ShardedSimulation:
         #: (list of span dicts per shard, shard order).
         self.worker_phases: List[List[dict]] = []
         self._buffered = [0] * resolved
+        #: Per-shard cross-shard backlog (staged for peers or already
+        #: shipped eagerly) from each worker's latest reply.  When the sum
+        #: is zero, no frame can exist for the next exchange round, so the
+        #: step broadcast tells workers to skip the rendezvous entirely --
+        #: intra-cell replication traffic never crosses shards, so many
+        #: settling windows are exchange-free.
+        self._cross = [0] * resolved
         self._procs: List[Any] = []
         self._conns: List[Any] = []
         try:
@@ -594,24 +894,61 @@ class ShardedSimulation:
     # worker protocol
     # ------------------------------------------------------------------
 
+    #: How often the coordinator re-checks worker liveness while awaiting
+    #: a reply.  A dead worker can never reply, so without this poll a
+    #: crashed shard would hang the barrier forever.
+    _LIVENESS_POLL_SECONDS = 0.1
+
+    def _dead_worker(self) -> Optional[int]:
+        for shard, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                return shard
+        return None
+
     def _reply(self, shard: int) -> tuple:
+        conn = self._conns[shard]
+        while True:
+            try:
+                if conn.poll(self._LIVENESS_POLL_SECONDS):
+                    break
+            except (OSError, EOFError):
+                break  # surfaced as EOFError by the recv below
+            # Any dead worker stalls every barrier (peers wait on its
+            # frames), so check them all, not just the awaited shard.
+            dead = self._dead_worker()
+            if dead is not None and not conn.poll(0):
+                self.close()
+                raise ShardWorkerDied(dead, self.now)
         try:
-            reply = self._conns[shard].recv()
+            reply = conn.recv()
         except EOFError:
             self.close()
-            raise RuntimeError(f"shard {shard} worker died unexpectedly") from None
+            raise ShardWorkerDied(shard, self.now) from None
+        if reply[0] == "peer_lost":
+            # The worker detected a dead peer via pipe EOF; the *peer* is
+            # the failure, this worker was the messenger.
+            peer = reply[1]
+            self.close()
+            raise ShardWorkerDied(peer, self.now)
         if reply[0] == "error":
             self.close()
             raise RuntimeError(f"shard {shard} worker failed:\n{reply[1]}")
         return reply
 
+    def _send_command(self, shard: int, command: tuple) -> None:
+        try:
+            self._conns[shard].send(command)
+        except (BrokenPipeError, OSError):
+            self.close()
+            raise ShardWorkerDied(shard, self.now) from None
+
     def _request(self, shard: int, command: tuple) -> tuple:
-        self._conns[shard].send(command)
+        self._send_command(shard, command)
         return self._reply(shard)
 
     def _broadcast(self, command: tuple) -> List[tuple]:
-        for conn in self._conns:
-            conn.send(command)
+        for shard in range(self.shards):
+            self._send_command(shard, command)
         return [self._reply(shard) for shard in range(self.shards)]
 
     def _next_root(self) -> int:
@@ -654,6 +991,7 @@ class ShardedSimulation:
             shard, ("add_leaf", self._next_root(), identifier, leaf_seed, bootstrap)
         )
         self._buffered[shard] = reply[1]
+        self._cross[shard] = reply[2]
         self._order.append(identifier)
         self._alive[identifier] = True
         # The pre-join snapshot plus the newcomer is the new alive list
@@ -678,6 +1016,7 @@ class ShardedSimulation:
         shard = identifier & self._mask
         reply = self._request(shard, ("depart", self._next_root(), identifier))
         self._buffered[shard] = reply[1]
+        self._cross[shard] = reply[2]
         self._alive[identifier] = False
         self._alive_list = None
         if settle:
@@ -727,9 +1066,11 @@ class ShardedSimulation:
             self._alive[identifier] = False
         self._alive_list = None
         for shard, ids in per_shard.items():
-            self._conns[shard].send(("fail", ids))
+            self._send_command(shard, ("fail", ids))
         for shard in per_shard:
-            self._buffered[shard] = self._reply(shard)[1]
+            reply = self._reply(shard)
+            self._buffered[shard] = reply[1]
+            self._cross[shard] = reply[2]
         return len(chosen)
 
     # ------------------------------------------------------------------
@@ -760,9 +1101,11 @@ class ShardedSimulation:
             )
             inserted += len(batch)
         for shard, batches in per_shard.items():
-            self._conns[shard].send(("insert", batches))
+            self._send_command(shard, ("insert", batches))
         for shard in per_shard:
-            self._buffered[shard] = self._reply(shard)[1]
+            reply = self._reply(shard)
+            self._buffered[shard] = reply[1]
+            self._cross[shard] = reply[2]
         if settle:
             self.run()
             self._broadcast(("flush",))
@@ -800,8 +1143,11 @@ class ShardedSimulation:
         windows = 0
         while any(self._buffered):
             self.now += self.config.latency
-            replies = self._broadcast(("step", self.now))
+            # Exchange-free windows (no shard staged or shipped anything
+            # cross-shard) skip the FINAL-frame rendezvous outright.
+            replies = self._broadcast(("step", self.now, any(self._cross)))
             self._buffered = [reply[1] for reply in replies]
+            self._cross = [reply[2] for reply in replies]
             windows += 1
         return windows
 
@@ -949,10 +1295,12 @@ def make_salad(config: SaladConfig, network=None, workers: Optional[int] = None)
     """Engine factory: sharded when requested and possible, else Salad.
 
     Follows :mod:`repro.perf.parallel`'s degradation rules: a resolved
-    worker count of 1, an explicit *network* (single-process by definition),
-    or any environmental failure to start workers falls back to the
-    single-process engine, which is observably identical on deterministic
-    workloads.
+    worker count of 1 and an explicit *network* (single-process by
+    definition) silently select the single-process engine; an environmental
+    failure to start workers falls back to it too, but with a
+    :class:`RuntimeWarning` naming the worker count that was requested --
+    the run is observably identical on deterministic workloads, just not
+    parallel, and a silent fallback would quietly eat the speedup.
     """
     resolved = resolve_shard_workers(
         config.shard_workers if workers is None else workers
@@ -961,5 +1309,11 @@ def make_salad(config: SaladConfig, network=None, workers: Optional[int] = None)
         return Salad(config, network=network)
     try:
         return ShardedSimulation(config, workers=resolved)
-    except ShardingUnavailable:
+    except ShardingUnavailable as exc:
+        warnings.warn(
+            f"sharding unavailable ({exc}); running single-process instead "
+            f"of {resolved} shard workers",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return Salad(config)

@@ -19,9 +19,10 @@ counters, so the counter-identity contract stays exact.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import Histogram, MetricsRegistry
 
 
 def harvest_salad_metrics(
@@ -113,4 +114,52 @@ def harvest_salad_metrics(
         network.messages_delivered
     )
     registry.counter("salad.network.messages_dropped").inc(network.messages_dropped)
+    return registry
+
+
+@dataclass
+class ShardTransportStats:
+    """One worker's cross-shard exchange accounting, harvest-time snapshot.
+
+    The worker keeps these as plain attributes on its hot path (frames and
+    byte counts bump ints; the histogram observes one value per frame) and
+    snapshots them into a registry only when the ``("metrics",)`` op runs.
+    """
+
+    envelopes: int = 0  # frames sent
+    envelope_messages: int = 0  # messages inside sent frames
+    windows: int = 0  # exchange rounds this worker stepped through
+    exchange_bytes: int = 0  # serialized frame bytes sent
+    exchange_bytes_received: int = 0  # frame bytes drained from peers
+    frames_received: int = 0
+    pickled_messages: int = 0  # messages that took the pickle fallback
+    envelope_hist: Histogram = field(default_factory=Histogram)
+
+
+def harvest_shard_transport_metrics(
+    registry: MetricsRegistry, transport: ShardTransportStats
+) -> MetricsRegistry:
+    """Registry entries for one shard's transport stats; returns *registry*.
+
+    Everything lands under ``salad.sharded.*`` -- the namespace only the
+    multi-process engine populates, which the golden-trace identity
+    comparison excludes (the single-process engine has no envelopes; see
+    ``tests/salad/test_sharded_golden.py``).
+    """
+    registry.counter("salad.sharded.envelopes").inc(transport.envelopes)
+    registry.counter("salad.sharded.envelope_messages").inc(
+        transport.envelope_messages
+    )
+    registry.counter("salad.sharded.windows").inc(transport.windows)
+    registry.counter("salad.sharded.exchange_bytes").inc(transport.exchange_bytes)
+    registry.counter("salad.sharded.exchange_bytes_received").inc(
+        transport.exchange_bytes_received
+    )
+    registry.counter("salad.sharded.frames_received").inc(transport.frames_received)
+    registry.counter("salad.sharded.codec.pickled_messages").inc(
+        transport.pickled_messages
+    )
+    registry.histogram("salad.sharded.envelope_size").merge_from(
+        transport.envelope_hist
+    )
     return registry

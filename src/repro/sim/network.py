@@ -167,7 +167,6 @@ class Network:
 
     def send(self, sender: int, recipient: int, kind: str, payload: Any) -> None:
         """Send a message; delivery is scheduled on the event loop."""
-        message = Message(sender=sender, recipient=recipient, kind=kind, payload=payload)
         traffic = self.traffic.get(sender)
         if traffic is None:
             traffic = self.traffic[sender] = MachineTraffic()
@@ -193,6 +192,9 @@ class Network:
             traffic.dropped_to += 1
             self.messages_dropped += 1
             return
+        # Built only for surviving messages: a dropped send never needs the
+        # object, and this runs once per send on the simulator's hottest path.
+        message = Message(sender=sender, recipient=recipient, kind=kind, payload=payload)
         if self.batch_delivery:
             # One scheduler event per delivery timestep: queue the message
             # on its timestamp's batch; the first message of a timestep

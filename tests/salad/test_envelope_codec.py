@@ -1,0 +1,337 @@
+"""Round-trip and corruption matrix for the binary envelope codec.
+
+The codec carries the sharded engine's cross-shard traffic, so two
+properties are load-bearing: every encodable message must round-trip
+*exactly* (trace identity depends on it), and every corruption must fail
+with a typed error before any body byte is believed (the CRC gates body
+interpretation).
+"""
+
+import pickle
+import struct
+
+import pytest
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad.envelope_codec import (
+    CODEC_BINARY,
+    CODEC_PICKLE,
+    FLAG_FINAL,
+    FRAME_VERSION,
+    HEADER_BYTES,
+    KIND_PICKLED,
+    MAGIC,
+    CodecVersionError,
+    DecodedFrame,
+    EnvelopeCodecError,
+    EnvelopeEncoder,
+    FrameChecksumError,
+    TruncatedFrameError,
+    decode_frame,
+)
+from repro.salad.protocol import (
+    ALL_KINDS,
+    DEPARTURE,
+    JOIN,
+    LEAF_REQUEST,
+    LEAF_RESPONSE,
+    MATCH,
+    RECORD,
+    RECORD_BATCH,
+    REFRESH,
+    WELCOME,
+    WELCOME_ACK,
+    JoinPayload,
+    MatchPayload,
+)
+from repro.salad.records import SaladRecord
+
+ID_A = 0x1234 << 140 | 0xBEEF
+ID_B = (1 << 160) - 7
+
+
+def _record(n: int) -> SaladRecord:
+    return SaladRecord(synthetic_fingerprint(1000 + n, n), ID_A + n)
+
+
+#: One message of every protocol kind, with realistic payload shapes.
+ALL_KIND_MESSAGES = [
+    ((0, 3), ID_A, ID_B, RECORD, (_record(1), 4)),
+    ((1,), ID_B, ID_A, RECORD_BATCH, ((_record(2), 0), (_record(3), 7))),
+    ((2, 0, 5), ID_A, ID_B, JOIN, JoinPayload(ID_A, ID_B)),
+    ((3, 1), ID_B, ID_A, WELCOME, None),
+    ((4,), ID_A, ID_B, WELCOME_ACK, None),
+    ((5, 9, 9), ID_B, ID_A, LEAF_REQUEST, None),
+    ((6,), ID_A, ID_B, LEAF_RESPONSE, (ID_A, ID_B, 0, 1)),
+    ((7, 2), ID_B, ID_A, DEPARTURE, None),
+    ((8,), ID_A, ID_B, REFRESH, None),
+    ((9, 1, 1), ID_B, ID_A, MATCH, MatchPayload(synthetic_fingerprint(50, 5), ID_A)),
+]
+
+
+def _encode(messages, codec=CODEC_BINARY, window=12, final=False, shard=3):
+    encoder = EnvelopeEncoder(codec)
+    for message in messages:
+        encoder.add(*message)
+    return encoder, encoder.take_frame(shard, window, final=final)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("codec", [CODEC_BINARY, CODEC_PICKLE])
+    def test_every_kind_round_trips_exactly(self, codec):
+        encoder, frame = _encode(ALL_KIND_MESSAGES, codec=codec)
+        decoded = decode_frame(frame)
+        assert isinstance(decoded, DecodedFrame)
+        assert decoded.source_shard == 3
+        assert decoded.window == 12
+        assert not decoded.final
+        assert [tuple(m) for m in decoded.messages] == ALL_KIND_MESSAGES
+        assert encoder.messages_total == len(ALL_KIND_MESSAGES)
+
+    def test_binary_mode_uses_no_fallback_for_protocol_kinds(self):
+        encoder, _ = _encode(ALL_KIND_MESSAGES)
+        assert encoder.pickled_total == 0
+
+    def test_pickle_mode_counts_everything_as_pickled(self):
+        encoder, _ = _encode(ALL_KIND_MESSAGES, codec=CODEC_PICKLE)
+        assert encoder.pickled_total == len(ALL_KIND_MESSAGES)
+
+    def test_final_flag_round_trips(self):
+        _, frame = _encode(ALL_KIND_MESSAGES[:2], final=True)
+        assert decode_frame(frame).final
+
+    def test_empty_final_frame(self):
+        _, frame = _encode([], final=True)
+        decoded = decode_frame(frame)
+        assert decoded.final
+        assert decoded.messages == []
+
+    def test_empty_non_final_produces_no_frame(self):
+        _, frame = _encode([])
+        assert frame is None
+
+    def test_take_frame_resets_staging_not_lifetime_counters(self):
+        encoder, frame = _encode(ALL_KIND_MESSAGES)
+        assert frame is not None
+        assert encoder.count == 0
+        assert encoder.messages_total == len(ALL_KIND_MESSAGES)
+        # A second window reuses the encoder.
+        encoder.add(*ALL_KIND_MESSAGES[0])
+        second = encoder.take_frame(3, 13)
+        assert [tuple(m) for m in decode_frame(second).messages] == [
+            ALL_KIND_MESSAGES[0]
+        ]
+
+    def test_decoded_records_compare_equal_and_route_identically(self):
+        record = _record(42)
+        _, frame = _encode([((0, 0), ID_A, ID_B, RECORD, (record, 2))])
+        ((_, _, _, _, (decoded_record, hops)),) = decode_frame(frame).messages
+        assert decoded_record == record
+        assert hops == 2
+        assert decoded_record.routing_id == record.routing_id
+        assert decoded_record.sort_key() == record.sort_key()
+
+
+class TestPickleFallback:
+    def test_unknown_kind_falls_back(self):
+        message = ((0,), ID_A, ID_B, "mystery_kind", {"arbitrary": object})
+        encoder, frame = _encode([message])
+        assert encoder.pickled_total == 1
+        assert [tuple(m) for m in decode_frame(frame).messages] == [message]
+
+    def test_oversized_identifier_falls_back(self):
+        message = ((0,), 1 << 200, ID_B, REFRESH, None)
+        encoder, frame = _encode([message])
+        assert encoder.pickled_total == 1
+        assert [tuple(m) for m in decode_frame(frame).messages] == [message]
+
+    def test_unexpected_payload_shape_falls_back(self):
+        # A WELCOME with a payload is outside the wire contract; the codec
+        # must ship it faithfully anyway.
+        message = ((1, 2), ID_A, ID_B, WELCOME, ("surprise",))
+        encoder, frame = _encode([message])
+        assert encoder.pickled_total == 1
+        assert [tuple(m) for m in decode_frame(frame).messages] == [message]
+
+    def test_negative_hops_falls_back(self):
+        message = ((0,), ID_A, ID_B, RECORD, (_record(1), -1))
+        encoder, frame = _encode([message])
+        assert encoder.pickled_total == 1
+        assert [tuple(m) for m in decode_frame(frame).messages] == [message]
+
+    def test_fallback_mixes_with_binary_messages(self):
+        messages = [
+            ALL_KIND_MESSAGES[0],
+            ((0,), ID_A, ID_B, "odd", None),
+            ALL_KIND_MESSAGES[1],
+        ]
+        encoder, frame = _encode(messages)
+        assert encoder.pickled_total == 1
+        assert [tuple(m) for m in decode_frame(frame).messages] == messages
+
+
+class TestRecordInterning:
+    def test_repeated_record_round_trips_via_backref(self):
+        record = _record(1)
+        messages = [
+            ((0,), ID_A, ID_B, RECORD, (record, 0)),
+            ((1,), ID_A, ID_B, RECORD, (record, 1)),
+            ((2,), ID_B, ID_A, RECORD_BATCH, ((record, 2), (_record(2), 0))),
+        ]
+        encoder, frame = _encode(messages)
+        assert encoder.pickled_total == 0
+        decoded = decode_frame(frame).messages
+        assert [tuple(m) for m in decoded] == messages
+        # Backrefs decode to one shared instance per unique record.
+        first = decoded[0][4][0]
+        assert decoded[1][4][0] is first
+        assert decoded[2][4][0][0] is first
+
+    def test_repeats_shrink_the_frame(self):
+        record = _record(1)
+        repeated = [((i,), ID_A, ID_B, RECORD, (record, i)) for i in range(8)]
+        distinct = [((i,), ID_A, ID_B, RECORD, (_record(i), i)) for i in range(8)]
+        _, small = _encode(repeated)
+        _, large = _encode(distinct)
+        assert len(small) < len(large)
+
+    def test_table_resets_between_frames(self):
+        record = _record(1)
+        encoder = EnvelopeEncoder(CODEC_BINARY)
+        encoder.add((0,), ID_A, ID_B, RECORD, (record, 0))
+        first = encoder.take_frame(0, 1)
+        encoder.add((1,), ID_A, ID_B, RECORD, (record, 1))
+        second = encoder.take_frame(0, 2)
+        # The second frame must re-introduce the record, not backref into
+        # the first frame -- frames decode independently.
+        assert decode_frame(second).messages[0][4][0] == record
+        assert len(second) == len(first)
+
+    def test_fallback_rolls_back_interned_records(self):
+        shared = _record(1)
+        # The batch interns `shared`, then hits an unencodable entry and
+        # falls back to pickle; the next message's backref must still
+        # resolve (i.e. the table must not contain the rolled-back entry).
+        messages = [
+            ((0,), ID_A, ID_B, RECORD_BATCH, ((shared, 0), ("not a record", 1))),
+            ((1,), ID_A, ID_B, RECORD, (shared, 2)),
+            ((2,), ID_B, ID_A, RECORD, (shared, 3)),
+        ]
+        encoder, frame = _encode(messages)
+        assert encoder.pickled_total == 1
+        assert [tuple(m) for m in decode_frame(frame).messages] == messages
+
+    def test_out_of_range_backref_rejected(self):
+        record = _record(1)
+        _, frame = _encode(
+            [
+                ((0,), ID_A, ID_B, RECORD, (record, 0)),
+                ((1,), ID_A, ID_B, RECORD, (record, 1)),
+            ]
+        )
+        frame = bytearray(frame)
+        # The second entry's backref varint (value 1) sits right before the
+        # final hops varint; bump it past the one-entry table.
+        index = frame.rindex(b"\x01", HEADER_BYTES, len(frame) - 1)
+        frame[index] = 9
+        body = bytes(frame[HEADER_BYTES:])
+        import zlib
+
+        struct.pack_into("<I", frame, HEADER_BYTES - 4, zlib.crc32(body))
+        with pytest.raises(EnvelopeCodecError, match="backref"):
+            decode_frame(bytes(frame))
+
+
+class TestCompactness:
+    def test_binary_beats_pickle_on_record_traffic(self):
+        batch = [
+            ((i,), ID_A, ID_B, RECORD_BATCH, tuple((_record(j), j) for j in range(8)))
+            for i in range(16)
+        ]
+        _, binary = _encode(batch)
+        _, pickled = _encode(batch, codec=CODEC_PICKLE)
+        assert len(binary) < len(pickled)
+
+
+class TestCorruptionMatrix:
+    def _frame(self, **kwargs):
+        _, frame = _encode(ALL_KIND_MESSAGES, **kwargs)
+        return frame
+
+    def test_truncated_header(self):
+        with pytest.raises(TruncatedFrameError):
+            decode_frame(self._frame()[: HEADER_BYTES - 1])
+
+    def test_truncated_body(self):
+        with pytest.raises(TruncatedFrameError):
+            decode_frame(self._frame()[:-5])
+
+    def test_empty_input(self):
+        with pytest.raises(TruncatedFrameError):
+            decode_frame(b"")
+
+    def test_bad_magic(self):
+        frame = bytearray(self._frame())
+        frame[0] ^= 0xFF
+        with pytest.raises(EnvelopeCodecError, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_version_mismatch(self):
+        frame = bytearray(self._frame())
+        frame[4] = FRAME_VERSION + 1
+        with pytest.raises(CodecVersionError):
+            decode_frame(bytes(frame))
+
+    @pytest.mark.parametrize("codec", [CODEC_BINARY, CODEC_PICKLE])
+    def test_flipped_body_byte_fails_crc(self, codec):
+        frame = bytearray(self._frame(codec=codec))
+        frame[HEADER_BYTES + 3] ^= 0x40
+        with pytest.raises(FrameChecksumError):
+            decode_frame(bytes(frame))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(EnvelopeCodecError, match="beyond"):
+            decode_frame(self._frame() + b"xx")
+
+    def test_flags_survive_crc_scope(self):
+        # The CRC covers the body only; header fields are structural.  A
+        # corrupted FINAL flag must still decode the messages correctly
+        # (the rendezvous layer, not the codec, owns flag semantics).
+        frame = bytearray(self._frame())
+        frame[5] ^= FLAG_FINAL
+        decoded = decode_frame(bytes(frame))
+        assert decoded.final
+        assert [tuple(m) for m in decoded.messages] == ALL_KIND_MESSAGES
+
+    def test_unknown_kind_code_rejected(self):
+        encoder = EnvelopeEncoder(CODEC_BINARY)
+        encoder.add(*ALL_KIND_MESSAGES[3])  # WELCOME: no payload bytes
+        frame = bytearray(encoder.take_frame(0, 1))
+        bad_code = len(ALL_KINDS)  # in the reserved gap below KIND_PICKLED
+        assert bad_code != KIND_PICKLED
+        frame[HEADER_BYTES] = bad_code
+        # Re-stamp the CRC so only the kind code is corrupt.
+        body = bytes(frame[HEADER_BYTES:])
+        import zlib
+
+        struct.pack_into("<I", frame, HEADER_BYTES - 4, zlib.crc32(body))
+        with pytest.raises(EnvelopeCodecError, match="kind code"):
+            decode_frame(bytes(frame))
+
+    def test_pickled_body_count_mismatch_rejected(self):
+        body = pickle.dumps([ALL_KIND_MESSAGES[0]])
+        import zlib
+
+        header = struct.pack(
+            "<4sBBHIIII",
+            MAGIC,
+            FRAME_VERSION,
+            0x02,  # FLAG_PICKLED_BODY
+            0,
+            1,
+            5,  # claims five messages; body holds one
+            len(body),
+            zlib.crc32(body),
+        )
+        with pytest.raises(EnvelopeCodecError, match="header says"):
+            decode_frame(header + body)

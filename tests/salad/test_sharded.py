@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.fingerprint import synthetic_fingerprint
 from repro.salad import sharded as sharded_mod
+from repro.salad.envelope_codec import decode_frame
 from repro.salad.records import SaladRecord
 from repro.salad.salad import Salad, SaladConfig, validate_shard_workers
 from repro.salad.sharded import (
@@ -21,6 +22,7 @@ from repro.salad.sharded import (
     ShardLeafRef,
     ShardNetwork,
     ShardingUnavailable,
+    ShardWorkerDied,
     make_salad,
     resolve_shard_workers,
     shard_of,
@@ -114,7 +116,18 @@ class TestMakeSalad:
         )
         with pytest.raises(ShardingUnavailable):
             ShardedSimulation(SaladConfig(seed=1), workers=2)
-        assert isinstance(make_salad(SaladConfig(seed=1, shard_workers=2)), Salad)
+        with pytest.warns(RuntimeWarning):
+            assert isinstance(make_salad(SaladConfig(seed=1, shard_workers=2)), Salad)
+
+    def test_degradation_warns_with_fallback_count(self, monkeypatch):
+        monkeypatch.setattr(
+            sharded_mod.multiprocessing,
+            "current_process",
+            lambda: SimpleNamespace(daemon=True),
+        )
+        with pytest.warns(RuntimeWarning, match="instead of 4 shard workers"):
+            sim = make_salad(SaladConfig(seed=1, shard_workers=4))
+        assert isinstance(sim, Salad)
 
 
 class TestShardNetwork:
@@ -132,10 +145,28 @@ class TestShardNetwork:
         net.send(0, 2, "kind", None)  # 2 & 1 == 0 -> stays local
         net.send(0, 3, "kind", None)  # 3 & 1 == 1 -> outbound to shard 1
         assert len(net._local_next) == 1
-        assert len(net._outbound[1]) == 1
+        assert net._outbound[1].count == 1
         assert net.pending_count() == 2
-        assert len(net.take_outbound(1)) == 1
-        assert net.take_outbound(1) == []  # drained
+        frame, count = net.take_frame(1, window=1)
+        assert count == 1
+        decoded = decode_frame(frame)
+        assert decoded.source_shard == 0
+        assert decoded.window == 1
+        assert not decoded.final
+        # The unknown "kind" string takes the pickle fallback but survives
+        # the round trip bit-for-bit.
+        assert decoded.messages == [((0, 1), 0, 3, "kind", None)]
+        assert net.pending_count() == 1  # the local message remains
+        assert net.take_frame(1, window=1) == (None, 0)  # drained, non-final
+
+    def test_final_frame_produced_even_when_empty(self):
+        net = self._net()
+        frame, count = net.take_frame(1, window=3, final=True)
+        assert count == 0
+        decoded = decode_frame(frame)
+        assert decoded.final
+        assert decoded.window == 3
+        assert decoded.messages == []
 
     def test_root_keys_preserve_send_order(self):
         net = self._net()
@@ -174,6 +205,29 @@ class TestLifecycle:
                 sim._request(0, ("bogus",))
         finally:
             sim.close()
+
+    def test_dead_worker_raises_shard_worker_died(self):
+        # A worker killed mid-run (OOM killer, crash) must surface as a
+        # precise error naming the dead shard, never a hung barrier.
+        sim = ShardedSimulation(SaladConfig(seed=6), workers=2)
+        try:
+            sim.build(4)
+            sim._procs[0].kill()
+            sim._procs[0].join(timeout=10)
+            with pytest.raises(ShardWorkerDied) as excinfo:
+                sim.build(10)
+            assert excinfo.value.shard == 0
+            assert "shard 0" in str(excinfo.value)
+        finally:
+            sim.close()
+
+    def test_shard_worker_died_is_a_runtime_error(self):
+        # Callers that guarded the old "worker died unexpectedly"
+        # RuntimeError keep working.
+        assert issubclass(ShardWorkerDied, RuntimeError)
+        err = ShardWorkerDied(3, 17.0)
+        assert err.shard == 3
+        assert err.window == 17.0
 
 
 class TestDriverApi:

@@ -56,10 +56,10 @@ def _trace_histograms(registry):
     ]
 
 
-def _config():
+def _config(**overrides):
     # detailed_metrics exercises the record-flow counters in the
     # engine-identity comparison (they are opt-in, off by default).
-    return SaladConfig(dimensions=2, seed=11, detailed_metrics=True)
+    return SaladConfig(dimensions=2, seed=11, detailed_metrics=True, **overrides)
 
 
 def _records_for(identifiers, rng, per_leaf=RECORDS_PER_LEAF):
@@ -153,6 +153,42 @@ class TestShardedGoldenTrace:
     def test_churn_and_crash_identical(self, workers, single_churn):
         sharded = _drive_churn(ShardedSimulation(_config(), workers=workers))
         _assert_identical(sharded, single_churn)
+
+    def test_pickle_codec_identical(self, workers, single_build_insert):
+        # The wire codec is pure transport: swapping it must not move a
+        # single byte of the simulated trace.
+        sharded = _drive_build_insert(
+            ShardedSimulation(_config(envelope_codec="pickle"), workers=workers)
+        )
+        _assert_identical(sharded, single_build_insert)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+class TestShardedGoldenTraceDeferredWidth:
+    """The flagship configuration (deferred width recalculation) under the
+    overlapped exchange: the deferral changes *which* trace both engines
+    produce, so each mode needs its own single-process baseline -- the
+    sharded engine must match it exactly, build+insert and churn alike."""
+
+    @pytest.fixture(scope="class")
+    def deferred_build_insert(self):
+        return _drive_build_insert(Salad(_config(deferred_width_recalc=True)))
+
+    @pytest.fixture(scope="class")
+    def deferred_churn(self):
+        return _drive_churn(Salad(_config(deferred_width_recalc=True)))
+
+    def test_growth_and_insert_identical(self, workers, deferred_build_insert):
+        sharded = _drive_build_insert(
+            ShardedSimulation(_config(deferred_width_recalc=True), workers=workers)
+        )
+        _assert_identical(sharded, deferred_build_insert)
+
+    def test_churn_and_crash_identical(self, workers, deferred_churn):
+        sharded = _drive_churn(
+            ShardedSimulation(_config(deferred_width_recalc=True), workers=workers)
+        )
+        _assert_identical(sharded, deferred_churn)
 
 
 class TestFactoryGolden:
