@@ -55,6 +55,7 @@ GATED_METRICS = (
     ("sharded_inserts", "sharded_inserts_per_sec", "sharded ins/s"),
     ("sharded_speedup", "speedup_2_workers", "speedup 2w"),
     ("sharded_speedup", "exchange_bytes_reduction", "codec reduc"),
+    ("topology_traffic", "topology_inserts_per_sec", "topo ins/s"),
     ("flagship", "flagship_joins_per_sec", "flagship joins/s"),
     ("aes_ctr", "bulk_bytes_per_sec", "aes B/s"),
     ("fingerprints", "batched_fingerprints_per_sec", "fprint/s"),
@@ -114,6 +115,20 @@ def read_metric(path: Path, section: str, key: str) -> Optional[float]:
         return None
 
 
+def read_recorded_skip(path: Path, section: str, key: str) -> Optional[str]:
+    """Why a snapshot deliberately withheld *key*, or None.
+
+    The speedup bench records ``speedup_skipped`` (e.g. "single-core host")
+    instead of a meaningless oversubscribed ratio.  A recorded skip is a
+    decision made at measurement time -- distinct from a metric that is
+    merely absent because the section predates it or wasn't run.
+    """
+    if not key.startswith("speedup"):
+        return None
+    recorded = read_metric_raw(path, section, "speedup_skipped")
+    return recorded if isinstance(recorded, str) else None
+
+
 def check(fresh_path: Path, tolerance: float) -> int:
     baseline_path = newest_baseline(exclude=fresh_path)
     print(f"baseline {baseline_path.name}  vs  fresh {fresh_path.name}")
@@ -128,11 +143,11 @@ def check(fresh_path: Path, tolerance: float) -> int:
         if fresh is None or baseline is None:
             where = "fresh" if fresh is None else "baseline"
             reason = f"absent from {where} snapshot"
-            if fresh is None and key.startswith("speedup"):
+            if fresh is None:
                 # The bench records *why* it withheld the ratio (single-core
                 # host); surface that instead of a bare "absent".
-                recorded = read_metric_raw(fresh_path, section, "speedup_skipped")
-                if isinstance(recorded, str):
+                recorded = read_recorded_skip(fresh_path, section, key)
+                if recorded is not None:
                     reason = f"recorded skip: {recorded}"
             print(f"  skip  {name} ({reason})")
             continue
@@ -281,10 +296,22 @@ def trend() -> int:
         )
         for path in series
     ]
+
+    def cell(path: Path, index: int, value: Optional[float]) -> str:
+        if value is not None:
+            return f"{value:,.2f}" if value < 100 else f"{value:,.0f}"
+        # Distinguish a *recorded* skip (the bench measured, and explains
+        # why the value is withheld -- e.g. a single-core host can't produce
+        # an honest speedup ratio) from a metric the snapshot simply lacks.
+        section, key, _ = GATED_METRICS[index]
+        if read_recorded_skip(path, section, key) is not None:
+            return "skip"
+        return "-"
+
     for path, values in rows:
         cells = [
-            ("-" if v is None else f"{v:,.2f}" if v < 100 else f"{v:,.0f}").rjust(w)
-            for v, w in zip(values, widths)
+            cell(path, i, v).rjust(w)
+            for i, (v, w) in enumerate(zip(values, widths))
         ]
         print("  ".join([path.stem.ljust(name_width)] + cells))
     # Relative change, newest over oldest snapshot that carries each metric.

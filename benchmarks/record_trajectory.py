@@ -28,6 +28,10 @@ current fast paths so every snapshot carries its own before/after ratio:
   deferred (settle-round-coalesced) recalculation -- vs the pre-change
   full-scan path on a growth-heavy workload, trace/settled identity
   asserted before timing;
+- ``topology_traffic``: the fig_topology path -- Zipf x Poisson publish
+  waves over the corporate LAN/WAN topology with a mid-run wan cut --
+  records/sec to quiescence plus the topology observables (quiescence
+  ticks, per-class message split, cut losses, hot-cell stress);
 - ``db_backends``: insert/lookup throughput per record-store backend
   (memory vs sqlite vs WAL vs the paging WAL), contract-identity asserted
   before timing;
@@ -510,6 +514,55 @@ def bench_flagship(leaves: int = 512, records: int = 2048) -> dict:
     }
 
 
+def bench_topology_traffic(leaves: int = 64, waves: int = 10, rate: float = 24.0) -> dict:
+    """Skewed Zipf x Poisson traffic over the corporate LAN/WAN topology.
+
+    Times the fig_topology insert path -- per-pair delays from the corporate
+    preset (4 sites, wan ticks dominating), a mid-run site-0 wan cut, and a
+    Zipf(1.1) publish stream whose hot contents concentrate into a few
+    cells.  The headline rate is records/sec to quiescence; the rest of the
+    section records the topology observables (quiescence time in virtual
+    ticks, per-class message split, cut losses, hot-cell stress) so the
+    trend surfaces behavioral drift, not just speed.
+    """
+    from dataclasses import replace
+
+    from repro.experiments import fig_topology
+    from repro.experiments.scales import SMALL
+    from repro.workload.traffic import TrafficSpec
+
+    scale = replace(SMALL, name="bench", machines=leaves)
+    spec = TrafficSpec(contents=256, arrival_rate=rate, waves=waves)
+    state: dict = {}
+
+    def run() -> None:
+        state["result"] = fig_topology.run(
+            scale, seed=7, topology="corporate", traffic=spec
+        )
+
+    seconds = _best_of(run, repeats=2)
+    result = state["result"]
+    if _BENCH_REGISTRY is not None and result.metrics:
+        _BENCH_REGISTRY.merge_dict(result.metrics)
+    sent = {name: c["sent"] for name, c in result.class_messages.items()}
+    return {
+        "leaves": leaves,
+        "waves": waves,
+        "arrivals": result.arrivals,
+        "records": result.records_inserted,
+        "topology_inserts_per_sec": result.records_inserted / seconds,
+        "quiescence_mean": result.quiescence_mean,
+        "quiescence_max": result.quiescence_max,
+        "rack_sent": sent.get("rack", 0),
+        "lan_sent": sent.get("lan", 0),
+        "wan_sent": sent.get("wan", 0),
+        "wan_share": result.wan_share,
+        "dropped_during_cut": result.dropped_during_cut,
+        "hot_content_share": result.hot_content_share,
+        "cell_stress": result.cell_stress,
+    }
+
+
 def bench_experiment_sweep() -> dict:
     """Small threshold sweep, serial vs all-core workers.
 
@@ -656,6 +709,7 @@ def main(argv=None) -> int:
         ("sharded_inserts", bench_sharded_inserts),
         ("sharded_speedup", bench_sharded_speedup),
         ("flagship", bench_flagship),
+        ("topology_traffic", bench_topology_traffic),
         ("db_backends", bench_db_backends),
         ("experiment_sweep", bench_experiment_sweep),
         ("pipeline", bench_pipeline),
@@ -667,6 +721,7 @@ def main(argv=None) -> int:
             ("sharded_inserts", bench_sharded_inserts),
             ("sharded_speedup", bench_sharded_speedup),
             ("flagship", bench_flagship),
+            ("topology_traffic", bench_topology_traffic),
         ]
     for name, bench in benches:
         print(f"[{name}] ...", flush=True)

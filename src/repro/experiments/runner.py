@@ -34,6 +34,7 @@ from repro.experiments import (
     fig13_space_vs_dblimit,
     fig14_leaftable_vs_size,
     fig15_leaftable_cdf,
+    fig_topology,
     model_check,
 )
 from repro.experiments.growth import growth_sample_points, run_growth_suite
@@ -65,6 +66,7 @@ ALL_EXPERIMENTS = [
     "fig13",
     "fig14",
     "fig15",
+    "fig-topology",
     "model",
     "attack",
     "ablation-blocks",
@@ -117,6 +119,8 @@ def run_experiments(
     db_dir: str = None,
     shard_workers: int = None,
     registry: MetricsRegistry = None,
+    topology: str = None,
+    traffic: str = None,
 ) -> Dict[str, Any]:
     """Run the named experiments; returns rendered output (or raw results) per name.
 
@@ -129,7 +133,10 @@ def run_experiments(
     so every reported number is unchanged; it threads through the growth,
     threshold-sweep, Fig. 8, and Fig. 13 runs.  ``registry`` collects
     telemetry (repro.obs) from the runs that harvest it -- the shared sweep
-    and growth engines -- for a ``--metrics-out`` RunReport.
+    and growth engines, and the topology experiment -- for a
+    ``--metrics-out`` RunReport.  ``topology``/``traffic`` are the
+    fig-topology spec strings (see repro.sim.topology.parse_topology and
+    repro.workload.traffic.parse_traffic); other experiments ignore them.
     """
     scale = get_scale(scale_name)
     outputs: Dict[str, Any] = {}
@@ -199,6 +206,16 @@ def run_experiments(
                 result = fig14_leaftable_vs_size.run(scale, PAPER_LAMBDAS, seed, growth)
             elif name == "fig15":
                 result = fig15_leaftable_cdf.run(scale, PAPER_LAMBDAS, seed, growth)
+            elif name == "fig-topology":
+                result = fig_topology.run(
+                    scale,
+                    seed=seed,
+                    topology=topology,
+                    traffic=traffic,
+                    shard_workers=shard_workers,
+                )
+                if registry is not None and result.metrics:
+                    registry.merge_dict(result.metrics)
             elif name == "model":
                 result = model_check.run(scale, seed=seed)
             elif name == "attack":
@@ -271,6 +288,23 @@ def main(argv: List[str] = None) -> int:
         help="directory for durable record stores (default: a tempdir)",
     )
     parser.add_argument(
+        "--topology",
+        metavar="SPEC",
+        default=None,
+        help="network topology for the fig-topology experiment: a preset "
+        "(one-site, campus, corporate) or 'sites=4,racks=2,rack=1,lan=2,"
+        "wan=10,quantum=1.0' (default: corporate); other experiments keep "
+        "the flat fabric",
+    )
+    parser.add_argument(
+        "--traffic",
+        metavar="SPEC",
+        default=None,
+        help="skewed traffic for the fig-topology experiment: "
+        "'alpha=1.1,contents=512,rate=16,waves=20,median=8000,sigma=2.1' "
+        "(Zipf popularity x Poisson arrivals; defaults shown)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -293,6 +327,16 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be >= 0 (0 = auto): {args.workers}")
+    # Fail fast on malformed topology/traffic specs (the experiment parses
+    # them again itself; this just turns typos into argparse errors).
+    from repro.sim.topology import parse_topology
+    from repro.workload.traffic import parse_traffic
+
+    try:
+        parse_topology(args.topology)
+        parse_traffic(args.traffic)
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.shard_workers is not None:
         try:
             validate_shard_workers(args.shard_workers)
@@ -323,6 +367,8 @@ def main(argv: List[str] = None) -> int:
             db_dir=args.db_dir,
             shard_workers=args.shard_workers,
             registry=registry,
+            topology=args.topology,
+            traffic=args.traffic,
         )
         outputs = {name: result.render() for name, result in raw.items()}
         payload = {
@@ -342,6 +388,8 @@ def main(argv: List[str] = None) -> int:
             db_dir=args.db_dir,
             shard_workers=args.shard_workers,
             registry=registry,
+            topology=args.topology,
+            traffic=args.traffic,
         )
     for name in names:
         print(f"\n{'=' * 72}\n[{name}]")
@@ -358,6 +406,8 @@ def main(argv: List[str] = None) -> int:
                 "shard_workers": args.shard_workers,
                 "envelope_codec": args.envelope_codec,
                 "db_backend": args.db_backend,
+                "topology": args.topology,
+                "traffic": args.traffic,
                 "trace_invariants": args.trace_invariants or None,
             },
         )

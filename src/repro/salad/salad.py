@@ -32,6 +32,7 @@ from repro.salad.storage import (
 from repro.sim.events import EventScheduler
 from repro.sim.failure import fail_exact_fraction
 from repro.sim.network import Network
+from repro.sim.topology import Topology
 
 #: Per-process sequence distinguishing the durable-store directories of
 #: multiple Salad instances built in one process (e.g. one per sweep point).
@@ -166,6 +167,14 @@ class SaladConfig:
     notify_limit: Optional[int] = None
     bootstrap_count: int = 1  # extant leaves contacted per join
     latency: float = 1.0
+    #: Network topology (:class:`repro.sim.topology.Topology`) replacing the
+    #: flat constant-latency fabric: per-pair rack/lan/wan delays, per-class
+    #: message counters, and named-link cuts.  None keeps the flat fabric
+    #: (bit-identical to the seed); the degenerate one-site topology is
+    #: trace-identical to None.  The sharded engine only accepts *uniform*
+    #: topologies (one reachable latency class); multi-class topologies
+    #: raise :class:`repro.salad.sharded.ShardingUnavailable` there.
+    topology: Optional["Topology"] = None
     seed: int = 0
     #: Route with the seed's per-axis coordinate scan instead of the indexed
     #: next-hop cache.  Message-for-message identical (the golden-trace tests
@@ -226,6 +235,11 @@ class SaladConfig:
         resolve_db_backend(self.db_backend)  # fail fast on unknown names
         validate_shard_workers(self.shard_workers)
         validate_envelope_codec(self.envelope_codec)
+        if self.topology is not None and not isinstance(self.topology, Topology):
+            raise ValueError(
+                f"topology must be a repro.sim.topology.Topology or None, "
+                f"got {type(self.topology).__name__}"
+            )
         if self.dimensions < 1:
             raise ValueError(f"dimensions must be >= 1: {self.dimensions}")
         if self.target_redundancy < 1.0:
@@ -246,6 +260,7 @@ class Salad:
             scheduler=EventScheduler(),
             latency=config.latency,
             rng=random.Random(self._rng.getrandbits(64)),
+            topology=config.topology,
         )
         self.leaves: Dict[int, SaladLeaf] = {}
         self._join_order: List[int] = []
@@ -373,6 +388,11 @@ class Salad:
     def run(self) -> int:
         """Settle the network to quiescence (engine-neutral facade name)."""
         return self.network.run()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (engine-neutral: sharded runs mirror this)."""
+        return self.network.scheduler.now
 
     def _invalidate_alive_cache(self) -> None:
         self._alive_cache = None

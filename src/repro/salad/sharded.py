@@ -208,8 +208,9 @@ class ShardNetwork(Network):
         latency: float,
         loss_seed: str,
         codec: str = CODEC_BINARY,
+        topology=None,
     ):
-        super().__init__(scheduler=scheduler, latency=latency)
+        super().__init__(scheduler=scheduler, latency=latency, topology=topology)
         self.shard = shard
         self.shards = shards
         self._shard_mask = shards - 1
@@ -263,11 +264,21 @@ class ShardNetwork(Network):
         traffic.sent += 1
         traffic.by_kind_sent[kind] = traffic.by_kind_sent.get(kind, 0) + 1
         self.messages_sent += 1
+        if self.topology is not None:
+            # Uniform-topology runs keep the per-class counters (sender side
+            # on the sender's shard, mirroring the single-process engine
+            # under shard summation).
+            class_name = self.topology.link(sender, recipient)[1].name
+            self.class_sent[class_name] = self.class_sent.get(class_name, 0) + 1
         key = self._route_key + (self._route_seq,)
         self._route_seq += 1
         if self.loss_probability and self._loss_rng.random() < self.loss_probability:
             traffic.dropped_to += 1
             self.messages_dropped += 1
+            if self.topology is not None:
+                self.class_dropped[class_name] = (
+                    self.class_dropped.get(class_name, 0) + 1
+                )
             return
         target = recipient & self._shard_mask
         if target == self.shard:
@@ -471,6 +482,7 @@ def _shard_worker_main(
         latency=config.latency,
         loss_seed=loss_seed,
         codec=resolve_envelope_codec(config.envelope_codec),
+        topology=config.topology,
     )
     leaves: Dict[int, SaladLeaf] = {}
     backend = resolve_db_backend(config.db_backend)
@@ -816,6 +828,26 @@ class ShardedSimulation:
             # Pool workers (e.g. a per-Lambda sweep fan-out) cannot spawn
             # children; degrade exactly as ParallelMap does.
             raise ShardingUnavailable("daemonic process cannot spawn shard workers")
+        # The barrier protocol advances every shard by ONE latency window per
+        # step: it is sound exactly when all in-flight messages of a window
+        # share one delivery tick.  A uniform topology (every reachable pair
+        # the same delay) satisfies that -- the window is the uniform delay.
+        # Mixed latency classes do not: a rack message sent in window w and
+        # a wan message sent in window w-9 would both deliver in window w+1,
+        # and the hierarchical sort key alone cannot interleave them in
+        # single-process order (keys carry no send window).  Refuse loudly
+        # rather than silently mis-order; make_salad degrades to the
+        # single-process engine, which handles any topology.
+        if config.topology is not None and not config.topology.is_uniform():
+            classes = ", ".join(
+                f"{cls.name}={cls.latency_ticks}t"
+                for cls in config.topology.reachable_classes()
+            )
+            raise ShardingUnavailable(
+                f"topology {config.topology.describe()} has multiple latency "
+                f"classes ({classes}); the one-window barrier cannot align "
+                "mixed per-link delays"
+            )
         # Pin the session-default trace/metrics flags into the config the
         # workers receive: set_trace_invariants / set_detailed_metrics
         # state lives in this process only.
@@ -833,6 +865,18 @@ class ShardedSimulation:
         # seeds the per-shard loss substreams.
         loss_master = self._rng.getrandbits(64)
         self.now = 0.0
+        # Uniform-topology window clock: the single-process engine stamps
+        # windows as ``tick * quantum`` (one multiplication), so the
+        # coordinator tracks the integer tick and multiplies too -- the
+        # flat-fabric ``now += latency`` accumulation would drift by ulps
+        # against it for non-dyadic quanta.
+        if config.topology is not None:
+            self._window_ticks: Optional[int] = config.topology.uniform_ticks()
+            self._quantum = config.topology.quantum
+        else:
+            self._window_ticks = None
+            self._quantum = 0.0
+        self._tick = 0
         self._root = 0
         self._order: List[int] = []  # every leaf ever created, creation order
         self._alive: Dict[int, bool] = {}
@@ -1136,13 +1180,19 @@ class ShardedSimulation:
     def run(self) -> int:
         """Advance windows until every shard is quiescent; returns windows run.
 
-        Window times accumulate by repeated ``+= latency`` -- the same float
-        operation sequence the single-process scheduler performs -- so
-        virtual timestamps are bit-identical between engines.
+        Window times mirror the single-process engine's float operations
+        exactly: repeated ``+= latency`` on the flat fabric (the scheduler
+        accumulates the same way) and ``tick * quantum`` under a uniform
+        topology (the topology network stamps windows the same way) -- so
+        virtual timestamps are bit-identical between engines either way.
         """
         windows = 0
         while any(self._buffered):
-            self.now += self.config.latency
+            if self._window_ticks is not None:
+                self._tick += self._window_ticks
+                self.now = self._tick * self._quantum
+            else:
+                self.now += self.config.latency
             # Exchange-free windows (no shard staged or shipped anything
             # cross-shard) skip the FINAL-frame rendezvous outright.
             replies = self._broadcast(("step", self.now, any(self._cross)))

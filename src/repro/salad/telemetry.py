@@ -114,6 +114,19 @@ def harvest_salad_metrics(
         network.messages_delivered
     )
     registry.counter("salad.network.messages_dropped").inc(network.messages_dropped)
+    # Per-link-class counters, topology mode only (the dicts stay empty on
+    # the flat fabric).  Labeled so shard-merged registries sum per class --
+    # the raw data behind fig_topology's per-class load table.
+    for class_name, count in network.class_sent.items():
+        registry.counter("salad.network.class_sent", link_class=class_name).inc(count)
+    for class_name, count in network.class_delivered.items():
+        registry.counter(
+            "salad.network.class_delivered", link_class=class_name
+        ).inc(count)
+    for class_name, count in network.class_dropped.items():
+        registry.counter(
+            "salad.network.class_dropped", link_class=class_name
+        ).inc(count)
     return registry
 
 

@@ -71,6 +71,34 @@ class BoundedZipf:
         return num / self._total
 
 
+def poisson_count(rng: random.Random, rate: float) -> int:
+    """A Poisson-distributed count with mean *rate* (arrivals per window).
+
+    Knuth's product-of-uniforms method, O(rate) per draw; rates above the
+    exp() underflow range are split additively (Poisson(a+b) is the sum of
+    independent Poisson(a) and Poisson(b)).
+    """
+    if rate < 0:
+        raise ValueError(f"rate must be non-negative: {rate}")
+    count = 0
+    while rate > 500:
+        count += _poisson_knuth(rng, 500.0)
+        rate -= 500.0
+    return count + _poisson_knuth(rng, rate)
+
+
+def _poisson_knuth(rng: random.Random, rate: float) -> int:
+    if rate == 0:
+        return 0
+    limit = math.exp(-rate)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count
+
+
 def machine_file_count(
     rng: random.Random, mean_files: float, spread_sigma: float = 0.5
 ) -> int:

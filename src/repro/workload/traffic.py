@@ -1,0 +1,165 @@
+"""Skewed live traffic: Zipf content popularity x Poisson arrivals.
+
+The corpus generator models a *standing* population of files; this module
+models the *publish stream* that feeds the DFC/SALAD insert path while the
+system is up.  Two classic ingredients (the same pair that drives discrete
+CDN simulations):
+
+- **Zipf content popularity** -- each arrival publishes one content drawn
+  from a bounded Zipf over a fixed catalog, so a handful of hot contents
+  (OS images, shared applications) account for most publishes.  Equal
+  contents yield equal fingerprints (``synthetic_fingerprint``), so hot
+  contents become hot *duplicate clusters* that stress the few SALAD cells
+  owning their fingerprints -- exactly the load-concentration effect
+  fig_topology measures.
+- **Poisson arrivals** -- the number of publishes per driver wave is
+  Poisson-distributed around ``arrival_rate``, the memoryless model of
+  independent desktops deciding to write files.
+
+Calibration follows the paper's measurement studies [8]/[13] through the
+same lognormal size model the corpus generator uses (kilobyte medians,
+sigma ~2 heavy tail; see :class:`repro.workload.generator.CorpusSpec`), and
+the publisher machine is drawn uniformly -- every desktop writes; *what*
+they write is what is skewed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.fingerprint import synthetic_fingerprint
+from repro.salad.records import SaladRecord
+from repro.workload.distributions import BoundedZipf, lognormal_size, poisson_count
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Shape of the skewed publish stream."""
+
+    #: Catalog size: distinct publishable contents.
+    contents: int = 512
+    #: Zipf exponent of content popularity (1.0-1.2 is the classic CDN
+    #: range; the corpus generator's 2.2 models copy *counts*, not request
+    #: popularity, so the default here is deliberately flatter).
+    zipf_alpha: float = 1.1
+    #: Mean publishes per wave (Poisson).
+    arrival_rate: float = 16.0
+    #: Driver waves (each wave inserts, then settles to quiescence).
+    waves: int = 20
+    #: Lognormal size calibration, matching CorpusSpec's shared-content
+    #: class ([8]/[13]: kilobyte median, heavy tail).
+    median_size: int = 8000
+    sigma: float = 2.1
+    max_size: int = 64_000_000
+
+    def __post_init__(self) -> None:
+        if self.contents < 1:
+            raise ValueError(f"need at least one content: {self.contents}")
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival rate must be >= 0: {self.arrival_rate}")
+        if self.waves < 1:
+            raise ValueError(f"need at least one wave: {self.waves}")
+
+
+class SkewedTraffic:
+    """Generates per-wave insert batches against a fixed machine population.
+
+    Deterministic given (spec, locations, seed): content sizes are derived
+    per content id, and one RNG stream drives arrival counts, content
+    draws, and publisher choices in a fixed order.
+    """
+
+    def __init__(
+        self,
+        spec: TrafficSpec,
+        locations: Sequence[int],
+        seed: int = 0,
+    ):
+        if not locations:
+            raise ValueError("need at least one publisher machine")
+        self.spec = spec
+        self._locations = list(locations)
+        self._rng = random.Random(seed)
+        self._zipf = BoundedZipf(1, spec.contents, spec.zipf_alpha)
+        self._sizes: Dict[int, int] = {}
+        self._size_seed = seed
+        #: Total arrivals generated so far.
+        self.arrivals = 0
+        #: Publish count per content id (hot-cluster accounting).
+        self.content_counts: Dict[int, int] = {}
+
+    def _content_size(self, content: int) -> int:
+        size = self._sizes.get(content)
+        if size is None:
+            # Per-content substream: the size is a property of the content,
+            # independent of when (or how often) it is published.
+            rng = random.Random((self._size_seed << 32) ^ content)
+            size = self._sizes[content] = lognormal_size(
+                rng,
+                self.spec.median_size,
+                self.spec.sigma,
+                max_size=self.spec.max_size,
+            )
+        return size
+
+    def wave(self) -> Dict[int, List[SaladRecord]]:
+        """One Poisson wave of publishes, batched per publisher machine."""
+        batches: Dict[int, List[SaladRecord]] = {}
+        count = poisson_count(self._rng, self.spec.arrival_rate)
+        for _ in range(count):
+            content = self._zipf.sample(self._rng)
+            location = self._locations[self._rng.randrange(len(self._locations))]
+            record = SaladRecord(
+                fingerprint=synthetic_fingerprint(self._content_size(content), content),
+                location=location,
+            )
+            batches.setdefault(location, []).append(record)
+            self.content_counts[content] = self.content_counts.get(content, 0) + 1
+        self.arrivals += count
+        return batches
+
+    def hot_share(self, top: int = 1) -> float:
+        """Fraction of all arrivals that hit the *top* most-published contents."""
+        if not self.arrivals:
+            return 0.0
+        counts = sorted(self.content_counts.values(), reverse=True)
+        return sum(counts[:top]) / self.arrivals
+
+
+_SPEC_KEYS = {"contents", "alpha", "rate", "waves", "median", "sigma"}
+
+
+def parse_traffic(spec: Optional[str]) -> TrafficSpec:
+    """Parse a CLI traffic spec (``alpha=1.2,rate=24,waves=10,...``).
+
+    Keys: contents (catalog size), alpha (Zipf exponent), rate (mean
+    arrivals/wave), waves, median (bytes), sigma.  None/"" -> defaults.
+    """
+    if spec is None or not spec.strip():
+        return TrafficSpec()
+    values: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, eq, raw = part.partition("=")
+        key = key.strip()
+        if not eq or key not in _SPEC_KEYS:
+            raise ValueError(
+                f"unknown traffic key {key!r} in {spec!r}; keys: "
+                f"{sorted(_SPEC_KEYS)}"
+            )
+        try:
+            values[key] = float(raw)
+        except ValueError:
+            raise ValueError(f"bad value for traffic key {key!r}: {raw!r}")
+    return TrafficSpec(
+        contents=int(values.get("contents", TrafficSpec.contents)),
+        zipf_alpha=values.get("alpha", TrafficSpec.zipf_alpha),
+        arrival_rate=values.get("rate", TrafficSpec.arrival_rate),
+        waves=int(values.get("waves", TrafficSpec.waves)),
+        median_size=int(values.get("median", TrafficSpec.median_size)),
+        sigma=values.get("sigma", TrafficSpec.sigma),
+    )

@@ -1,0 +1,76 @@
+"""The fig_topology experiment: topology dissemination under skewed traffic."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import fig_topology
+from repro.experiments.scales import SMALL
+from repro.sim.topology import parse_topology
+from repro.workload.traffic import TrafficSpec
+
+TINY = replace(SMALL, name="tiny", machines=16)
+FAST_TRAFFIC = TrafficSpec(contents=32, arrival_rate=6.0, waves=6)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig_topology.run(TINY, seed=3, traffic=FAST_TRAFFIC)
+
+
+class TestFigTopology:
+    def test_defaults_to_corporate(self, result):
+        assert result.topology.startswith("corporate(")
+        assert result.leaves == TINY.machines
+        assert result.waves == FAST_TRAFFIC.waves
+
+    def test_quiescence_series(self, result):
+        assert len(result.quiescence_times) == FAST_TRAFFIC.waves
+        assert result.quiescence_max >= result.quiescence_mean > 0
+        assert result.quiescence_max == max(result.quiescence_times)
+
+    def test_per_class_counters(self, result):
+        assert set(result.class_messages) == {"rack", "lan", "wan"}
+        total = sum(c["sent"] for c in result.class_messages.values())
+        assert total > 0
+        wan = result.class_messages["wan"]
+        assert result.wan_share == wan["sent"] / total
+        for counts in result.class_messages.values():
+            assert counts["delivered"] + counts["dropped"] <= counts["sent"]
+
+    def test_wan_cut_recorded(self, result):
+        # 4 sites and 6 waves: the middle-third cut is in force for waves
+        # 2..3, and wan messages must die while it is.
+        assert result.cut_waves == (2, 3)
+        assert result.dropped_during_cut > 0
+        assert result.class_messages["wan"]["dropped"] >= result.dropped_during_cut
+
+    def test_hot_cluster_stress(self, result):
+        assert 0 < result.hot_content_share <= 1
+        assert result.cell_stress >= 1.0
+        assert 0 < result.top_cell_share <= 1
+
+    def test_metrics_carry_labeled_class_counters(self, result):
+        names = {
+            (entry["name"], entry.get("labels", {}).get("link_class"))
+            for entry in result.metrics["counters"]
+            if entry["name"].startswith("salad.network.class_")
+        }
+        assert ("salad.network.class_sent", "wan") in names
+
+    def test_render(self, result):
+        text = result.render()
+        assert "per-link-class message load" in text
+        assert "wan" in text and "rack" in text
+        assert "site-0 wan cut" in text
+
+    def test_accepts_parsed_objects(self):
+        topo = parse_topology("sites=2,racks=1,wan=10")
+        tiny = replace(TINY, machines=8)
+        spec = TrafficSpec(contents=16, arrival_rate=3.0, waves=3)
+        out = fig_topology.run(tiny, seed=1, topology=topo, traffic=spec)
+        assert out.topology == topo.describe()
+
+    def test_rejects_flat_fabric(self):
+        with pytest.raises(ValueError, match="needs a topology"):
+            fig_topology.run(TINY, topology="flat")

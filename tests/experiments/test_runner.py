@@ -39,3 +39,29 @@ class TestCli:
         out = capsys.readouterr().out
         assert "[dataset]" in out
         assert "completed 1 experiments" in out
+
+    def test_fig_topology_with_specs(self, capsys):
+        assert (
+            runner.main(
+                [
+                    "--scale", "small",
+                    "--only", "fig-topology",
+                    "--topology", "corporate,wan=8",
+                    "--traffic", "rate=6,waves=4,contents=32",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fig_topology" in out
+        assert "per-link-class message load" in out
+
+    def test_bad_topology_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["--only", "fig-topology", "--topology", "galaxy"])
+        assert "unknown topology preset" in capsys.readouterr().err
+
+    def test_bad_traffic_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            runner.main(["--only", "fig-topology", "--traffic", "burst=2"])
+        assert "unknown traffic key" in capsys.readouterr().err

@@ -1,0 +1,99 @@
+"""Sharded engine x topology: the uniformity contract.
+
+The sharded barrier advances all shards one delivery window per step, which
+is sound only when every reachable machine pair shares one delay.  A
+uniform topology (all reachable classes the same tick count) must therefore
+run sharded *and* be trace-identical to the single-process engine; a
+mixed-class topology must be refused loudly (ShardingUnavailable), with
+``make_salad`` degrading to the single-process engine under a warning --
+never silently mis-ordering.
+"""
+
+import pytest
+
+from repro.salad.salad import Salad, SaladConfig
+from repro.salad.sharded import ShardedSimulation, ShardingUnavailable, make_salad
+from repro.sim.topology import Topology, parse_topology
+
+from tests.salad.test_sharded_golden import (
+    LEAVES,
+    _config,
+    _drive_build_insert,
+)
+
+
+def uniform_two_sites() -> Topology:
+    # Two sites, single-rack: rack and wan both 3 ticks of a 0.5 quantum --
+    # multi-site (wan links exist, placement spreads) yet uniform.
+    return Topology(
+        sites=2,
+        racks_per_site=1,
+        rack_ticks=3,
+        lan_ticks=3,
+        wan_ticks=3,
+        quantum=0.5,
+        name="uniform-2site",
+    )
+
+
+class TestNonUniformGate:
+    def test_sharded_refuses_mixed_latency_classes(self):
+        config = SaladConfig(seed=1, topology=parse_topology("corporate"), shard_workers=2)
+        with pytest.raises(ShardingUnavailable, match="multiple latency classes"):
+            ShardedSimulation(config)
+
+    def test_make_salad_degrades_with_warning(self):
+        config = SaladConfig(seed=1, topology=parse_topology("corporate"), shard_workers=2)
+        with pytest.warns(RuntimeWarning, match="sharding unavailable"):
+            engine = make_salad(config)
+        assert isinstance(engine, Salad)
+        assert engine.network.topology is config.topology
+
+    def test_uniform_topology_passes_the_gate(self):
+        assert uniform_two_sites().is_uniform()
+        config = _config(topology=uniform_two_sites(), shard_workers=2)
+        sim = ShardedSimulation(config)
+        sim.shutdown()
+
+
+class TestUniformTopologyGolden:
+    @pytest.fixture(scope="class")
+    def single(self):
+        return _drive_build_insert(Salad(_config(topology=uniform_two_sites())))
+
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        return _drive_build_insert(
+            ShardedSimulation(_config(topology=uniform_two_sites(), shard_workers=2))
+        )
+
+    def test_trace_identity(self, single, sharded):
+        assert sharded == single
+
+    def test_class_counters_present_and_merged(self, single, sharded):
+        sent = {
+            name: value
+            for name, value in single["metric_counters"].items()
+            if name.startswith("salad.network.class_sent")
+        }
+        assert sent and sum(sent.values()) > 0
+        for name, value in sent.items():
+            assert sharded["metric_counters"][name] == value
+
+
+class TestUniformWindowClock:
+    def test_sharded_clock_is_tick_exact(self):
+        # The coordinator's clock must advance tick * quantum, matching the
+        # single-process integer-window scheduler exactly (no float drift).
+        topo = uniform_two_sites()
+        single = Salad(_config(topology=topo))
+        sharded = ShardedSimulation(_config(topology=topo, shard_workers=2))
+        try:
+            single.build(LEAVES)
+            sharded.build(LEAVES)
+            assert sharded.now == single.network.scheduler.now
+            ratio = sharded.now / topo.quantum
+            assert ratio == round(ratio)  # whole number of quanta
+        finally:
+            single.shutdown()
+            sharded.shutdown()

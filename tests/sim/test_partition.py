@@ -97,6 +97,57 @@ class TestMidFlightPartition:
         assert salad.network.messages_dropped > dropped_before
 
 
+class TestPartitionLifecycle:
+    """Departure must scrub partition state; stale labels once survived it.
+
+    The seed's ``deregister`` left the departed machine's entry in the
+    partition map, so a machine that departed while partitioned and later
+    rejoined under the same identifier silently inherited the stale label
+    and kept dropping traffic with no partition in force.
+    """
+
+    def test_depart_partition_rejoin_regression(self):
+        net = Network(EventScheduler())
+        a, b = Probe(1, net), Probe(2, net)
+        net.partition({"island": [2]})
+        b.depart()
+        # Rejoin under the same identifier: the departure must have taken
+        # the "island" label with it, leaving both machines in the default
+        # partition -- under the seed the stale label kept dropping traffic.
+        b2 = Probe(2, net)
+        a.send(2, "msg")
+        net.run()
+        assert b2.received == [1]
+        assert net.messages_dropped == 0
+
+    def test_deregister_clears_partition_label(self):
+        net = Network(EventScheduler())
+        Probe(1, net)
+        b = Probe(2, net)
+        net.partition({"island": [2]})
+        b.depart()
+        assert 2 not in net._partition_of
+
+    def test_partition_warns_on_never_registered_ids(self):
+        net = Network(EventScheduler())
+        Probe(1, net)
+        with pytest.warns(RuntimeWarning, match="never registered"):
+            net.partition({"island": [0xBAD]})
+
+    def test_partition_accepts_departed_ids_silently(self):
+        # Departed-but-once-registered ids are legitimate labels (the
+        # caller may partition ahead of a rejoin); only never-seen ids warn.
+        net = Network(EventScheduler())
+        Probe(1, net)
+        b = Probe(2, net)
+        b.depart()
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            net.partition({"island": [2]})
+
+
 class TestSaladUnderPartition:
     def test_duplicates_found_within_but_not_across(self):
         """During a partition, each side keeps finding its own duplicates;

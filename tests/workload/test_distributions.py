@@ -9,6 +9,7 @@ from repro.workload.distributions import (
     BoundedZipf,
     lognormal_size,
     machine_file_count,
+    poisson_count,
 )
 
 
@@ -88,3 +89,33 @@ class TestMachineFileCount:
     def test_invalid_mean(self):
         with pytest.raises(ValueError):
             machine_file_count(random.Random(11), 0)
+
+
+class TestPoissonCount:
+    def test_zero_rate_is_zero(self):
+        assert poisson_count(random.Random(1), 0.0) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_count(random.Random(1), -1.0)
+
+    def test_mean_and_variance_match_rate(self):
+        rng = random.Random(2)
+        draws = [poisson_count(rng, 12.0) for _ in range(5000)]
+        mean = sum(draws) / len(draws)
+        var = sum((d - mean) ** 2 for d in draws) / len(draws)
+        assert mean == pytest.approx(12.0, rel=0.05)
+        assert var == pytest.approx(12.0, rel=0.15)  # Poisson: var == mean
+
+    def test_large_rate_survives_exp_underflow(self):
+        # exp(-rate) underflows to 0.0 past ~745; the additive split keeps
+        # Knuth's method usable (Poisson(a+b) = Poisson(a) + Poisson(b)).
+        rng = random.Random(3)
+        draws = [poisson_count(rng, 2000.0) for _ in range(200)]
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(2000.0, rel=0.05)
+
+    def test_deterministic_per_seed(self):
+        a = [poisson_count(random.Random(7), 5.0) for _ in range(20)]
+        b = [poisson_count(random.Random(7), 5.0) for _ in range(20)]
+        assert a == b

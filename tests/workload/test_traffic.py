@@ -1,0 +1,120 @@
+"""The skewed publish stream: Zipf popularity x Poisson arrivals."""
+
+import pytest
+
+from repro.workload.traffic import SkewedTraffic, TrafficSpec, parse_traffic
+
+LOCATIONS = [0x100 + i for i in range(16)]
+
+
+def driver(seed=0, **overrides):
+    defaults = dict(contents=64, arrival_rate=20.0, waves=5)
+    defaults.update(overrides)
+    return SkewedTraffic(TrafficSpec(**defaults), LOCATIONS, seed=seed)
+
+
+class TestTrafficSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one content"):
+            TrafficSpec(contents=0)
+        with pytest.raises(ValueError, match="arrival rate"):
+            TrafficSpec(arrival_rate=-1)
+        with pytest.raises(ValueError, match="at least one wave"):
+            TrafficSpec(waves=0)
+
+    def test_parse_defaults(self):
+        assert parse_traffic(None) == TrafficSpec()
+        assert parse_traffic("  ") == TrafficSpec()
+
+    def test_parse_keys(self):
+        spec = parse_traffic("contents=100,alpha=1.3,rate=8,waves=4,median=2000,sigma=1.5")
+        assert spec == TrafficSpec(
+            contents=100,
+            zipf_alpha=1.3,
+            arrival_rate=8.0,
+            waves=4,
+            median_size=2000,
+            sigma=1.5,
+        )
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError, match="unknown traffic key"):
+            parse_traffic("burst=3")
+        with pytest.raises(ValueError, match="bad value"):
+            parse_traffic("rate=fast")
+
+
+class TestSkewedTraffic:
+    def test_needs_publishers(self):
+        with pytest.raises(ValueError, match="publisher"):
+            SkewedTraffic(TrafficSpec(), [])
+
+    def test_deterministic_per_seed(self):
+        waves_a = [driver(seed=3).wave() for _ in range(1)]
+        a, b = driver(seed=3), driver(seed=3)
+        for _ in range(4):
+            assert a.wave() == b.wave()
+        assert a.arrivals == b.arrivals
+        assert a.content_counts == b.content_counts
+        assert waves_a  # first driver produced something comparable too
+
+    def test_seed_changes_stream(self):
+        a, b = driver(seed=1), driver(seed=2)
+        assert [a.wave() for _ in range(3)] != [b.wave() for _ in range(3)]
+
+    def test_batches_keyed_by_known_publishers(self):
+        d = driver()
+        for _ in range(4):
+            for location, records in d.wave().items():
+                assert location in LOCATIONS
+                for record in records:
+                    assert record.location == location
+
+    def test_arrivals_accounting(self):
+        d = driver()
+        total = sum(len(records) for _ in range(5) for records in d.wave().values())
+        assert d.arrivals == total
+        assert sum(d.content_counts.values()) == total
+
+    def test_equal_contents_yield_equal_fingerprints(self):
+        # The hot-duplicate-cluster mechanism: republishing a content gives
+        # the same fingerprint every time, from any publisher.
+        d = driver(arrival_rate=200.0, contents=8)
+        fingerprints = {}
+        seen_duplicate = False
+        for _ in range(3):
+            for records in d.wave().values():
+                for record in records:
+                    for other in fingerprints.values():
+                        if record.fingerprint == other:
+                            seen_duplicate = True
+            for records in d.wave().values():
+                for record in records:
+                    fingerprints.setdefault(record.fingerprint, record.fingerprint)
+        assert seen_duplicate
+        # With 8 contents, at most 8 distinct fingerprints can ever appear.
+        assert len(fingerprints) <= 8
+
+    def test_zipf_concentrates_on_hot_contents(self):
+        d = driver(arrival_rate=400.0, contents=64, zipf_alpha=1.2, seed=5)
+        for _ in range(5):
+            d.wave()
+        # The top content draws far more than the uniform share (1/64).
+        assert d.hot_share(top=1) > 3 / 64
+        assert d.hot_share(top=64) == pytest.approx(1.0)
+
+    def test_hot_share_empty_stream(self):
+        assert driver(arrival_rate=0.0).hot_share() == 0.0
+
+    def test_content_size_is_stable(self):
+        d = driver(arrival_rate=300.0, contents=4)
+        sizes = {}
+        for _ in range(3):
+            d.wave()
+        for content, size in d._sizes.items():
+            sizes[content] = size
+        d2 = driver(arrival_rate=300.0, contents=4)
+        for _ in range(3):
+            d2.wave()
+        for content, size in d2._sizes.items():
+            assert sizes.get(content, size) == size
