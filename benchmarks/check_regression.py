@@ -59,6 +59,20 @@ GATED_METRICS = (
     ("flagship", "flagship_joins_per_sec", "flagship joins/s"),
     ("aes_ctr", "bulk_bytes_per_sec", "aes B/s"),
     ("fingerprints", "batched_fingerprints_per_sec", "fprint/s"),
+    ("tradeoff", "points_per_sec", "tradeoff pts/s"),
+)
+
+#: Absolute floors on snapshot values -- machine-independent behavioral
+#: quantities the fresh snapshot must clear regardless of any baseline.
+#: (section, key, floor, short label); a key absent from the fresh snapshot
+#: is skipped, never failed (e.g. a --smoke snapshot without the section,
+#: or baselines that predate it).  The tradeoff floors hold the R=3 dedup
+#: arm of the fig-tradeoff frontier honest: availability-driven placement
+#: must keep the worst file's availability comfortably above a single
+#: host's, and coalescing must actually reclaim duplicate bytes.
+ABSOLUTE_FLOORS = (
+    ("tradeoff", "min_availability_r3_dedup", 0.55, "minAvail r3 dedup"),
+    ("tradeoff", "reclaimed_fraction_r3_dedup", 0.05, "reclaimed r3 dedup"),
 )
 
 #: Metrics whose wall-clock depends on how many cores the barrier-synced
@@ -177,6 +191,17 @@ def check(fresh_path: Path, tolerance: float) -> int:
         )
         if fresh < floor:
             failures.append(name)
+    for section, key, floor, label in ABSOLUTE_FLOORS:
+        fresh = read_metric(fresh_path, section, key)
+        name = f"{section}.{key}"
+        if fresh is None:
+            print(f"  skip  {name} (absent from fresh snapshot)")
+            continue
+        gated += 1
+        verdict = "ok  " if fresh >= floor else "FAIL"
+        print(f"  {verdict}  {name}: {fresh:.3f} (absolute floor {floor})")
+        if fresh < floor:
+            failures.append(name)
     if not gated:
         print("FAIL: no gated metric present in both snapshots")
         return 1
@@ -196,6 +221,16 @@ def _report_entry(report: dict, section: str, name: str) -> Optional[float]:
     """An unlabeled counter/gauge value from a RunReport, or None if absent."""
     for entry in report.get("metrics", {}).get(section, ()):
         if entry.get("name") == name and not entry.get("labels"):
+            return entry.get("value")
+    return None
+
+
+def _labeled_entry(
+    report: dict, section: str, name: str, **labels: str
+) -> Optional[float]:
+    """A labeled counter/gauge value from a RunReport, or None if absent."""
+    for entry in report.get("metrics", {}).get(section, ()):
+        if entry.get("name") == name and entry.get("labels") == labels:
             return entry.get("value")
     return None
 
@@ -264,6 +299,22 @@ def check_metrics(report_path: Path) -> int:
         )
         if scans > bound:
             failures.append("survivor_scans")
+
+    # The fig-tradeoff frontier's R=3 dedup arm (reports from runs that
+    # include fig-tradeoff or the tradeoff bench carry these gauges).
+    for name, floor in (
+        ("tradeoff.min_availability", 0.55),
+        ("tradeoff.reclaimed_fraction", 0.05),
+    ):
+        value = _labeled_entry(report, "gauges", name, r="3", dedup="on")
+        if value is None:
+            print(f"  skip  {name}{{r=3,dedup=on}} (no tradeoff run in report)")
+            continue
+        gated += 1
+        verdict = "ok  " if value >= floor else "FAIL"
+        print(f"  {verdict}  {name}{{r=3,dedup=on}}: {value:.3f} (floor {floor})")
+        if value < floor:
+            failures.append(name)
 
     if not gated:
         print("OK (nothing to gate in this report)")

@@ -41,11 +41,17 @@ current fast paths so every snapshot carries its own before/after ratio:
   recorded so single-core snapshots read honestly);
 - ``pipeline``: wall seconds for an end-to-end DfcPipeline pass on a small
   corpus, serial vs parallel workers, with the reclaimed-byte accounting
-  asserted identical.
+  asserted identical;
+- ``tradeoff``: the fig-tradeoff replication x dedup frontier -- reclaimed
+  fraction and min file availability per (R, dedup) arm, the replica-set
+  kill's blast radius (measured loss asserted equal to the analytic
+  at-risk prediction), and the crashed stores' recovery (asserted to meet
+  the durability prediction); ``check_regression.py`` holds the R=3 dedup
+  arm above absolute floors.
 
 ``--smoke`` runs only the salad benchmarks -- inserts, routing, and the
-sharded engine (the CI regression gate's input) -- and writes wherever
-``--output`` points.
+sharded engine (the CI regression gate's input) -- plus the tradeoff
+frontier, and writes wherever ``--output`` points.
 
 Snapshots are append-only history: commit each new file, never overwrite an
 old one -- a second snapshot on the same date gets a ``_2`` suffix.
@@ -654,6 +660,61 @@ def bench_pipeline() -> dict:
     }
 
 
+def bench_tradeoff() -> dict:
+    """The fig-tradeoff frontier: replication x dedup durability vs space.
+
+    Runs the full R in 1..4 sweep (both dedup arms) at small scale and
+    records the frontier's gated observables.  Two invariants are asserted
+    on every arm before anything is recorded: the replica-set kill's
+    measured file loss equals the analytic at-risk count (any gap is
+    replica bookkeeping corruption), and the crashed stores' recovered
+    record fraction meets the durability prediction.
+    """
+    from repro.experiments import fig_tradeoff
+    from repro.experiments.scales import SMALL
+
+    state: dict = {}
+
+    def run() -> None:
+        state["result"] = fig_tradeoff.run(SMALL, seed=7)
+
+    seconds = _best_of(run, repeats=1)
+    result = state["result"]
+    if _BENCH_REGISTRY is not None and result.metrics:
+        _BENCH_REGISTRY.merge_dict(result.metrics)
+    out: dict = {
+        "machines": result.machines,
+        "files": result.files,
+        "sweep": list(result.sweep),
+        "wall_seconds": seconds,
+        "points_per_sec": len(result.points) / seconds,
+    }
+    for p in result.points:
+        arm = f"r{p.replication}_{'dedup' if p.dedup else 'nodedup'}"
+        assert p.loss_matches_prediction, (
+            f"{arm}: measured loss {p.files_lost} != analytic at-risk "
+            f"{p.files_at_risk} -- replica bookkeeping diverged"
+        )
+        assert p.recovery_meets_prediction, (
+            f"{arm}: recovered {p.recovered_fraction:.3f} below durability "
+            f"prediction {p.predicted_recovery:.3f}"
+        )
+        out[f"reclaimed_fraction_{arm}"] = p.reclaimed_fraction
+        out[f"min_availability_{arm}"] = p.min_availability
+        out[f"mean_availability_{arm}"] = p.mean_availability
+        out[f"lost_fraction_{arm}"] = p.lost_fraction
+        out[f"loss_event_probability_{arm}"] = p.loss_event_probability
+    # The headline contrast: at the same R=3 kill budget, dedup loses the
+    # whole group where the un-coalesced layout loses almost nothing.
+    on, off = result.point(3, True), result.point(3, False)
+    out["files_lost_r3_dedup"] = on.files_lost
+    out["files_lost_r3_nodedup"] = off.files_lost
+    out["blast_radius_ratio_r3"] = (
+        on.files_lost / off.files_lost if off.files_lost else float(on.files_lost)
+    )
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -713,6 +774,7 @@ def main(argv=None) -> int:
         ("db_backends", bench_db_backends),
         ("experiment_sweep", bench_experiment_sweep),
         ("pipeline", bench_pipeline),
+        ("tradeoff", bench_tradeoff),
     ]
     if args.smoke:
         benches = [
@@ -722,6 +784,7 @@ def main(argv=None) -> int:
             ("sharded_speedup", bench_sharded_speedup),
             ("flagship", bench_flagship),
             ("topology_traffic", bench_topology_traffic),
+            ("tradeoff", bench_tradeoff),
         ]
     for name, bench in benches:
         print(f"[{name}] ...", flush=True)

@@ -1,0 +1,45 @@
+"""fig-tradeoff benchmark: the replication x dedup durability frontier.
+
+Times the full R in {1..4} x {dedup on, off} sweep -- eight pipeline
+builds, each with a correlated replica-set kill and recovery -- and
+reports the frontier the experiment exists to draw: how much space
+coalescing reclaims at each replication factor versus what the
+concentrated blast radius costs in availability and measured data loss.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments import fig_tradeoff
+
+
+@pytest.mark.figure
+def test_bench_tradeoff_frontier(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        fig_tradeoff.run,
+        args=(bench_scale,),
+        kwargs={"seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for p in result.points:
+        rows.append(
+            f"R={p.replication} dedup={'on' if p.dedup else 'off':<3} "
+            f"reclaimed={p.reclaimed_fraction:.3f} minA={p.min_availability:.3f} "
+            f"lost={p.files_lost}/{p.group_files} P(out)={p.loss_event_probability:.2e}"
+        )
+    report(
+        f"Replication x dedup frontier ({result.machines} machines, "
+        f"{result.files} files, {len(result.points)} arms)",
+        "\n".join(rows),
+    )
+    assert len(result.points) == 2 * len(result.sweep)
+    for p in result.points:
+        assert p.loss_matches_prediction
+        assert p.recovery_meets_prediction
+    # The frontier's defining shape at R=3: dedup reclaims real space but
+    # cannot improve the worst file's availability.
+    on, off = result.point(3, True), result.point(3, False)
+    assert on.reclaimed_fraction > 0.05
+    assert on.min_availability <= off.min_availability + 1e-12

@@ -50,6 +50,21 @@ class DfcConfig:
     db_backend: Optional[str] = None
     #: Directory for durable record stores (None = session default/tempdir).
     db_dir: Optional[str] = None
+    #: Replicas per logical file (Farsite's R).  1 keeps the seed's
+    #: single-copy pipeline bit-identical; >= 2 places each file on R
+    #: distinct hosts via the availability-driven hill-climbing placement
+    #: (repro.farsite.placement) before SALAD discovery, so the relocation
+    #: planner co-locates whole replica *sets* and the fig-tradeoff
+    #: experiment can chart durability against reclaimed space.  Only the
+    #: byte-level DfcPipeline materializes replicas; the statistics-only
+    #: experiments ignore this knob.
+    replication_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication factor must be >= 1: {self.replication_factor}"
+            )
     #: Worker processes for the sub-cube sharded simulation engine (None/1 =
     #: single-process, 0 = auto, >= 2 a power of two; see
     #: repro.salad.sharded).  Sharded runs are trace-identical to

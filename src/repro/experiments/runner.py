@@ -35,6 +35,7 @@ from repro.experiments import (
     fig14_leaftable_vs_size,
     fig15_leaftable_cdf,
     fig_topology,
+    fig_tradeoff,
     model_check,
 )
 from repro.experiments.growth import growth_sample_points, run_growth_suite
@@ -67,6 +68,7 @@ ALL_EXPERIMENTS = [
     "fig14",
     "fig15",
     "fig-topology",
+    "fig-tradeoff",
     "model",
     "attack",
     "ablation-blocks",
@@ -121,6 +123,7 @@ def run_experiments(
     registry: MetricsRegistry = None,
     topology: str = None,
     traffic: str = None,
+    replication_factor: int = None,
 ) -> Dict[str, Any]:
     """Run the named experiments; returns rendered output (or raw results) per name.
 
@@ -137,6 +140,8 @@ def run_experiments(
     ``--metrics-out`` RunReport.  ``topology``/``traffic`` are the
     fig-topology spec strings (see repro.sim.topology.parse_topology and
     repro.workload.traffic.parse_traffic); other experiments ignore them.
+    ``replication_factor`` restricts the fig-tradeoff sweep to one R
+    (None = the default 1..4 sweep); other experiments ignore it.
     """
     scale = get_scale(scale_name)
     outputs: Dict[str, Any] = {}
@@ -213,6 +218,12 @@ def run_experiments(
                     topology=topology,
                     traffic=traffic,
                     shard_workers=shard_workers,
+                )
+                if registry is not None and result.metrics:
+                    registry.merge_dict(result.metrics)
+            elif name == "fig-tradeoff":
+                result = fig_tradeoff.run(
+                    scale, seed=seed, replication=replication_factor
                 )
                 if registry is not None and result.metrics:
                     registry.merge_dict(result.metrics)
@@ -305,6 +316,14 @@ def main(argv: List[str] = None) -> int:
         "(Zipf popularity x Poisson arrivals; defaults shown)",
     )
     parser.add_argument(
+        "--replication-factor",
+        type=int,
+        default=None,
+        metavar="R",
+        help="restrict the fig-tradeoff sweep to one replication factor "
+        "(default: sweep R in 1..4); other experiments ignore this",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -327,6 +346,10 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be >= 0 (0 = auto): {args.workers}")
+    if args.replication_factor is not None and args.replication_factor < 1:
+        parser.error(
+            f"--replication-factor must be >= 1: {args.replication_factor}"
+        )
     # Fail fast on malformed topology/traffic specs (the experiment parses
     # them again itself; this just turns typos into argparse errors).
     from repro.sim.topology import parse_topology
@@ -369,6 +392,7 @@ def main(argv: List[str] = None) -> int:
             registry=registry,
             topology=args.topology,
             traffic=args.traffic,
+            replication_factor=args.replication_factor,
         )
         outputs = {name: result.render() for name, result in raw.items()}
         payload = {
@@ -390,6 +414,7 @@ def main(argv: List[str] = None) -> int:
             registry=registry,
             topology=args.topology,
             traffic=args.traffic,
+            replication_factor=args.replication_factor,
         )
     for name in names:
         print(f"\n{'=' * 72}\n[{name}]")

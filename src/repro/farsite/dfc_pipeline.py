@@ -24,6 +24,7 @@ corpora (the statistics-only experiments never materialize content).
 from __future__ import annotations
 
 import os
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +32,11 @@ from repro.analysis.space import reclaimed_bytes_from_matches
 from repro.core.fingerprint import Fingerprint, synthetic_fingerprint
 from repro.experiments.dfc_run import DfcConfig, DfcRun
 from repro.farsite.file_host import FileHost
+from repro.farsite.placement import (
+    PlacementProblem,
+    file_availability,
+    place_replicas,
+)
 from repro.farsite.relocation import RelocationPlan, RelocationPlanner
 from repro.farsite.sis import SingleInstanceStore
 from repro.obs.spans import phase, span
@@ -62,6 +68,17 @@ class PipelineReport:
     physically_reclaimed: int  # measured at the SIS layer after relocation
     migrations: int
     bytes_moved: int
+    #: Replicas per logical file the run placed (Farsite's R).
+    replication_factor: int = 1
+    #: Re-replication copies the planner emitted for under-replicated files.
+    copies: int = 0
+    #: File-weighted replica slots no migration could fill (short groups).
+    shortfall: int = 0
+    #: Availability of the worst/mean file over its *final* replica hosts
+    #: (after relocation -- co-locating duplicates changes these, which is
+    #: the durability cost the fig-tradeoff frontier charts).
+    min_availability: float = 1.0
+    mean_availability: float = 1.0
 
     @property
     def consumed_bytes(self) -> int:
@@ -75,17 +92,37 @@ class PipelineReport:
 class DfcPipeline:
     """Corpus -> hosts -> SALAD -> relocation -> SIS coalescing."""
 
-    def __init__(self, corpus: Corpus, config: DfcConfig = DfcConfig()):
+    def __init__(
+        self,
+        corpus: Corpus,
+        config: DfcConfig = DfcConfig(),
+        machine_availability: Optional[Dict[int, float]] = None,
+    ):
         self.corpus = corpus
         self.config = config
         self.run = DfcRun(corpus, config)
         self.hosts: Dict[int, FileHost] = {}
         #: file_id -> (fingerprint, current replica hosts)
         self.replicas: Dict[str, Tuple[Fingerprint, List[int]]] = {}
-        self.planner = RelocationPlanner(replication_factor=1)
+        #: file_id -> the owner machine's leaf (the one that publishes the
+        #: record into the SALAD, independent of where replicas are placed).
+        self.publishers: Dict[str, int] = {}
+        #: host id -> uptime fraction, driving replica placement and the
+        #: availability telemetry.  Synthesized deterministically from the
+        #: seed unless *machine_availability* (keyed by corpus
+        #: machine_index) overrides it.
+        self.availability: Dict[int, float] = {}
+        self._availability_override = (
+            dict(machine_availability) if machine_availability else None
+        )
+        self.planner = RelocationPlanner(
+            replication_factor=config.replication_factor
+        )
         self._sis_dir: Optional[os.PathLike] = None
         # Lifetime stage totals, harvested by collect_metrics().
         self._migrations = 0
+        self._copies = 0
+        self._shortfall = 0
         self._bytes_moved = 0
 
     def _make_sis(self, host_id: int) -> SingleInstanceStore:
@@ -115,23 +152,71 @@ class DfcPipeline:
         fingerprinting fan out over ``config.workers`` processes; results
         are applied in file order, so the loaded state is independent of the
         worker count.
+
+        With ``config.replication_factor`` R >= 2 each file's blob lands on
+        R distinct hosts chosen by the availability-driven hill-climbing
+        placement (the owner machine still publishes the SALAD record); R=1
+        keeps the seed's owner-hosted single copy bit-identical.
         """
         self.run.build()
+        avail_rng = random.Random((self.config.seed << 8) ^ 0x5AFE)
         tasks: List[Tuple[str, int, Tuple[int, int]]] = []
         for machine in self.corpus.machines:
             host_id = self.run.leaf_of_machine[machine.machine_index]
             self.hosts[host_id] = FileHost(host_id, sis=self._make_sis(host_id))
+            if self._availability_override is not None:
+                self.availability[host_id] = self._availability_override[
+                    machine.machine_index
+                ]
+            else:
+                # Heterogeneous desktop uptimes (paper section 2): most
+                # machines are up most of the time, none are always up.
+                self.availability[host_id] = 0.30 + 0.65 * avail_rng.random()
             for index, stat in enumerate(machine.files):
                 file_id = f"m{machine.machine_index}-f{index}"
                 tasks.append((file_id, host_id, (stat.content_id, stat.size)))
+        with span("place_replicas") as place_span:
+            assignment = self._place_replicas([t[0] for t in tasks], [t[1] for t in tasks])
+            place_span.set_ops(len(assignment))
         materialized = parallel_map(
             _materialize_file,
             [task[2] for task in tasks],
             workers=self.config.workers,
         )
-        for (file_id, host_id, _), (blob, fingerprint) in zip(tasks, materialized):
-            self.hosts[host_id].sis.store(file_id, blob)
-            self.replicas[file_id] = (fingerprint, [host_id])
+        for (file_id, owner, _), (blob, fingerprint) in zip(tasks, materialized):
+            hosts = assignment[file_id]
+            for host in hosts:
+                self.hosts[host].sis.store(file_id, blob)
+            self.replicas[file_id] = (fingerprint, list(hosts))
+            self.publishers[file_id] = owner
+
+    def _place_replicas(
+        self, file_ids: Sequence[str], owners: Sequence[int]
+    ) -> Dict[str, Tuple[int, ...]]:
+        """R distinct hosts per file (owner-hosted single copy when R=1)."""
+        r = self.config.replication_factor
+        if r == 1:
+            return {fid: (owner,) for fid, owner in zip(file_ids, owners)}
+        machines = len(self.hosts)
+        if r > machines:
+            raise ValueError(
+                f"replication factor {r} exceeds the {machines} available hosts"
+            )
+        # Uniform capacity with slack: the greedy pass always finds R free
+        # distinct hosts, and the hill climb has room to rearrange.
+        slots = -(-len(file_ids) * r // machines) + r
+        problem = PlacementProblem(
+            machine_availability=self.availability,
+            machine_capacity={host: slots for host in self.hosts},
+            file_ids=list(file_ids),
+            replication_factor=r,
+        )
+        placement = place_replicas(
+            problem,
+            rng=random.Random(self.config.seed + 17),
+            swap_rounds=min(2000, 8 * len(file_ids)),
+        )
+        return placement.assignment
 
     # -- phase 2: SALAD discovery -----------------------------------------------
 
@@ -163,43 +248,71 @@ class DfcPipeline:
         groups: Dict[Fingerprint, Dict[str, Sequence[int]]] = {}
         for file_id, (fingerprint, hosts) in self.replicas.items():
             members = matched_machines.get(fingerprint)
-            if members is None or hosts[0] not in members:
+            # Membership keys on the *publishing* machine (the one whose
+            # SALAD record could have matched), not on wherever placement
+            # happened to put the first replica.
+            if members is None or self.publishers[file_id] not in members:
                 continue
             groups.setdefault(fingerprint, {})[file_id] = list(hosts)
         return {fp: files for fp, files in groups.items() if len(files) > 1}
 
     def relocate(self) -> RelocationPlan:
         """Plan and execute the migrations that co-locate duplicates."""
-        plan = self.planner.plan(self._duplicate_groups())
+        groups = self._duplicate_groups()
+        plan = self.planner.plan(groups)
+        group_sizes = {fp: len(files) for fp, files in groups.items()}
         self._migrations += plan.moved_replicas
+        self._copies += plan.copied_replicas
+        self._shortfall += plan.total_shortfall(group_sizes)
         self._bytes_moved += plan.bytes_moved()
         for migration in plan.migrations:
             source = self.hosts[migration.source_host]
             target = self.hosts[migration.target_host]
             blob = source.sis.read(migration.file_id)
-            source.sis.delete(migration.file_id)
+            if not migration.copy:
+                source.sis.delete(migration.file_id)
             target.sis.store(migration.file_id, blob)
             fingerprint, hosts = self.replicas[migration.file_id]
-            hosts.remove(migration.source_host)
-            hosts.append(migration.target_host)
+            if not migration.copy:
+                hosts.remove(migration.source_host)
+            if migration.target_host not in hosts:
+                hosts.append(migration.target_host)
         return plan
 
     # -- phase 4: accounting -------------------------------------------------------
 
-    def report(self, plan: RelocationPlan) -> PipelineReport:
+    def report(self, plan: Optional[RelocationPlan] = None) -> PipelineReport:
+        """Final accounting; *plan* is None when relocation was skipped
+        (the dedup-off arms of the fig-tradeoff sweep)."""
         total = sum(
             stats.logical_bytes
             for stats in (host.sis.stats() for host in self.hosts.values())
         )
         physical = sum(host.sis.stats().physical_bytes for host in self.hosts.values())
         predicted = reclaimed_bytes_from_matches(self.run.salad.collected_matches())
+        min_avail, mean_avail = self.availability_stats()
         return PipelineReport(
             total_bytes=total,
             predicted_reclaimed=predicted,
             physically_reclaimed=total - physical,
-            migrations=plan.moved_replicas,
-            bytes_moved=plan.bytes_moved(),
+            migrations=plan.moved_replicas if plan else 0,
+            bytes_moved=plan.bytes_moved() if plan else 0,
+            replication_factor=self.config.replication_factor,
+            copies=plan.copied_replicas if plan else 0,
+            shortfall=self._shortfall,
+            min_availability=min_avail,
+            mean_availability=mean_avail,
         )
+
+    def availability_stats(self) -> Tuple[float, float]:
+        """(min, mean) file availability over the *current* replica hosts."""
+        if not self.replicas:
+            return 1.0, 1.0
+        values = [
+            file_availability(hosts, self.availability)
+            for _, hosts in self.replicas.values()
+        ]
+        return min(values), sum(values) / len(values)
 
     def execute(self, min_size: int = 0) -> PipelineReport:
         """Run all four phases (as one span tree) and return the report."""
@@ -220,6 +333,8 @@ class DfcPipeline:
         registry.counter("dfc.pipeline.hosts").inc(len(self.hosts))
         registry.counter("dfc.pipeline.files_loaded").inc(len(self.replicas))
         registry.counter("dfc.pipeline.migrations").inc(self._migrations)
+        registry.counter("dfc.pipeline.copies").inc(self._copies)
+        registry.counter("dfc.pipeline.shortfall").inc(self._shortfall)
         registry.counter("dfc.pipeline.bytes_moved").inc(self._bytes_moved)
         self.run.collect_metrics(registry)
         return registry

@@ -201,10 +201,11 @@ class FarsiteDeployment:
             source = self.nodes[migration.source_host].host
             target = self.nodes[migration.target_host].host
             ciphertext = source.fetch_replica(migration.file_id)
-            source.drop_replica(migration.file_id)
+            if not migration.copy:
+                source.drop_replica(migration.file_id)
             target.store_replica(migration.file_id, ciphertext)
             moved_by_file.setdefault(migration.file_id, []).append(
-                (migration.source_host, migration.target_host)
+                (migration.source_host, migration.target_host, migration.copy)
             )
         # Update namespace metadata to the new replica locations.
         for path in self.namespace.all_paths():
@@ -212,8 +213,11 @@ class FarsiteDeployment:
             if entry is None or entry.file_id not in moved_by_file:
                 continue
             hosts = list(entry.replica_hosts)
-            for source, target in moved_by_file[entry.file_id]:
-                if source in hosts:
+            for source, target, copy in moved_by_file[entry.file_id]:
+                if copy:
+                    if target not in hosts:
+                        hosts.append(target)
+                elif source in hosts:
                     hosts[hosts.index(source)] = target
             self.namespace.set_replica_hosts(path, tuple(hosts))
 

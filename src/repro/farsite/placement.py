@@ -31,9 +31,22 @@ class PlacementProblem:
     replication_factor: int = 3
 
     def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ValueError(
+                f"replication factor must be >= 1: {self.replication_factor}"
+            )
         for mid, a in self.machine_availability.items():
+            # An availability outside (0, 1] (including NaN, which fails
+            # every comparison) would make file_availability return
+            # out-of-range probabilities and silently corrupt every
+            # min/mean-availability figure downstream.
             if not 0.0 < a <= 1.0:
                 raise ValueError(f"availability of {mid:#x} must be in (0,1]: {a}")
+        for mid, slots in self.machine_capacity.items():
+            if slots < 0:
+                raise ValueError(f"capacity of {mid:#x} must be >= 0: {slots}")
+            if mid not in self.machine_availability:
+                raise ValueError(f"machine {mid:#x} has capacity but no availability")
         total_capacity = sum(self.machine_capacity.values())
         demand = len(self.file_ids) * self.replication_factor
         if demand > total_capacity:
@@ -113,14 +126,16 @@ def place_replicas(
         assignment[fid] = hosts
 
     # Hill climbing: swap one replica between the min-availability file and
-    # a random other file when that raises the minimum of the pair.
+    # a random other file when that raises the minimum of the pair.  Only
+    # the two swapped files' availabilities change per round, so the cache
+    # updates two entries instead of rescanning every file (the rescan made
+    # the climb O(files x swap_rounds); same floats, same tie-breaks, so
+    # the resulting assignment is identical under a fixed RNG).
     fids = list(assignment)
+    avail = {fid: file_availability(assignment[fid], availability) for fid in fids}
     for _ in range(swap_rounds):
         if len(fids) < 2:
             break
-        avail = {
-            fid: file_availability(assignment[fid], availability) for fid in fids
-        }
         low = min(fids, key=lambda f: avail[f])
         high = rng.choice(fids)
         if high == low:
@@ -128,6 +143,8 @@ def place_replicas(
         improved = _try_swap(assignment[low], assignment[high], availability)
         if improved is not None:
             assignment[low], assignment[high] = improved
+            avail[low] = file_availability(assignment[low], availability)
+            avail[high] = file_availability(assignment[high], availability)
 
     return Placement(
         assignment={fid: tuple(hosts) for fid, hosts in assignment.items()},

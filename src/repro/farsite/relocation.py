@@ -13,7 +13,7 @@ then relocate every other replica of the group onto the canonical set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.fingerprint import Fingerprint
@@ -21,12 +21,18 @@ from repro.core.fingerprint import Fingerprint
 
 @dataclass(frozen=True)
 class Migration:
-    """Move the replica of *file_id* from one host to another."""
+    """Move (or copy) the replica of *file_id* from one host to another.
+
+    A *copy* leaves the source replica in place: it re-replicates a file
+    that holds fewer replicas than the canonical set is wide, so the
+    unpaired canonical hosts still receive the content.
+    """
 
     file_id: str
     fingerprint: Fingerprint
     source_host: int
     target_host: int
+    copy: bool = False
 
 
 @dataclass
@@ -35,10 +41,25 @@ class RelocationPlan:
 
     canonical_hosts: Dict[Fingerprint, Tuple[int, ...]]
     migrations: List[Migration]
+    #: Replica slots per duplicate group that *no* migration can fill: the
+    #: group's files collectively span fewer than R distinct hosts, so the
+    #: canonical set itself is short.  Keyed by fingerprint, value = missing
+    #: slots per file (R - |canonical|).  Empty when every group spans R+.
+    shortfalls: Dict[Fingerprint, int] = field(default_factory=dict)
 
     @property
     def moved_replicas(self) -> int:
-        return len(self.migrations)
+        return sum(1 for m in self.migrations if not m.copy)
+
+    @property
+    def copied_replicas(self) -> int:
+        return sum(1 for m in self.migrations if m.copy)
+
+    def total_shortfall(self, group_sizes: Dict[Fingerprint, int]) -> int:
+        """File-weighted missing replica slots across all short groups."""
+        return sum(
+            missing * group_sizes.get(fp, 1) for fp, missing in self.shortfalls.items()
+        )
 
     def bytes_moved(self) -> int:
         return sum(m.fingerprint.size for m in self.migrations)
@@ -63,6 +84,7 @@ class RelocationPlanner:
         """
         canonical: Dict[Fingerprint, Tuple[int, ...]] = {}
         migrations: List[Migration] = []
+        shortfalls: Dict[Fingerprint, int] = {}
         for fingerprint, files in groups.items():
             # Count existing replicas per host; the R best-covered hosts
             # become canonical (fewest replica moves).
@@ -74,6 +96,8 @@ class RelocationPlanner:
             hosts_needed = min(self.replication_factor, len(ranked))
             chosen = tuple(ranked[:hosts_needed])
             canonical[fingerprint] = chosen
+            if hosts_needed < self.replication_factor:
+                shortfalls[fingerprint] = self.replication_factor - hosts_needed
 
             for file_id, hosts in files.items():
                 hosts = list(hosts)
@@ -81,7 +105,8 @@ class RelocationPlanner:
                 missing_targets = [h for h in chosen if h not in hosts]
                 # Pair off: each missing canonical host receives a replica
                 # from a non-canonical host (a move, not a copy).
-                for source, target in zip(extra_sources, missing_targets):
+                paired = list(zip(extra_sources, missing_targets))
+                for source, target in paired:
                     migrations.append(
                         Migration(
                             file_id=file_id,
@@ -90,15 +115,43 @@ class RelocationPlanner:
                             target_host=target,
                         )
                     )
-        return RelocationPlan(canonical_hosts=canonical, migrations=migrations)
+                # A file holding fewer replicas than the canonical set is
+                # wide leaves canonical hosts unpaired.  Those hosts get
+                # *copies* sourced from a replica the file keeps, so the
+                # file ends on the full canonical set instead of silently
+                # staying under-replicated.
+                unpaired = missing_targets[len(paired) :]
+                if unpaired:
+                    kept = [h for h in hosts if h in chosen]
+                    kept += [target for _, target in paired]
+                    if kept:
+                        for target in unpaired:
+                            migrations.append(
+                                Migration(
+                                    file_id=file_id,
+                                    fingerprint=fingerprint,
+                                    source_host=kept[0],
+                                    target_host=target,
+                                    copy=True,
+                                )
+                            )
+        return RelocationPlan(
+            canonical_hosts=canonical, migrations=migrations, shortfalls=shortfalls
+        )
 
     def apply(
         self,
         plan: RelocationPlan,
         replica_hosts: Dict[str, List[int]],
     ) -> None:
-        """Apply migrations to a mutable ``file_id -> hosts`` map."""
+        """Apply migrations to a mutable ``file_id -> hosts`` map.
+
+        Moves drop the source replica; copies leave it in place (their
+        source stays a live replica, so removing it would corrupt the map).
+        """
         for migration in plan.migrations:
             hosts = replica_hosts[migration.file_id]
-            hosts.remove(migration.source_host)
-            hosts.append(migration.target_host)
+            if not migration.copy:
+                hosts.remove(migration.source_host)
+            if migration.target_host not in hosts:
+                hosts.append(migration.target_host)

@@ -130,6 +130,43 @@ def harvest_salad_metrics(
     return registry
 
 
+def harvest_tradeoff_metrics(
+    registry: MetricsRegistry, points: Iterable
+) -> MetricsRegistry:
+    """Registry entries for the fig-tradeoff frontier; returns *registry*.
+
+    *points* is any iterable of objects with the
+    :class:`repro.experiments.fig_tradeoff.TradeoffPoint` attributes
+    (duck-typed so this layer stays import-free of the experiments).
+    Everything lands under ``tradeoff.*`` labeled by replication factor
+    and dedup arm, which is what the bench section and the
+    ``check_regression.py --metrics`` gates read out of a RunReport.
+    """
+    for p in points:
+        labels = {"r": str(p.replication), "dedup": "on" if p.dedup else "off"}
+        registry.gauge("tradeoff.reclaimed_fraction", **labels).set(
+            p.reclaimed_fraction
+        )
+        registry.gauge("tradeoff.min_availability", **labels).set(
+            p.min_availability
+        )
+        registry.gauge("tradeoff.mean_availability", **labels).set(
+            p.mean_availability
+        )
+        registry.counter("tradeoff.moved_replicas", **labels).inc(p.moved_replicas)
+        registry.counter("tradeoff.copies", **labels).inc(p.copies)
+        registry.counter("tradeoff.shortfall", **labels).inc(p.shortfall)
+        registry.counter("tradeoff.files_at_risk", **labels).inc(p.files_at_risk)
+        registry.counter("tradeoff.files_lost", **labels).inc(p.files_lost)
+        registry.gauge("tradeoff.loss_event_probability", **labels).set(
+            p.loss_event_probability
+        )
+        registry.gauge("tradeoff.recovered_fraction", **labels).set(
+            p.recovered_fraction
+        )
+    return registry
+
+
 @dataclass
 class ShardTransportStats:
     """One worker's cross-shard exchange accounting, harvest-time snapshot.

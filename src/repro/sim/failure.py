@@ -127,6 +127,78 @@ class ChurnSchedule:
 
 
 # ----------------------------------------------------------------------------
+# correlated replica-set loss
+# ----------------------------------------------------------------------------
+
+
+def set_down_probability(hosts: Sequence[int], availability: Dict[int, float]) -> float:
+    """P(every host in the set is down) for failure-independent machines.
+
+    The analytic loss-event probability for one file: its data is gone
+    exactly when all replica hosts are down, so this is the complement of
+    ``file_availability`` (kept local to the sim layer -- no farsite import).
+    """
+    down = 1.0
+    for host in hosts:
+        down *= 1.0 - availability[host]
+    return down
+
+
+@dataclass
+class ReplicaLossReport:
+    """Measured vs. analytic data loss after a correlated host outage."""
+
+    dead_hosts: Tuple[int, ...]
+    #: Files whose replica sets are entirely within the dead hosts
+    #: (the analytic prediction of what the outage destroys).
+    files_at_risk: int
+    #: Files that actually have zero live replicas (the measurement; must
+    #: equal files_at_risk -- any gap is a bookkeeping bug).
+    files_lost: int
+    total_files: int
+    #: P(this exact outage) under the availability model: every dead host
+    #: down at once, independent machines.
+    loss_event_probability: float
+
+    @property
+    def lost_fraction(self) -> float:
+        return self.files_lost / self.total_files if self.total_files else 0.0
+
+    @property
+    def matches_prediction(self) -> bool:
+        return self.files_lost == self.files_at_risk
+
+
+def measure_replica_loss(
+    replica_hosts: Dict[str, Sequence[int]],
+    dead_hosts: Iterable[int],
+    availability: Dict[int, float],
+) -> ReplicaLossReport:
+    """Count files with no surviving replica after *dead_hosts* crash.
+
+    *replica_hosts* maps each file id to its current replica hosts (the
+    DFC pipeline's post-relocation state).  A file is *at risk* when its
+    replica set is a subset of the dead hosts and *lost* when it has no
+    live replica -- identical predicates, computed independently so the
+    report cross-checks the replica bookkeeping.
+    """
+    dead = frozenset(dead_hosts)
+    at_risk = sum(1 for hosts in replica_hosts.values() if set(hosts) <= dead)
+    lost = sum(
+        1
+        for hosts in replica_hosts.values()
+        if not any(h not in dead for h in hosts)
+    )
+    return ReplicaLossReport(
+        dead_hosts=tuple(sorted(dead)),
+        files_at_risk=at_risk,
+        files_lost=lost,
+        total_files=len(replica_hosts),
+        loss_event_probability=set_down_probability(sorted(dead), availability),
+    )
+
+
+# ----------------------------------------------------------------------------
 # database crash recovery
 # ----------------------------------------------------------------------------
 
@@ -207,6 +279,29 @@ class CrashRecoveryHarness:
         registry.counter("sim.crash.records_recovered").inc(
             self.total_records_recovered
         )
+
+    def crash_replica_sets(
+        self,
+        leaves_by_id: Dict[int, object],
+        replica_sets: Iterable[Sequence[int]],
+    ) -> List[CrashedLeaf]:
+        """Crash every host of each given replica set (deduplicated union).
+
+        The adversarial counterpart to :func:`fail_randomly`: instead of
+        independent coin flips, kill *all* R hosts holding some file's
+        replicas -- the exact correlated outage that makes dedup's
+        co-location risky (one duplicate group's canonical set going down
+        takes the whole group with it).  Hosts appearing in several sets
+        crash once.  Returns the per-leaf snapshots, like :meth:`crash`.
+        """
+        union: List[int] = []
+        seen = set()
+        for hosts in replica_sets:
+            for host in hosts:
+                if host not in seen:
+                    seen.add(host)
+                    union.append(host)
+        return self.crash([leaves_by_id[host] for host in union])
 
     def crash(self, leaves: Iterable) -> List[CrashedLeaf]:
         """Crash-stop each leaf and abandon its database without flushing."""

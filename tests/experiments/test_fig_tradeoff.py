@@ -1,0 +1,112 @@
+"""The fig-tradeoff replication x dedup frontier."""
+
+import pytest
+
+from repro.experiments import fig_tradeoff
+from repro.experiments.scales import SMALL
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig_tradeoff.run(SMALL, seed=3, sweep=(1, 3))
+
+
+class TestFrontier:
+    def test_every_arm_present(self, result):
+        assert result.sweep == (1, 3)
+        assert len(result.points) == 4
+        for r in (1, 3):
+            for dedup in (False, True):
+                assert result.point(r, dedup).replication == r
+
+    def test_dedup_reclaims_more_space(self, result):
+        for r in (1, 3):
+            on, off = result.point(r, True), result.point(r, False)
+            assert on.reclaimed_fraction > off.reclaimed_fraction
+            assert on.reclaimed_fraction > 0.05
+
+    def test_dedup_costs_min_availability(self, result):
+        """Co-locating duplicates can only concentrate replicas, so the
+        worst file's availability never improves over placement alone."""
+        on, off = result.point(3, True), result.point(3, False)
+        assert on.min_availability <= off.min_availability + 1e-12
+
+    def test_replication_raises_availability(self, result):
+        assert (
+            result.point(3, False).min_availability
+            > result.point(1, False).min_availability
+        )
+
+    def test_blast_radius_concentrated_by_dedup(self, result):
+        """Killing the biggest group's R hosts destroys the whole group
+        under dedup, and strictly less of it without."""
+        on, off = result.point(3, True), result.point(3, False)
+        assert on.files_lost == on.group_files > 1
+        assert off.files_lost < on.files_lost
+
+    def test_measured_loss_matches_analytic_prediction(self, result):
+        for p in result.points:
+            assert p.loss_matches_prediction
+
+    def test_outage_probability_shrinks_with_replication(self, result):
+        assert (
+            result.point(3, True).loss_event_probability
+            < result.point(1, True).loss_event_probability
+        )
+        for p in result.points:
+            assert 0.0 <= p.loss_event_probability < 1.0
+
+    def test_recovery_meets_durability_prediction(self, result):
+        for p in result.points:
+            assert p.recovery_meets_prediction
+
+    def test_render_is_a_frontier_table(self, result):
+        text = result.render()
+        assert "fig_tradeoff" in text
+        assert "dedup" in text
+        # One row per (R, dedup) arm.
+        rows = [
+            line
+            for line in text.splitlines()
+            if line.strip().startswith(("1 ", "3 "))
+        ]
+        assert len(rows) == 4
+
+    def test_metrics_carry_labeled_tradeoff_gauges(self, result):
+        gauges = {
+            (entry["name"], tuple(sorted(entry.get("labels", {}).items())))
+            for entry in result.metrics["gauges"]
+        }
+        key = ("tradeoff.min_availability", (("dedup", "on"), ("r", "3")))
+        assert key in gauges
+
+
+class TestCli:
+    def test_runner_single_replication(self):
+        from repro.experiments.runner import run_experiments
+
+        outputs = run_experiments(
+            ["fig-tradeoff"], "small", seed=3, raw=True, replication_factor=2
+        )
+        result = outputs["fig-tradeoff"]
+        assert result.sweep == (2,)
+        assert len(result.points) == 2
+
+    def test_runner_rejects_bad_replication(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--scale",
+                    "small",
+                    "--only",
+                    "fig-tradeoff",
+                    "--replication-factor",
+                    "0",
+                ]
+            )
+
+    def test_invalid_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            fig_tradeoff.run(SMALL, seed=3, sweep=(0, 2))

@@ -73,6 +73,102 @@ class TestEndToEnd:
         assert report.reclaimed_fraction > 0.4 * ideal_fraction
 
 
+class TestReplication:
+    """The R >= 2 pipeline: placement, co-location, availability telemetry."""
+
+    @pytest.fixture(scope="class")
+    def replicated(self):
+        corpus = generate_corpus(SPEC, seed=5)
+        pipeline = DfcPipeline(
+            corpus,
+            DfcConfig(target_redundancy=2.5, seed=5, replication_factor=2),
+        )
+        report = pipeline.execute()
+        return corpus, pipeline, report
+
+    def test_every_file_on_r_distinct_hosts(self, replicated):
+        _, pipeline, _ = replicated
+        for file_id, (_, hosts) in pipeline.replicas.items():
+            assert len(hosts) == 2
+            assert len(set(hosts)) == 2
+
+    def test_total_bytes_scale_with_replication(self, replicated):
+        corpus, _, report = replicated
+        assert report.total_bytes == 2 * corpus.total_bytes
+        assert report.replication_factor == 2
+
+    def test_replicas_actually_stored_on_their_hosts(self, replicated):
+        _, pipeline, _ = replicated
+        for file_id, (_, hosts) in pipeline.replicas.items():
+            for host in hosts:
+                assert pipeline.hosts[host].sis.read(file_id) is not None
+
+    def test_availability_telemetry_in_report(self, replicated):
+        _, pipeline, report = replicated
+        assert 0.0 < report.min_availability <= report.mean_availability <= 1.0
+        # Two independent replicas beat the worst single host.
+        worst_host = min(pipeline.availability.values())
+        assert report.min_availability > worst_host
+
+    def test_duplicate_groups_colocated_on_canonical_pair(self, replicated):
+        """After relocation each discovered group's files share one host
+        set, so every host's SIS coalesces all of its copies."""
+        _, pipeline, report = replicated
+        assert report.migrations > 0
+        by_fingerprint = {}
+        for file_id, (fingerprint, hosts) in pipeline.replicas.items():
+            by_fingerprint.setdefault(fingerprint, []).append(
+                (file_id, frozenset(hosts))
+            )
+        colocated_groups = 0
+        for placements in by_fingerprint.values():
+            host_sets = {hosts for _, hosts in placements}
+            if len(placements) > 1 and len(host_sets) == 1:
+                colocated_groups += 1
+                host_set = next(iter(host_sets))
+                first = placements[0][0]
+                for host in host_set:
+                    assert pipeline.hosts[host].sis.link_count(first) == len(
+                        placements
+                    )
+        assert colocated_groups > 0
+
+    def test_availability_override_used(self):
+        corpus = generate_corpus(SPEC, seed=5)
+        override = {
+            machine.machine_index: 0.42 for machine in corpus.machines
+        }
+        pipeline = DfcPipeline(
+            corpus,
+            DfcConfig(target_redundancy=2.5, seed=5, replication_factor=2),
+            machine_availability=override,
+        )
+        pipeline.load_hosts()
+        assert set(pipeline.availability.values()) == {0.42}
+        pipeline.close_stores()
+
+    def test_replication_factor_validated(self):
+        with pytest.raises(ValueError):
+            DfcConfig(replication_factor=0)
+
+    def test_replication_beyond_hosts_rejected(self):
+        corpus = generate_corpus(
+            CorpusSpec(machines=3, mean_files_per_machine=2, max_file_size=4096),
+            seed=1,
+        )
+        pipeline = DfcPipeline(corpus, DfcConfig(seed=1, replication_factor=5))
+        with pytest.raises(ValueError):
+            pipeline.load_hosts()
+
+    def test_r1_path_unchanged_by_replication_support(self, executed_pipeline):
+        """R=1 keeps the seed's owner-hosted single copy: every file's one
+        replica starts on its owner machine's leaf (bit-identical loading,
+        so every existing figure is untouched)."""
+        corpus, pipeline, report = executed_pipeline
+        assert report.replication_factor == 1
+        assert report.total_bytes == corpus.total_bytes
+
+
 class TestThreshold:
     def test_min_size_threshold_respected(self):
         corpus = generate_corpus(SPEC, seed=6)

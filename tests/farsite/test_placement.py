@@ -77,3 +77,94 @@ class TestPlacement:
                 file_ids=["f"],
                 replication_factor=1,
             )
+
+
+class TestProblemValidation:
+    def test_availability_above_one_rejected(self):
+        with pytest.raises(ValueError, match="availability"):
+            PlacementProblem(
+                machine_availability={1: 1.5},
+                machine_capacity={1: 5},
+                file_ids=["f"],
+                replication_factor=1,
+            )
+
+    def test_nan_availability_rejected(self):
+        with pytest.raises(ValueError, match="availability"):
+            PlacementProblem(
+                machine_availability={1: float("nan")},
+                machine_capacity={1: 5},
+                file_ids=["f"],
+                replication_factor=1,
+            )
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PlacementProblem(
+                machine_availability={1: 0.9},
+                machine_capacity={1: -1},
+                file_ids=[],
+                replication_factor=1,
+            )
+
+    def test_capacity_without_availability_rejected(self):
+        with pytest.raises(ValueError, match="no availability"):
+            PlacementProblem(
+                machine_availability={1: 0.9},
+                machine_capacity={1: 2, 2: 2},
+                file_ids=["f"],
+                replication_factor=1,
+            )
+
+    def test_invalid_replication_factor_rejected(self):
+        with pytest.raises(ValueError, match="replication factor"):
+            PlacementProblem(
+                machine_availability={1: 0.9},
+                machine_capacity={1: 2},
+                file_ids=["f"],
+                replication_factor=0,
+            )
+
+
+class TestHillClimbCachePinning:
+    """The availability cache must not change what the climb computes.
+
+    The pre-fix climb recomputed every file's availability each round
+    (O(files x swap_rounds)); the cached climb updates only the two
+    swapped files.  Same RNG stream, same float computations, same
+    tie-breaking -- so the final assignment must be *identical*, not just
+    equally good.  This pins that equivalence against a straightforward
+    recompute-everything reference.
+    """
+
+    @staticmethod
+    def _reference_climb(problem, seed, swap_rounds):
+        from repro.farsite.placement import _try_swap
+
+        greedy = place_replicas(problem, rng=random.Random(0), swap_rounds=0)
+        assignment = {fid: list(hosts) for fid, hosts in greedy.assignment.items()}
+        availability = problem.machine_availability
+        rng = random.Random(seed)
+        fids = list(assignment)
+        for _ in range(swap_rounds):
+            if len(fids) < 2:
+                break
+            low = min(
+                fids, key=lambda f: file_availability(assignment[f], availability)
+            )
+            high = rng.choice(fids)
+            if high == low:
+                continue
+            improved = _try_swap(assignment[low], assignment[high], availability)
+            if improved is not None:
+                assignment[low], assignment[high] = improved
+        return {fid: tuple(hosts) for fid, hosts in assignment.items()}
+
+    @pytest.mark.parametrize("seed", [2, 9, 31])
+    def test_cached_climb_matches_recompute_reference(self, seed):
+        problem = make_problem(machines=14, files=12, r=3)
+        expected = self._reference_climb(problem, seed, swap_rounds=300)
+        cached = place_replicas(
+            problem, rng=random.Random(seed), swap_rounds=300
+        )
+        assert cached.assignment == expected

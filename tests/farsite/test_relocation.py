@@ -46,6 +46,71 @@ class TestPlanning:
         assert plan.bytes_moved() == FP.size * plan.moved_replicas
 
 
+class TestUnderReplication:
+    """Files with fewer replicas than the canonical set is wide.
+
+    The pre-fix planner paired extra sources with missing targets via a
+    bare ``zip``: a file holding fewer replicas than R canonical hosts had
+    leftover *targets* silently dropped, leaving it under-replicated after
+    relocation and never delivering its content to the full canonical set.
+    """
+
+    def test_under_replicated_file_reaches_full_canonical_set(self):
+        planner = RelocationPlanner(replication_factor=2)
+        # "a" pins the canonical set to {1, 2}; "b" holds one replica on 5:
+        # its single extra source pairs with one canonical host, and the
+        # other canonical host must receive a *copy* (pre-fix: dropped).
+        plan = planner.plan({FP: {"a": [1, 2], "b": [5]}})
+        replica_hosts = {"a": [1, 2], "b": [5]}
+        planner.apply(plan, replica_hosts)
+        canonical = set(plan.canonical_hosts[FP])
+        assert canonical == {1, 2}
+        assert set(replica_hosts["b"]) == canonical
+        assert plan.moved_replicas == 1
+        assert plan.copied_replicas == 1
+
+    def test_copy_sourced_from_a_replica_the_file_keeps(self):
+        planner = RelocationPlanner(replication_factor=3)
+        plan = planner.plan({FP: {"a": [1, 2, 3], "b": [1]}})
+        copies = [m for m in plan.migrations if m.copy]
+        assert len(copies) == 2  # b reaches hosts 2 and 3
+        final = {1}
+        for m in plan.migrations:
+            if m.file_id == "b":
+                if not m.copy:
+                    final.discard(m.source_host)
+                # Copies must read from a host that still has the replica.
+                if m.copy:
+                    assert m.source_host in final
+                final.add(m.target_host)
+        assert final == set(plan.canonical_hosts[FP])
+
+    def test_apply_handles_copies_without_value_error(self):
+        planner = RelocationPlanner(replication_factor=2)
+        replica_hosts = {"a": [1, 2], "b": [1]}
+        plan = planner.plan({FP: {k: list(v) for k, v in replica_hosts.items()}})
+        # A move-style apply would hosts.remove() the copy's source -- a
+        # replica the file keeps -- leaving it off its own canonical set.
+        planner.apply(plan, replica_hosts)
+        assert set(replica_hosts["b"]) == set(plan.canonical_hosts[FP])
+        assert 1 in replica_hosts["b"]  # the copy's source replica survives
+
+    def test_group_spanning_fewer_hosts_than_r_records_shortfall(self):
+        planner = RelocationPlanner(replication_factor=3)
+        # Both files live solely on host 1: no migration can conjure two
+        # more distinct hosts, so the plan must say so explicitly.
+        plan = planner.plan({FP: {"a": [1], "b": [1]}})
+        assert plan.shortfalls == {FP: 2}
+        assert plan.total_shortfall({FP: 2}) == 4  # 2 files x 2 missing slots
+        assert plan.migrations == []
+
+    def test_full_groups_report_no_shortfall(self):
+        planner = RelocationPlanner(replication_factor=2)
+        plan = planner.plan({FP: {"a": [1, 2], "b": [3, 4]}})
+        assert plan.shortfalls == {}
+        assert plan.total_shortfall({FP: 2}) == 0
+
+
 class TestApply:
     def test_apply_updates_host_map(self):
         planner = RelocationPlanner(replication_factor=2)
