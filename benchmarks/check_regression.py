@@ -326,6 +326,55 @@ def check_metrics(report_path: Path) -> int:
     return 0
 
 
+#: Max fractional insert-throughput drop a trace-sampling-enabled run may
+#: show against its sampling-off twin.  Deterministic hash sampling costs
+#: one predicate per record batch plus event dicts for the sampled few, so
+#: anything past 10% means the zero-cost-when-off discipline broke (e.g. an
+#: unconditional per-message allocation snuck into the hot path).
+MAX_TRACE_OVERHEAD = 0.10
+
+
+def _phase_rate(report: dict, name: str) -> Optional[float]:
+    """A top-level phase's ops_per_second from a RunReport, or None."""
+    for entry in report.get("phases", ()):
+        if entry.get("name") == name:
+            return entry.get("ops_per_second")
+    return None
+
+
+def check_trace_overhead(traced_path: Path, baseline_path: Path) -> int:
+    """Gate causal-trace sampling overhead: traced vs sampling-off reports.
+
+    Both paths are RunReports of the *same* run configuration, one with
+    ``--trace-sample-rate`` on and one off; the traced run's top-level
+    insert throughput must stay within :data:`MAX_TRACE_OVERHEAD` of the
+    baseline's.  Skip-if-absent like every other gate -- a report without
+    an insert phase rate gates nothing.
+    """
+    traced = json.loads(traced_path.read_text(encoding="utf-8"))
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    print(f"trace-overhead gate: {traced_path.name} vs {baseline_path.name}")
+    traced_rate = _phase_rate(traced, "insert")
+    baseline_rate = _phase_rate(baseline, "insert")
+    if not traced_rate or not baseline_rate:
+        which = "traced" if not traced_rate else "baseline"
+        print(f"  skip  insert ops_per_second absent from {which} report")
+        print("OK (nothing to gate)")
+        return 0
+    floor = baseline_rate * (1.0 - MAX_TRACE_OVERHEAD)
+    verdict = "ok  " if traced_rate >= floor else "FAIL"
+    print(
+        f"  {verdict}  insert rate traced {traced_rate:,.0f}/s vs "
+        f"baseline {baseline_rate:,.0f}/s (floor {floor:,.0f}/s, "
+        f"max overhead {MAX_TRACE_OVERHEAD:.0%})"
+    )
+    if traced_rate < floor:
+        print("FAIL: trace sampling costs more than the allowed overhead")
+        return 1
+    print("OK")
+    return 0
+
+
 def trend() -> int:
     """The gated metrics across the whole committed snapshot series."""
     series = snapshot_series()
@@ -406,11 +455,29 @@ def main(argv=None) -> int:
         help="gate behavioral rates (cache hit-rate floor, 2D hop ceiling) "
         "derived from a --metrics-out RunReport instead of a snapshot",
     )
+    parser.add_argument(
+        "--trace-baseline",
+        metavar="REPORT",
+        default=None,
+        help="with --metrics: the sampling-off RunReport of the same run; "
+        "additionally gates the traced run's insert throughput within "
+        f"{MAX_TRACE_OVERHEAD:.0%} of it",
+    )
     args = parser.parse_args(argv)
     if args.trend:
         return trend()
+    if args.trace_baseline and not args.metrics:
+        parser.error("--trace-baseline requires --metrics TRACED_REPORT")
     if args.metrics:
-        return check_metrics(Path(args.metrics))
+        status = check_metrics(Path(args.metrics))
+        if args.trace_baseline:
+            status = (
+                check_trace_overhead(
+                    Path(args.metrics), Path(args.trace_baseline)
+                )
+                or status
+            )
+        return status
     if args.snapshot is None:
         parser.error(
             "a fresh snapshot PATH is required unless --trend or --metrics is given"

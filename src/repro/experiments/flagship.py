@@ -36,15 +36,18 @@ import time
 from typing import Dict, List, Optional
 
 from repro.core.fingerprint import Fingerprint
+from repro.obs import tracing
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import build_run_report, print_summary, write_run_report
-from repro.obs.spans import phase, span
+from repro.obs.spans import phase, reset_spans, span
 from repro.salad.records import SaladRecord
 from repro.salad.salad import (
     ENVELOPE_CODECS,
     SaladConfig,
+    resolve_trace_sample_rate,
     set_detailed_metrics,
     set_envelope_codec,
+    set_trace_sample_rate,
     validate_shard_workers,
 )
 from repro.salad.sharded import make_salad
@@ -129,6 +132,7 @@ def run_flagship(
             for stage in growth_stages(leaves):
                 with span(f"grow_to_{stage}", ops=stage):
                     sim.build(stage)
+                tracing.heartbeat("growth", leaves=stage)
             growth_span.set_ops(leaves)
 
         inserted_total = 0
@@ -147,6 +151,9 @@ def run_flagship(
                         wave_inserted += sim.insert_records(batch)
                     wave_span.set_ops(wave_inserted)
                 inserted_total += wave_inserted
+                tracing.heartbeat(
+                    "insert", wave=wave, inserted_total=inserted_total
+                )
             insert_span.set_ops(inserted_total)
 
         with phase("harvest"):
@@ -164,6 +171,16 @@ def run_flagship(
                 "widths": sim.width_distribution(),
                 "worker_phases": list(getattr(sim, "worker_phases", []) or []),
                 "shard_dumps": harvested if isinstance(harvested, list) else None,
+                # Single-process: the engine's recorder drains here.
+                # Sharded: workers drained theirs into the metrics reply and
+                # the coordinator accumulated them; drain so close() does
+                # not re-adopt the same events into the orphan buffer.
+                "trace_events": tracing.take_events()
+                + (
+                    sim.take_trace_events()
+                    if hasattr(sim, "take_trace_events")
+                    else []
+                ),
             }
     finally:
         sim.shutdown()
@@ -224,6 +241,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         "pre-change oracle path; implies --eager-width)",
     )
     parser.add_argument("--metrics-out", metavar="PATH", default=None)
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="causal-trace sampling rate in [0,1]: a deterministic hash of "
+        "each record's routing id selects the sampled fraction (0 = off; "
+        "sampling never perturbs the simulated message trace)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write sampled causal traces as Chrome trace-event JSON "
+        "(open in Perfetto: ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--flight-recorder",
+        metavar="PATH",
+        default=None,
+        help="append heartbeat + recent-trace-event JSONL here during the "
+        "run (watch live with `python -m repro.obs tail PATH`)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.leaves, args.records = SMOKE_LEAVES, SMOKE_RECORDS
@@ -237,8 +277,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     set_detailed_metrics(bool(args.metrics_out))
     if args.envelope_codec is not None:
         set_envelope_codec(args.envelope_codec)
+    if args.trace_sample_rate is not None:
+        try:
+            set_trace_sample_rate(args.trace_sample_rate)
+        except (TypeError, ValueError) as exc:
+            parser.error(str(exc))
+    if args.flight_recorder:
+        tracing.install_flight_recorder(args.flight_recorder)
 
     registry = MetricsRegistry() if args.metrics_out else None
+    # A CLI run owns the process span buffer: discard anything a previous
+    # in-process run left behind so the report covers exactly this run.
+    reset_spans()
     start = time.time()
     facts = run_flagship(
         args.leaves,
@@ -257,6 +307,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{facts['records_inserted']:,} records inserted "
         f"({facts['total_stored']:,} stored) in {elapsed:.1f}s"
     )
+    trace_rate = resolve_trace_sample_rate(None)
+    trace_events = facts["trace_events"]
+    if args.flight_recorder:
+        tracing.heartbeat(
+            "done",
+            leaves=facts["alive_leaves"],
+            records_inserted=facts["records_inserted"],
+            wall_seconds=round(elapsed, 2),
+        )
+        tracing.uninstall_flight_recorder()
+    if args.trace_out:
+        out = tracing.export_chrome_trace(trace_events, args.trace_out)
+        timelines = tracing.build_timelines(trace_events)
+        print(
+            f"trace: {len(trace_events)} events across {len(timelines)} "
+            f"sampled records written to {out} (open in Perfetto)"
+        )
     if args.metrics_out:
         report = build_run_report(
             registry,
@@ -280,6 +347,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             },
             shards=facts["shard_dumps"],
             shard_phases=facts["worker_phases"] or None,
+            traces=(
+                {"sample_rate": trace_rate, "events": trace_events}
+                if trace_rate > 0.0
+                else None
+            ),
         )
         write_run_report(args.metrics_out, report)
         print_summary(report)

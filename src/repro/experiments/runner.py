@@ -41,15 +41,18 @@ from repro.experiments import (
 from repro.experiments.growth import growth_sample_points, run_growth_suite
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import build_run_report, print_summary, write_run_report
-from repro.obs.spans import span
+from repro.obs.spans import reset_spans, span
 from repro.perf import set_default_workers
 from repro.experiments.scales import PAPER_LAMBDAS, SCALES, get_scale
 from repro.experiments.threshold_sweep import run_threshold_sweep
+from repro.obs import tracing
 from repro.salad.salad import (
     ENVELOPE_CODECS,
+    resolve_trace_sample_rate,
     set_detailed_metrics,
     set_envelope_codec,
     set_trace_invariants,
+    set_trace_sample_rate,
     validate_shard_workers,
 )
 from repro.salad.storage import BACKENDS, set_default_db_backend
@@ -337,6 +340,22 @@ def main(argv: List[str] = None) -> int:
         "tree, environment) as JSON and print a summary table on stderr",
     )
     parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="causal-trace sampling rate in [0,1] for every simulation the "
+        "run builds (deterministic per-record hash; 0 = off, the default); "
+        "sampled timelines land in the RunReport's traces section",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write sampled causal traces as Chrome trace-event JSON "
+        "(open in Perfetto: ui.perfetto.dev)",
+    )
+    parser.add_argument(
         "--trace-invariants",
         action="store_true",
         help="run the opt-in invariant tracer inside every simulation and "
@@ -373,12 +392,21 @@ def main(argv: List[str] = None) -> int:
     # database-centric experiments additionally get it threaded explicitly.
     set_default_db_backend(args.db_backend, args.db_dir)
     set_trace_invariants(args.trace_invariants)
+    if args.trace_sample_rate is not None:
+        try:
+            set_trace_sample_rate(args.trace_sample_rate)
+        except (TypeError, ValueError) as exc:
+            parser.error(str(exc))
     # Detailed record-flow counters cost hot-path time, so only runs that
     # actually write a report pay for them.
     set_detailed_metrics(bool(args.metrics_out))
 
     registry = MetricsRegistry() if args.metrics_out else None
     names = args.only or ALL_EXPERIMENTS
+    # A CLI run owns the process span buffer: discard anything a previous
+    # in-process run left behind (library callers invoking main() twice)
+    # so the report's phase tree covers exactly this run.
+    reset_spans()
     start = time.time()
     if args.json:
         raw = run_experiments(
@@ -420,6 +448,15 @@ def main(argv: List[str] = None) -> int:
         print(f"\n{'=' * 72}\n[{name}]")
         print(outputs[name])
     print(f"\ncompleted {len(names)} experiments in {time.time() - start:.1f}s")
+    trace_rate = resolve_trace_sample_rate(None)
+    trace_events = tracing.take_events() if trace_rate > 0.0 else []
+    if args.trace_out:
+        out = tracing.export_chrome_trace(trace_events, args.trace_out)
+        timelines = tracing.build_timelines(trace_events)
+        print(
+            f"trace: {len(trace_events)} events across {len(timelines)} "
+            f"sampled records written to {out} (open in Perfetto)"
+        )
     if args.metrics_out:
         report = build_run_report(
             registry,
@@ -435,6 +472,11 @@ def main(argv: List[str] = None) -> int:
                 "traffic": args.traffic,
                 "trace_invariants": args.trace_invariants or None,
             },
+            traces=(
+                {"sample_rate": trace_rate, "events": trace_events}
+                if trace_rate > 0.0
+                else None
+            ),
         )
         write_run_report(args.metrics_out, report)
         print_summary(report)

@@ -25,6 +25,16 @@ from repro.obs.report import (
     write_run_report,
 )
 from repro.obs.spans import Span, current_span, phase, span, take_phases
+from repro.obs.tracing import (
+    FlightRecorder,
+    TraceRecorder,
+    build_timelines,
+    export_chrome_trace,
+    heartbeat,
+    install_flight_recorder,
+    trace_id_for,
+    uninstall_flight_recorder,
+)
 
 __all__ = [
     "Counter",
@@ -48,4 +58,12 @@ __all__ = [
     "phase",
     "span",
     "take_phases",
+    "FlightRecorder",
+    "TraceRecorder",
+    "build_timelines",
+    "export_chrome_trace",
+    "heartbeat",
+    "install_flight_recorder",
+    "trace_id_for",
+    "uninstall_flight_recorder",
 ]

@@ -1,13 +1,48 @@
-"""``python -m repro.obs REPORT.json``: validate + summarize a RunReport.
+"""``python -m repro.obs``: the observability command-line surface.
 
-Equivalent to ``python -m repro.obs.report`` but avoids the runpy
-double-import warning (the package __init__ already imports the report
-module for its re-exports).
+Two forms::
+
+    python -m repro.obs REPORT.json        # validate + summarize a RunReport
+    python -m repro.obs tail FILE [-n N]   # render a flight recorder's tail
+
+The bare-path form is equivalent to ``python -m repro.obs.report`` but
+avoids the runpy double-import warning (the package __init__ already
+imports the report module for its re-exports).  ``tail`` renders the last
+N lines (default 20) of a ``--flight-recorder`` JSONL file -- heartbeats
+with their stats, then the ring of recent trace events -- for watching a
+long flagship run live (``watch python -m repro.obs tail FILE`` works).
 """
 
 import sys
 
-from repro.obs.report import main
+from repro.obs.report import main as report_main
+from repro.obs.tracing import render_flight_tail
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "tail":
+        args = args[1:]
+        limit = 20
+        if "-n" in args:
+            at = args.index("-n")
+            try:
+                limit = int(args[at + 1])
+            except (IndexError, ValueError):
+                print("tail: -n needs an integer", file=sys.stderr)
+                return 2
+            del args[at : at + 2]
+        if len(args) != 1:
+            print(
+                "usage: python -m repro.obs tail FLIGHT.jsonl [-n LINES]",
+                file=sys.stderr,
+            )
+            return 2
+        for line in render_flight_tail(args[0], limit=limit):
+            print(line)
+        return 0
+    return report_main(args)
+
 
 if __name__ == "__main__":
     sys.exit(main())

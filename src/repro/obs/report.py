@@ -36,7 +36,14 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import Span, take_phases
 
 #: Schema identifier; bump the suffix on any breaking layout change.
-SCHEMA = "repro.run-report/1"
+#: v2 adds the optional ``traces`` section (causal-trace sample rate +
+#: drained events) -- purely additive, so v1 documents remain valid and
+#: the validator accepts both.
+SCHEMA = "repro.run-report/2"
+
+#: Schema ids :func:`validate_run_report` accepts (v1 reports predate the
+#: traces section and are otherwise layout-identical).
+ACCEPTED_SCHEMAS = ("repro.run-report/1", SCHEMA)
 
 
 def git_sha() -> Optional[str]:
@@ -74,6 +81,7 @@ def build_run_report(
     env: Optional[Dict[str, Any]] = None,
     shards: Optional[List[dict]] = None,
     shard_phases: Optional[List[List[dict]]] = None,
+    traces: Optional[dict] = None,
 ) -> dict:
     """Assemble the report dict.
 
@@ -84,6 +92,9 @@ def build_run_report(
     (same shard order, from ``ShardedSimulation.worker_phases``) attaches
     each worker's aggregated span tree to its shards entry, so a report
     shows where *worker* wall-clock went, not just the coordinator's.
+    *traces*, when given, becomes the schema-v2 ``traces`` section --
+    ``{"sample_rate": float, "events": [...]}``  with the causal-trace
+    events drained from :mod:`repro.obs.tracing` (both engines' shapes).
     """
     if phases is None:
         phases = take_phases()
@@ -101,6 +112,8 @@ def build_run_report(
         if shard_phases is not None:
             for entry, worker_tree in zip(report["shards"], shard_phases):
                 entry["phases"] = list(worker_tree)
+    if traces is not None:
+        report["traces"] = traces
     return report
 
 
@@ -128,7 +141,10 @@ def validate_run_report(data: Any) -> List[str]:
 
     if not check(isinstance(data, dict), "report is not an object"):
         return problems
-    check(data.get("schema") == SCHEMA, f"schema is not {SCHEMA!r}: {data.get('schema')!r}")
+    check(
+        data.get("schema") in ACCEPTED_SCHEMAS,
+        f"schema is not one of {ACCEPTED_SCHEMAS!r}: {data.get('schema')!r}",
+    )
     check(isinstance(data.get("created_unix"), (int, float)), "created_unix missing")
 
     env = data.get("environment")
@@ -157,6 +173,7 @@ def validate_run_report(data: Any) -> List[str]:
 
     phases = data.get("phases")
     if check(isinstance(phases, list), "phases missing"):
+        _check_sibling_names(phases, "phases", problems)
         for i, entry in enumerate(phases):
             _validate_phase(entry, f"phases[{i}]", problems)
 
@@ -176,11 +193,59 @@ def validate_run_report(data: Any) -> List[str]:
                             isinstance(entry["phases"], list),
                             f"{where}.phases is not a list",
                         ):
+                            _check_sibling_names(
+                                entry["phases"], f"{where}.phases", problems
+                            )
                             for j, node in enumerate(entry["phases"]):
                                 _validate_phase(
                                     node, f"{where}.phases[{j}]", problems
                                 )
+
+    if "traces" in data:
+        traces = data["traces"]
+        if check(isinstance(traces, dict), "traces is not an object"):
+            check(
+                isinstance(traces.get("sample_rate"), (int, float))
+                and not isinstance(traces.get("sample_rate"), bool),
+                "traces.sample_rate missing",
+            )
+            events = traces.get("events")
+            if check(isinstance(events, list), "traces.events missing"):
+                for i, event in enumerate(events):
+                    where = f"traces.events[{i}]"
+                    if not check(isinstance(event, dict), f"{where} is not an object"):
+                        continue
+                    check(isinstance(event.get("kind"), str), f"{where}.kind missing")
+                    check(
+                        isinstance(event.get("t"), (int, float)),
+                        f"{where}.t missing",
+                    )
     return problems
+
+
+def _check_sibling_names(entries: Any, where: str, problems: List[str]) -> None:
+    """Reject duplicate phase names at one nesting level.
+
+    :func:`summary_table` renders siblings by name and downstream gates
+    look phases up by name, so two same-named siblings would silently
+    shadow each other; the writer-side aggregation (``aggregate_phases``)
+    merges by name precisely so this never happens -- a duplicate in a
+    report means a producer bypassed it, which deserves a loud error.
+    """
+    seen: Dict[str, int] = {}
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str):
+            continue
+        seen[name] = seen.get(name, 0) + 1
+    for name, count in seen.items():
+        if count > 1:
+            problems.append(
+                f"{where} has {count} sibling phases named {name!r} "
+                "(same-level phase names must be unique)"
+            )
 
 
 def _validate_phase(entry: Any, where: str, problems: List[str]) -> None:
@@ -191,7 +256,10 @@ def _validate_phase(entry: Any, where: str, problems: List[str]) -> None:
         problems.append(f"{where}.name missing")
     if not isinstance(entry.get("seconds"), (int, float)):
         problems.append(f"{where}.seconds missing")
-    for i, child in enumerate(entry.get("children", ())):
+    children = entry.get("children", ())
+    if isinstance(children, list):
+        _check_sibling_names(children, f"{where}.children", problems)
+    for i, child in enumerate(children):
         _validate_phase(child, f"{where}.children[{i}]", problems)
 
 
@@ -265,6 +333,15 @@ def summary_table(report: dict, top_counters: int = 20) -> str:
                 parts.append(f"exchange_bytes={exchange:,}")
             if parts:
                 lines.append(f"  shard {entry.get('shard')}: {'  '.join(parts)}")
+
+    traces = report.get("traces")
+    if traces:
+        events = traces.get("events") or []
+        records = len({e.get("trace_id") for e in events} - {None})
+        lines.append(
+            f"traces: {len(events)} events across {records} sampled records"
+            f"  (sample_rate={traces.get('sample_rate')})"
+        )
     return "\n".join(lines)
 
 

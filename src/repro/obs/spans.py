@@ -44,6 +44,7 @@ class Span:
     __slots__ = (
         "name",
         "seconds",
+        "start",
         "ops",
         "notes",
         "children",
@@ -54,6 +55,10 @@ class Span:
     def __init__(self, name: str, ops: Optional[int] = None):
         self.name = name
         self.seconds = 0.0
+        #: perf_counter stamp at open; orders siblings when trees drain or
+        #: merge out of close order.  Never serialized (to_dict omits it) --
+        #: perf_counter origins differ across processes.
+        self.start = 0.0
         self.ops = ops
         self.notes: Dict[str, Any] = {}
         self.children: List["Span"] = []
@@ -109,6 +114,7 @@ def span(
 ) -> Iterator[Span]:
     """Time a block of work as one node of the phase tree."""
     node = Span(name, ops=ops)
+    is_root = not _stack
     if _stack:
         _stack[-1].children.append(node)
     _stack.append(node)
@@ -121,7 +127,7 @@ def span(
             tracemalloc.start()
         size_before, _ = tracemalloc.get_traced_memory()
         tracemalloc.reset_peak()
-    start = time.perf_counter()
+    node.start = start = time.perf_counter()
     try:
         if profiler is not None:
             profiler.enable()
@@ -142,8 +148,17 @@ def span(
             if profiler is not None:
                 node.profile_top = _top_functions(profiler)
     finally:
-        _stack.pop()
-        if not _stack:
+        # Close by identity, not by position: if an *enclosing* span's
+        # context exits first (held context managers closed out of order),
+        # popping blindly would detach the wrong node and record a child as
+        # a root.  Truncating at this node also sheds any descendants left
+        # open by such a close -- they stay linked as children, just no
+        # longer "open".
+        for index in range(len(_stack) - 1, -1, -1):
+            if _stack[index] is node:
+                del _stack[index:]
+                break
+        if is_root:
             _completed_roots.append(node)
 
 
@@ -156,11 +171,25 @@ def current_span() -> Optional[Span]:
     return _stack[-1] if _stack else None
 
 
+def _sort_tree(nodes: List[Span]) -> List[Span]:
+    nodes.sort(key=lambda node: node.start)
+    for node in nodes:
+        if node.children:
+            _sort_tree(node.children)
+    return nodes
+
+
 def take_phases() -> List[Span]:
-    """Drain and return the completed root spans (the phase tree)."""
+    """Drain and return the completed root spans (the phase tree).
+
+    Roots -- and, recursively, each node's children -- come back in
+    monotonic *start*-time order, which matters when spans close out of
+    order (a held context manager exiting late records its completion
+    late, but its place in the timeline is where it opened).
+    """
     global _completed_roots
     roots, _completed_roots = _completed_roots, []
-    return roots
+    return _sort_tree(roots)
 
 
 def reset_spans() -> None:
@@ -191,6 +220,9 @@ def aggregate_phases(
         agg = into.get(node.name)
         if agg is None:
             agg = into[node.name] = Span(node.name)
+            agg.start = node.start
+        else:
+            agg.start = min(agg.start, node.start)
         agg.seconds += node.seconds
         if node.ops is not None:
             agg.ops = (agg.ops or 0) + node.ops

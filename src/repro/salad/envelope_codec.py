@@ -106,6 +106,15 @@ FRAME_VERSION = 1
 
 FLAG_FINAL = 0x01
 FLAG_PICKLED_BODY = 0x02
+#: The frame carries a causal-trace extension *after* its body: sampled
+#: trace ids (repro.obs.tracing) keyed to the in-frame message index, so
+#: the receiving shard can emit envelope-delivery events without the trace
+#: context traveling inside the messages themselves.  Unsampled runs never
+#: set this flag, so their frames stay byte-identical to the pre-tracing
+#: wire format.  On traced frames the header CRC covers body + extension
+#: (the extension is part of what must arrive intact); untraced frames
+#: keep the body-only CRC unchanged.
+FLAG_TRACED = 0x04
 
 #: Machine identifiers are IDENTIFIER_BITS-bit integers; 20 bytes at the
 #: paper's 160-bit identifier space.
@@ -379,6 +388,7 @@ class EnvelopeEncoder:
         "_buf",
         "_staged",
         "_intern",
+        "_trace",
     )
 
     def __init__(self, codec: str = CODEC_BINARY):
@@ -395,6 +405,10 @@ class EnvelopeEncoder:
         self._buf = bytearray()
         self._staged: List[tuple] = []
         self._intern = _FrameInterner()
+        #: Causal-trace extension entries for the next frame:
+        #: (message_index, (trace_id, ...)) pairs.  Empty unless tracing
+        #: sampled a record in a staged message.
+        self._trace: List[Tuple[int, Tuple[int, ...]]] = []
 
     def add(
         self,
@@ -427,6 +441,16 @@ class EnvelopeEncoder:
         self.count += 1
         self.messages_total += 1
 
+    def stage_trace(self, trace_ids: Tuple[int, ...]) -> None:
+        """Attach sampled trace ids to the *next* :meth:`add`'d message.
+
+        Call immediately before the ``add`` of the message the ids ride
+        with; the entry is keyed to the current message index.  The frame's
+        trace extension never changes how the messages themselves encode.
+        """
+        if trace_ids:
+            self._trace.append((self.count, tuple(trace_ids)))
+
     def take_frame(
         self, source_shard: int, window: int, final: bool = False
     ) -> Optional[bytes]:
@@ -450,6 +474,14 @@ class EnvelopeEncoder:
             self.pickled_total += self.count
             self._staged = []
         count, self.count = self.count, 0
+        extension = b""
+        if self._trace:
+            flags |= FLAG_TRACED
+            extension = _encode_trace_extension(self._trace)
+            self._trace = []
+        # Untraced frames CRC the body alone (byte-identical to the
+        # pre-tracing format); traced frames CRC body + extension so the
+        # trace context is integrity-checked too.
         frame = (
             _HEADER.pack(
                 MAGIC,
@@ -459,12 +491,48 @@ class EnvelopeEncoder:
                 window,
                 count,
                 len(body),
-                zlib.crc32(body),
+                zlib.crc32(body + extension) if extension else zlib.crc32(body),
             )
             + body
+            + extension
         )
         self.encode_seconds += perf_counter() - start
         return frame
+
+
+def _encode_trace_extension(entries: List[Tuple[int, Tuple[int, ...]]]) -> bytes:
+    """The trace extension: varint entry count, then per entry a varint
+    message index, varint id count, and 8-byte big-endian trace ids."""
+    buf = bytearray()
+    _enc_varint_into(buf, len(entries))
+    for message_index, trace_ids in entries:
+        _enc_varint_into(buf, message_index)
+        _enc_varint_into(buf, len(trace_ids))
+        for trace_id in trace_ids:
+            buf += trace_id.to_bytes(8, "big")
+    return bytes(buf)
+
+
+def _decode_trace_extension(
+    data: bytes, offset: int
+) -> Tuple[Tuple[int, Tuple[int, ...]], ...]:
+    n_entries, offset = _dec_varint(data, offset)
+    entries = []
+    for _ in range(n_entries):
+        message_index, offset = _dec_varint(data, offset)
+        n_ids, offset = _dec_varint(data, offset)
+        _need(data, offset, 8 * n_ids)
+        trace_ids = tuple(
+            int.from_bytes(data[offset + 8 * i:offset + 8 * (i + 1)], "big")
+            for i in range(n_ids)
+        )
+        offset += 8 * n_ids
+        entries.append((message_index, trace_ids))
+    if offset != len(data):
+        raise EnvelopeCodecError(
+            f"{len(data) - offset} trailing bytes after the trace extension"
+        )
+    return tuple(entries)
 
 
 # ----------------------------------------------------------------------
@@ -479,6 +547,9 @@ class DecodedFrame:
     window: int
     final: bool
     messages: List[tuple]
+    #: Causal-trace extension entries, ``(message_index, (trace_id, ...))``
+    #: pairs; empty on untraced frames (the overwhelmingly common case).
+    trace: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
 
 
 def _need(body: bytes, offset: int, length: int) -> None:
@@ -672,12 +743,21 @@ def decode_frame(data: bytes) -> DecodedFrame:
         raise TruncatedFrameError(
             f"frame body truncated: {len(body)} of {body_len} bytes"
         )
-    if len(body) > body_len:
-        raise EnvelopeCodecError(
-            f"{len(body) - body_len} bytes beyond the declared frame body"
-        )
-    if zlib.crc32(body) != crc:
-        raise FrameChecksumError("frame body fails its CRC32 check")
+    trace: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
+    if flags & FLAG_TRACED:
+        # The trace extension lives beyond the declared body; the CRC of a
+        # traced frame covers body + extension (see FLAG_TRACED).
+        if zlib.crc32(body) != crc:
+            raise FrameChecksumError("frame body fails its CRC32 check")
+        trace = _decode_trace_extension(data, HEADER_BYTES + body_len)
+        body = data[HEADER_BYTES:HEADER_BYTES + body_len]
+    else:
+        if len(body) > body_len:
+            raise EnvelopeCodecError(
+                f"{len(body) - body_len} bytes beyond the declared frame body"
+            )
+        if zlib.crc32(body) != crc:
+            raise FrameChecksumError("frame body fails its CRC32 check")
     if flags & FLAG_PICKLED_BODY:
         messages = list(pickle.loads(body))
         if len(messages) != count:
@@ -691,4 +771,5 @@ def decode_frame(data: bytes) -> DecodedFrame:
         window=window,
         final=bool(flags & FLAG_FINAL),
         messages=messages,
+        trace=trace,
     )

@@ -26,6 +26,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Set
 
+from repro.obs import tracing as _tracing
 from repro.salad import protocol
 from repro.salad.alignment import mismatching_dimensions
 from repro.salad.database import RecordDatabase
@@ -167,7 +168,18 @@ class SaladLeaf(SimMachine):
         # several percent at ~15k arrivals per 2k-record insert; the store
         # path is method-swapped here so the disabled path pays nothing.
         self.detailed_metrics = detailed_metrics
-        self._store = self._store_record_metered if detailed_metrics else self._store_record
+        self._store_impl = (
+            self._store_record_metered if detailed_metrics else self._store_record
+        )
+        # Causal tracing composes the same way: when a recorder is active at
+        # construction (the engine activates before building leaves), the
+        # store path goes through the traced wrapper; otherwise the disabled
+        # path pays nothing -- not even a global read per stored record.
+        self._store = (
+            self._store_record_traced
+            if _tracing.ACTIVE is not None
+            else self._store_impl
+        )
         self.record_arrivals = 0
         self.record_hops = 0
         self.batch_envelopes = 0
@@ -370,6 +382,9 @@ class SaladLeaf(SimMachine):
 
     def insert_record(self, record: SaladRecord) -> None:
         """Locally initiate insertion of a record for one of this machine's files."""
+        tracer = _tracing.ACTIVE
+        if tracer is not None and tracer.sampled(record._rid):
+            tracer.record_insert(record, self.identifier)
         self._process_batch([(record, 0)])
 
     def insert_records(self, records: Iterable[SaladRecord]) -> int:
@@ -382,14 +397,28 @@ class SaladLeaf(SimMachine):
         per-record identical to :meth:`insert_record`.
         """
         pairs = [(record, 0) for record in records]
+        tracer = _tracing.ACTIVE  # one check per batch; None costs nothing more
+        if tracer is not None:
+            for record, _hops in pairs:
+                if tracer.sampled(record._rid):
+                    tracer.record_insert(record, self.identifier)
         self._process_batch(pairs)
         return len(pairs)
 
     def _on_record(self, message: Message) -> None:
         record, hops = message.payload
+        tracer = _tracing.ACTIVE
+        if tracer is not None and tracer.sampled(record._rid):
+            tracer.record_hop(record, hops, message.sender, self.identifier)
         self._process_batch([(record, hops)])
 
     def _on_record_batch(self, message: Message) -> None:
+        tracer = _tracing.ACTIVE
+        if tracer is not None:
+            sender = message.sender
+            for record, hops in message.payload:
+                if tracer.sampled(record._rid):
+                    tracer.record_hop(record, hops, sender, self.identifier)
         self._process_batch(list(message.payload))
 
     def _process_batch(self, pairs: List[tuple]) -> None:
@@ -545,6 +574,19 @@ class SaladLeaf(SimMachine):
         self.record_arrivals += 1
         self.record_hops += hops
         self._store_record(record, hops, forwards)
+
+    def _store_record_traced(
+        self, record: SaladRecord, hops: int, forwards: Dict[int, List[tuple]]
+    ) -> None:
+        """The store path when a causal-trace recorder is active.
+
+        Emits the ``store`` event *before* delegating, so a sampled record's
+        timeline orders store ahead of the MATCH sends it triggers.
+        """
+        tracer = _tracing.ACTIVE
+        if tracer is not None and tracer.sampled(record._rid):
+            tracer.record_store(record, self.identifier, hops)
+        self._store_impl(record, hops, forwards)
 
     def _store_record(
         self, record: SaladRecord, hops: int, forwards: Dict[int, List[tuple]]

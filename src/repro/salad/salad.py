@@ -88,6 +88,49 @@ def resolve_detailed_metrics(value) -> bool:
     return _default_detailed_metrics if value is None else bool(value)
 
 
+#: Session default for SaladConfig.trace_sample_rate = None (set by
+#: ``--trace-sample-rate`` on the CLIs; mirrors set_detailed_metrics).
+_default_trace_sample_rate = 0.0
+
+
+def set_trace_sample_rate(rate: float) -> None:
+    """Set the process-wide default causal-trace sampling rate.
+
+    A rate in (0, 1] turns on :mod:`repro.obs.tracing`: a deterministic
+    hash of each record's routing id selects the sampled fraction, and
+    every engine the session builds emits per-record causal events for
+    them.  0 disables tracing entirely (the hot paths pay one ``is None``
+    check per batch).  Configs whose ``trace_sample_rate`` is ``None``
+    resolve to this value; the sharded coordinator pins the resolved rate
+    into the config it ships to workers, so every shard samples the exact
+    same records.
+    """
+    validate_trace_sample_rate(rate)
+    global _default_trace_sample_rate
+    _default_trace_sample_rate = float(rate)
+
+
+def resolve_trace_sample_rate(value) -> float:
+    """``None`` means the session default; anything else is validated."""
+    if value is None:
+        return _default_trace_sample_rate
+    validate_trace_sample_rate(value)
+    return float(value)
+
+
+def validate_trace_sample_rate(value) -> None:
+    """Validate a ``trace_sample_rate`` knob without resolving it."""
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(
+            f"trace_sample_rate must be a number in [0, 1] or None, got "
+            f"{type(value).__name__}: {value!r}"
+        )
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"trace_sample_rate must be in [0, 1]: {value}")
+
+
 #: Cross-shard envelope codecs (see :mod:`repro.salad.envelope_codec`):
 #: "binary" is the struct-packed wire format, "pickle" reproduces the
 #: pre-codec transport for byte/time comparisons.  Trace-identical to each
@@ -128,6 +171,22 @@ def validate_envelope_codec(value) -> None:
         raise ValueError(
             f"envelope_codec must be one of {ENVELOPE_CODECS} or None: {value!r}"
         )
+
+
+def _topology_link_of(topology):
+    """A ``(a, b) -> (link_name, class_name)`` annotator for trace events.
+
+    ``None`` on the flat fabric -- the recorder then omits link fields
+    rather than inventing a fake class.
+    """
+    if topology is None:
+        return None
+
+    def link_of(a: int, b: int):
+        name, link_class = topology.link(a, b)
+        return name, link_class.name
+
+    return link_of
 
 
 def validate_shard_workers(value) -> None:
@@ -230,11 +289,20 @@ class SaladConfig:
     #: on; None = the session default set by :func:`set_detailed_metrics`.
     #: Never alters the message trace -- only whether flow counters tally.
     detailed_metrics: Optional[bool] = None
+    #: Causal-trace sampling rate in [0, 1] (see :mod:`repro.obs.tracing`):
+    #: a deterministic hash of each record's routing id samples this
+    #: fraction of inserts, and sampled records emit per-hop/per-store
+    #: trace events that export to Perfetto.  Sampling consumes no RNG and
+    #: never alters the message trace; 0 disables tracing.  None = the
+    #: session default set by :func:`set_trace_sample_rate` (the CLI
+    #: ``--trace-sample-rate`` hook).
+    trace_sample_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         resolve_db_backend(self.db_backend)  # fail fast on unknown names
         validate_shard_workers(self.shard_workers)
         validate_envelope_codec(self.envelope_codec)
+        validate_trace_sample_rate(self.trace_sample_rate)
         if self.topology is not None and not isinstance(self.topology, Topology):
             raise ValueError(
                 f"topology must be a repro.sim.topology.Topology or None, "
@@ -279,6 +347,18 @@ class Salad:
             self.tracer = NetworkTracer(self.network)
         # Resolved once so every leaf this SALAD builds counts identically.
         self._detailed_metrics = resolve_detailed_metrics(config.detailed_metrics)
+        # Causal tracing (repro.obs.tracing): latest engine wins the module
+        # recorder, so sweeps that build several Salads trace the active
+        # one.  Activation at rate 0 clears any stale recorder.
+        self._trace_sample_rate = resolve_trace_sample_rate(config.trace_sample_rate)
+        from repro.obs import tracing
+
+        tracing.activate(
+            self._trace_sample_rate,
+            shard=None,
+            now=lambda: self.network.scheduler.now,
+            link_of=_topology_link_of(config.topology),
+        )
         # Durable-store housing: resolved lazily so memory-backed SALADs
         # (the default) never touch the filesystem.
         self._db_backend = resolve_db_backend(config.db_backend)
@@ -484,9 +564,14 @@ class Salad:
             self.network.run()
             # Batch boundary: make the settled round durable, so a crash
             # loses at most the round in flight (no-op for memory stores).
+            from repro.obs import tracing
+
+            recorder = tracing.ACTIVE
             for leaf in self.leaves.values():
                 if leaf.alive:
                     leaf.database.flush()
+                    if recorder is not None:
+                        recorder.record_flush(leaf.identifier)
         return inserted
 
     def collected_matches(self) -> List[Tuple[int, MatchPayload]]:
@@ -555,11 +640,12 @@ class Salad:
         checks run here and their violation counts land under
         ``sim.invariants.*``.
         """
-        from repro.salad.telemetry import harvest_salad_metrics
+        from repro.salad.telemetry import harvest_salad_metrics, harvest_trace_metrics
 
         harvest_salad_metrics(
             registry, self.leaves.values(), self.network, self.config.dimensions
         )
+        harvest_trace_metrics(registry)
         if self.tracer is not None:
             self.tracer.feed_registry(registry, self.leaves, self.config.dimensions)
         return registry

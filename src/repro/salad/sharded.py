@@ -89,6 +89,7 @@ from multiprocessing.connection import wait as _connection_wait
 from operator import itemgetter
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.obs import tracing as _tracing
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import Span, aggregate_phases, reset_spans, span, take_phases
 from repro.salad.envelope_codec import (
@@ -104,15 +105,18 @@ from repro.salad.salad import (
     IDENTIFIER_BITS,
     Salad,
     SaladConfig,
+    _topology_link_of,
     resolve_detailed_metrics,
     resolve_envelope_codec,
     resolve_trace_invariants,
+    resolve_trace_sample_rate,
     validate_shard_workers,
 )
 from repro.salad.telemetry import (
     ShardTransportStats,
     harvest_salad_metrics,
     harvest_shard_transport_metrics,
+    harvest_trace_metrics,
 )
 from repro.salad.storage import (
     make_record_store,
@@ -284,7 +288,19 @@ class ShardNetwork(Network):
         if target == self.shard:
             self._local_next.append((key, Message(sender, recipient, kind, payload)))
         else:
-            self._outbound[target].add(key, sender, recipient, kind, payload)
+            encoder = self._outbound[target]
+            recorder = _tracing.ACTIVE
+            if recorder is not None and (
+                kind == "record" or kind == "record_batch"
+            ):
+                # Sampled records crossing a shard boundary get their trace
+                # ids staged onto the envelope frame (FLAG_TRACED extension)
+                # so the receiver can emit the matching deliver events.
+                ids = recorder.sampled_ids_in(kind, payload)
+                if ids:
+                    encoder.stage_trace(ids)
+                    recorder.record_envelope_stage(ids, target, machine=sender)
+            encoder.add(key, sender, recipient, kind, payload)
 
     def pending_count(self) -> int:
         """Messages buffered locally or staged-but-unshipped for peers.
@@ -377,6 +393,10 @@ class _ExchangeInbox:
         self._cond = threading.Condition()
         #: window -> peer -> decoded messages accumulated so far.
         self._messages: Dict[int, Dict[int, List[tuple]]] = {}
+        #: window -> [(peer, frame trace extension), ...] for traced frames.
+        #: The drainer thread only *parks* them -- trace events must be
+        #: emitted on the main thread, whose recorder owns the event list.
+        self._trace: Dict[int, List[Tuple[int, tuple]]] = {}
         #: window -> peers whose FINAL frame for that window has arrived.
         self._final: Dict[int, Set[int]] = {}
         self._lost: Set[int] = set()
@@ -418,6 +438,10 @@ class _ExchangeInbox:
                     self.frames_received += 1
                     per_peer = self._messages.setdefault(frame.window, {})
                     per_peer.setdefault(peer, []).extend(frame.messages)
+                    if frame.trace:
+                        self._trace.setdefault(frame.window, []).append(
+                            (peer, frame.trace)
+                        )
                     if frame.final:
                         self._final.setdefault(frame.window, set()).add(peer)
                         self._cond.notify_all()
@@ -450,6 +474,15 @@ class _ExchangeInbox:
             merged.extend(per_peer[peer])
         return merged
 
+    def pop_trace(self, window: int) -> List[Tuple[int, tuple]]:
+        """Parked trace extensions for *window*: ``[(peer, entries), ...]``.
+
+        Call after :meth:`collect` for the same window (every traced frame
+        precedes its peer's FINAL, so by then all extensions are parked).
+        """
+        with self._cond:
+            return self._trace.pop(window, [])
+
     def snapshot(self) -> Tuple[int, int]:
         """(bytes received, frames received) -- consistent pair."""
         with self._cond:
@@ -475,6 +508,19 @@ def _shard_worker_main(
     # stack, completed roots); this worker's phase tree must start clean.
     reset_spans()
     scheduler = EventScheduler()
+    # Causal tracing: the coordinator pins the resolved sampling rate into
+    # the shipped config (same reason as trace_invariants below); activating
+    # before any leaf exists lets the SaladLeaf constructor bind its traced
+    # store path.  deactivate() first: fork inherits the parent's recorder
+    # *and* orphan buffer, and shipping those events from every worker
+    # would multiply them by the worker count.
+    _tracing.deactivate()
+    _tracing.activate(
+        resolve_trace_sample_rate(config.trace_sample_rate),
+        shard=shard,
+        now=lambda: scheduler.now,
+        link_of=_topology_link_of(config.topology),
+    )
     network = ShardNetwork(
         shard=shard,
         shards=shards,
@@ -589,6 +635,8 @@ def _shard_worker_main(
                 exchange = command[2]
                 exchange_round += 1
                 transport.windows += 1
+                recorder = _tracing.ACTIVE
+                bytes_before = transport.exchange_bytes
                 with span("shard.step") as step_span:
                     if exchange:
                         # Rendezvous: whatever is still staged goes out as
@@ -600,6 +648,23 @@ def _shard_worker_main(
                             ship(exchange_round, final=True)
                         with span("exchange.wait"):
                             incoming = inbox.collect(exchange_round)
+                        traced_frames = inbox.pop_trace(exchange_round)
+                        if recorder is not None:
+                            # Emitted here (main thread, pre-advance) so the
+                            # deliver events stamp the *send* window's time,
+                            # ordering after their envelope.stage twins and
+                            # before the hops the delivery triggers.
+                            for peer, entries in traced_frames:
+                                ids = [
+                                    tid
+                                    for _index, tids in entries
+                                    for tid in tids
+                                ]
+                                recorder.record_envelope_deliver(
+                                    ids,
+                                    source_shard=peer,
+                                    window=exchange_round,
+                                )
                         # The eagerly shipped messages of this round are in
                         # the peers' hands now (their FINALs arrived after
                         # them); they stop counting as ours.
@@ -617,6 +682,7 @@ def _shard_worker_main(
                                 "are pending"
                             )
                         incoming = ()
+                        traced_frames = []
                     with span("deliver"):
                         network.deliver_window(window, incoming)
                     # Overlap: handler-emitted messages for the next round
@@ -625,6 +691,14 @@ def _shard_worker_main(
                     with span("exchange.eager"):
                         shipped_ahead = ship(exchange_round + 1)
                     step_span.set_ops(1)
+                if recorder is not None and traced_frames:
+                    # One run-level marker per round that moved sampled
+                    # records; renders as a window-wide span in Perfetto.
+                    recorder.record_exchange_round(
+                        window,
+                        exchange_round,
+                        transport.exchange_bytes - bytes_before,
+                    )
                 drain_phases()
                 conn.send(("ok", pending(), cross_pending()))
             elif op == "add_leaf":
@@ -683,10 +757,13 @@ def _shard_worker_main(
                 network.loss_probability = command[1]
                 conn.send(("ok",))
             elif op == "flush":
+                recorder = _tracing.ACTIVE
                 with span("shard.flush"):
                     for leaf in leaves.values():
                         if leaf.alive:
                             leaf.database.flush()
+                            if recorder is not None:
+                                recorder.record_flush(leaf.identifier)
                 drain_phases()
                 conn.send(("ok",))
             elif op == "stats":
@@ -736,6 +813,7 @@ def _shard_worker_main(
                     for encoder in network._outbound.values()
                 )
                 harvest_shard_transport_metrics(registry, transport)
+                harvest_trace_metrics(registry)
                 if tracer is not None:
                     tracer.feed_registry(registry, leaves, config.dimensions)
                 drain_phases()
@@ -764,7 +842,9 @@ def _shard_worker_main(
                 phases = [
                     phase_agg[name].to_dict() for name in sorted(phase_agg)
                 ]
-                conn.send(("ok", registry.to_dict(), phases))
+                conn.send(
+                    ("ok", registry.to_dict(), phases, _tracing.take_events())
+                )
             elif op == "close_db":
                 for leaf in leaves.values():
                     leaf.database.close()
@@ -856,6 +936,7 @@ class ShardedSimulation:
             trace_invariants=resolve_trace_invariants(config.trace_invariants),
             detailed_metrics=resolve_detailed_metrics(config.detailed_metrics),
             envelope_codec=resolve_envelope_codec(config.envelope_codec),
+            trace_sample_rate=resolve_trace_sample_rate(config.trace_sample_rate),
         )
         self.config = config
         self.shards = resolved
@@ -888,6 +969,9 @@ class ShardedSimulation:
         #: Per-shard folded span trees from the latest collect_metrics call
         #: (list of span dicts per shard, shard order).
         self.worker_phases: List[List[dict]] = []
+        #: Causal-trace events drained from the workers, accumulated across
+        #: collect_metrics calls (each drain empties the workers' buffers).
+        self.trace_events: List[dict] = []
         self._buffered = [0] * resolved
         #: Per-shard cross-shard backlog (staged for peers or already
         #: shipped eagerly) from each worker's latest reply.  When the sum
@@ -1288,9 +1372,19 @@ class ShardedSimulation:
         replies = self._broadcast(("metrics",))
         shard_dumps = [reply[1] for reply in replies]
         self.worker_phases = [list(reply[2]) for reply in replies]
+        for reply in replies:
+            # Workers ship drained trace-event buffers as a 4th element;
+            # accumulate (draining empties their side, so no double count).
+            if len(reply) > 3 and reply[3]:
+                self.trace_events.extend(reply[3])
         for dump in shard_dumps:
             registry.merge_dict(dump)
         return shard_dumps
+
+    def take_trace_events(self) -> List[dict]:
+        """Drain the accumulated worker trace events (once each)."""
+        events, self.trace_events = self.trace_events, []
+        return events
 
     def __len__(self) -> int:
         return len(self._order)
@@ -1309,6 +1403,11 @@ class ShardedSimulation:
 
     def close(self) -> None:
         """Stop workers and release pipes; idempotent and safe mid-init."""
+        # Undrained worker trace events survive teardown in the process-wide
+        # orphan buffer -- a driver that only calls tracing.take_events()
+        # after the run (the experiment runner) still sees them.
+        if getattr(self, "trace_events", None):
+            _tracing.adopt_events(self.take_trace_events())
         procs, conns = self._procs, self._conns
         self._procs, self._conns = [], []
         for conn in conns:

@@ -130,6 +130,28 @@ def harvest_salad_metrics(
     return registry
 
 
+def harvest_trace_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Registry entries for this process's causal-trace recorder, if any.
+
+    Lands under ``sim.trace.*`` -- the ``sim.`` namespace is per-process
+    incidental state excluded from the engine-identity comparison, which is
+    right for tracing too: a sampled sharded run counts envelope events the
+    single-process engine never emits.  No-op when tracing is off, so the
+    counters appear only in sampled runs (skip-if-absent downstream).
+    """
+    from repro.obs import tracing
+
+    recorder = tracing.ACTIVE
+    if recorder is None:
+        return registry
+    registry.counter("sim.trace.records_sampled").inc(recorder.records_sampled)
+    registry.counter("sim.trace.events_recorded").inc(
+        recorder._seq  # total ever emitted, not just the undrained tail
+    )
+    registry.gauge("sim.trace.sample_rate").set(recorder.sample_rate)
+    return registry
+
+
 def harvest_tradeoff_metrics(
     registry: MetricsRegistry, points: Iterable
 ) -> MetricsRegistry:

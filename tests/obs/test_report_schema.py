@@ -12,6 +12,7 @@ import pytest
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import (
+    ACCEPTED_SCHEMAS,
     SCHEMA,
     build_run_report,
     environment,
@@ -89,6 +90,47 @@ class TestBuildAndValidate:
         for key in ("python", "platform", "machine", "cpu_count", "git_sha"):
             assert key in env
 
+    def test_v1_reports_remain_valid(self):
+        # v2 only added the optional traces section: committed v1 artifacts
+        # (docs/flagship_report.json, archived CI reports) must still pass.
+        report = _report()
+        report["schema"] = "repro.run-report/1"
+        assert report["schema"] in ACCEPTED_SCHEMAS
+        assert validate_run_report(report) == []
+
+    def test_empty_worker_phase_tree_renders(self):
+        # A worker that did no spanned work ships an empty tree; the shards
+        # section must validate and summarize without a phases line for it.
+        dumps = [_registry().to_dict(), _registry().to_dict()]
+        report = _report(
+            shards=dumps,
+            shard_phases=[[], [{"name": "shard.step", "seconds": 0.2}]],
+        )
+        assert validate_run_report(report) == []
+        assert report["shards"][0]["phases"] == []
+        table = summary_table(report)
+        assert "2 worker registries merged" in table
+        assert "shard 1: shard.step=0.200s" in table
+        assert "shard 0:" not in table
+
+    def test_traces_section_builds_and_validates(self):
+        events = [
+            {"kind": "insert", "trace_id": "ab", "t": 1.0, "shard": 0},
+            {"kind": "store", "trace_id": "ab", "t": 2.5, "shard": 1},
+            {"kind": "exchange.round", "trace_id": None, "t": 2.5, "shard": 1},
+        ]
+        report = _report(traces={"sample_rate": 0.01, "events": events})
+        assert validate_run_report(report) == []
+        assert validate_run_report(json.loads(json.dumps(report))) == []
+        table = summary_table(report)
+        assert "traces: 3 events across 1 sampled records" in table
+        assert "sample_rate=0.01" in table
+
+    def test_traces_section_is_optional(self):
+        report = _report(traces=None)
+        assert "traces" not in report
+        assert validate_run_report(report) == []
+
 
 class TestCorruptionDetection:
     @pytest.mark.parametrize(
@@ -122,6 +164,70 @@ class TestCorruptionDetection:
         report = _report(shards=[_registry().to_dict()])
         report["shards"][0]["shard"] = 7
         assert any("shard" in p for p in validate_run_report(report))
+
+    def test_duplicate_top_level_siblings_rejected(self):
+        report = _report()
+        report["phases"].append(dict(report["phases"][0]))
+        problems = validate_run_report(report)
+        assert any(
+            "2 sibling phases named 'phase_a'" in p and "phases" in p
+            for p in problems
+        )
+
+    def test_duplicate_child_siblings_rejected(self):
+        report = _report()
+        report["phases"][0]["children"].append(
+            {"name": "inner", "seconds": 0.1}
+        )
+        problems = validate_run_report(report)
+        assert any(
+            "phases[0].children has 2 sibling phases named 'inner'" in p
+            for p in problems
+        )
+
+    def test_duplicate_shard_phase_siblings_rejected(self):
+        report = _report(
+            shards=[_registry().to_dict()],
+            shard_phases=[
+                [
+                    {"name": "shard.step", "seconds": 0.1},
+                    {"name": "shard.step", "seconds": 0.2},
+                ]
+            ],
+        )
+        problems = validate_run_report(report)
+        assert any(
+            "shards[0].phases has 2 sibling phases named 'shard.step'" in p
+            for p in problems
+        )
+
+    def test_distinct_sibling_names_pass(self):
+        report = _report()
+        report["phases"].append({"name": "phase_b", "seconds": 0.1})
+        assert validate_run_report(report) == []
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda t: t.pop("sample_rate"), "sample_rate"),
+            (lambda t: t.update(sample_rate=True), "sample_rate"),
+            (lambda t: t.pop("events"), "events"),
+            (lambda t: t["events"][0].pop("kind"), "kind"),
+            (lambda t: t["events"][0].pop("t"), ".t missing"),
+            (lambda t: t["events"].append("not-a-dict"), "not an object"),
+        ],
+    )
+    def test_corrupt_traces_are_caught(self, mutate, fragment):
+        report = _report(
+            traces={
+                "sample_rate": 0.5,
+                "events": [{"kind": "insert", "trace_id": "ab", "t": 1.0}],
+            }
+        )
+        mutate(report["traces"])
+        problems = validate_run_report(report)
+        assert problems, f"traces corruption not caught: {fragment}"
+        assert any(fragment in p for p in problems)
 
     @pytest.mark.parametrize(
         "mutate, fragment",

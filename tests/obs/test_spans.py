@@ -1,6 +1,12 @@
 """Span/phase timers: nesting, rates, attachments, and the drain contract."""
 
-from repro.obs.spans import current_span, phase, span, take_phases
+from repro.obs.spans import (
+    aggregate_phases,
+    current_span,
+    phase,
+    span,
+    take_phases,
+)
 
 
 def setup_function(_fn):
@@ -50,6 +56,76 @@ class TestNesting:
         assert [r.name for r in roots] == ["boom"]
         assert roots[0].seconds >= 0.0
         assert current_span() is None
+
+
+class TestOutOfOrderCloses:
+    """Held context managers may close out of order (a driver keeping a
+    long-lived span object while inner work opens and closes); the tree and
+    its ordering must survive that."""
+
+    def test_enclosing_close_does_not_promote_child_to_root(self):
+        outer = span("outer")
+        outer.__enter__()
+        inner = span("inner")
+        inner.__enter__()
+        # The *enclosing* span's context exits first; the held inner one
+        # closes late.  inner must stay a child, never become a root.
+        outer.__exit__(None, None, None)
+        inner.__exit__(None, None, None)
+        roots = take_phases()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner"]
+        assert current_span() is None
+
+    def test_stack_is_sane_after_out_of_order_close(self):
+        outer = span("outer")
+        outer.__enter__()
+        inner = span("inner")
+        inner.__enter__()
+        outer.__exit__(None, None, None)
+        # New work after the early close must open as a fresh root, not
+        # nest under the shed-but-unclosed inner span.
+        with span("next_root"):
+            pass
+        inner.__exit__(None, None, None)
+        assert [r.name for r in take_phases()] == ["outer", "next_root"]
+
+    def test_roots_drain_in_start_order_not_close_order(self):
+        with span("first") as a:
+            pass
+        with span("second") as b:
+            pass
+        # Simulate completion stamps arriving out of start order (merged
+        # worker trees; held spans recording their close late).
+        a.start, b.start = 2.0, 1.0
+        assert [r.name for r in take_phases()] == ["second", "first"]
+
+    def test_children_drain_in_start_order_recursively(self):
+        with span("root"):
+            with span("child_a") as ca:
+                with span("grand_a") as ga:
+                    pass
+                with span("grand_b") as gb:
+                    pass
+            with span("child_b") as cb:
+                pass
+        ca.start, cb.start = 5.0, 1.0
+        ga.start, gb.start = 4.0, 3.0
+        (root,) = take_phases()
+        assert [c.name for c in root.children] == ["child_b", "child_a"]
+        assert [g.name for g in root.children[1].children] == [
+            "grand_b",
+            "grand_a",
+        ]
+
+    def test_aggregate_keeps_earliest_start(self):
+        with span("step") as s1:
+            pass
+        with span("step") as s2:
+            pass
+        s1.start, s2.start = 9.0, 4.0
+        merged = aggregate_phases(take_phases())
+        assert merged["step"].start == 4.0
 
 
 class TestOpsAndNotes:

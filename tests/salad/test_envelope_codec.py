@@ -335,3 +335,112 @@ class TestCorruptionMatrix:
         )
         with pytest.raises(EnvelopeCodecError, match="header says"):
             decode_frame(header + body)
+
+
+class TestTracedFrames:
+    """The FLAG_TRACED extension: sampled trace ids riding after the body.
+
+    Untraced frames must stay byte-identical to the pre-tracing format (the
+    overwhelmingly common case pays nothing); traced frames must round-trip
+    their ``(message_index, trace_ids)`` entries, decode the same messages,
+    and fail the CRC on any tampering of body *or* extension.
+    """
+
+    TRACE_A = (0xDEADBEEF00000001, 0x0123456789ABCDEF)
+    TRACE_B = ((1 << 64) - 1,)
+
+    def _traced_frame(self, final=False):
+        encoder = EnvelopeEncoder(CODEC_BINARY)
+        encoder.stage_trace(self.TRACE_A)  # attaches to message index 0
+        encoder.add(*ALL_KIND_MESSAGES[0])
+        encoder.add(*ALL_KIND_MESSAGES[2])  # untraced message in between
+        encoder.stage_trace(self.TRACE_B)  # attaches to message index 2
+        encoder.add(*ALL_KIND_MESSAGES[1])
+        return encoder, encoder.take_frame(1, 7, final=final)
+
+    def test_round_trip_with_message_indices(self):
+        _, frame = self._traced_frame()
+        decoded = decode_frame(frame)
+        assert decoded.trace == ((0, self.TRACE_A), (2, self.TRACE_B))
+        assert [tuple(m) for m in decoded.messages] == [
+            ALL_KIND_MESSAGES[0],
+            ALL_KIND_MESSAGES[2],
+            ALL_KIND_MESSAGES[1],
+        ]
+
+    def test_untraced_frame_is_byte_identical_and_flagless(self):
+        from repro.salad.envelope_codec import FLAG_TRACED
+
+        _, plain = _encode(ALL_KIND_MESSAGES)
+        encoder = EnvelopeEncoder(CODEC_BINARY)
+        for message in ALL_KIND_MESSAGES:
+            encoder.add(*message)
+        again = encoder.take_frame(3, 12)
+        assert again == plain  # sampling off: not a single byte moves
+        flags = plain[5]
+        assert not flags & FLAG_TRACED
+        assert decode_frame(plain).trace == ()
+
+    def test_trace_extension_does_not_change_the_messages(self):
+        # Same messages with and without staged trace ids decode equal:
+        # the extension marks the envelope, never rewrites its contents.
+        encoder = EnvelopeEncoder(CODEC_BINARY)
+        encoder.stage_trace(self.TRACE_A)
+        for message in ALL_KIND_MESSAGES:
+            encoder.add(*message)
+        traced = decode_frame(encoder.take_frame(3, 12))
+        _, plain_frame = _encode(ALL_KIND_MESSAGES)
+        plain = decode_frame(plain_frame)
+        assert [tuple(m) for m in traced.messages] == [
+            tuple(m) for m in plain.messages
+        ]
+        assert traced.trace == ((0, self.TRACE_A),)
+
+    def test_empty_stage_trace_is_a_noop(self):
+        encoder = EnvelopeEncoder(CODEC_BINARY)
+        encoder.stage_trace(())
+        encoder.add(*ALL_KIND_MESSAGES[0])
+        frame = encoder.take_frame(0, 1)
+        assert decode_frame(frame).trace == ()
+        _, plain = _encode([ALL_KIND_MESSAGES[0]], shard=0, window=1)
+        assert frame == plain
+
+    def test_extension_resets_between_frames(self):
+        encoder, first = self._traced_frame()
+        assert decode_frame(first).trace
+        encoder.add(*ALL_KIND_MESSAGES[0])
+        second = encoder.take_frame(1, 8)
+        assert decode_frame(second).trace == ()
+
+    def test_traced_final_frame(self):
+        _, frame = self._traced_frame(final=True)
+        decoded = decode_frame(frame)
+        assert decoded.final
+        assert decoded.trace == ((0, self.TRACE_A), (2, self.TRACE_B))
+
+    def test_flipped_extension_byte_fails_crc(self):
+        _, frame = self._traced_frame()
+        tampered = bytearray(frame)
+        tampered[-3] ^= 0x10  # inside a trace id, past the body
+        with pytest.raises(FrameChecksumError):
+            decode_frame(bytes(tampered))
+
+    def test_flipped_body_byte_fails_crc(self):
+        _, frame = self._traced_frame()
+        tampered = bytearray(frame)
+        tampered[HEADER_BYTES + 2] ^= 0x08
+        with pytest.raises(FrameChecksumError):
+            decode_frame(bytes(tampered))
+
+    def test_truncated_extension_rejected(self):
+        _, frame = self._traced_frame()
+        with pytest.raises(EnvelopeCodecError):
+            decode_frame(frame[:-4])
+
+    def test_pickle_codec_carries_the_extension_too(self):
+        encoder = EnvelopeEncoder(CODEC_PICKLE)
+        encoder.stage_trace(self.TRACE_B)
+        encoder.add(*ALL_KIND_MESSAGES[0])
+        decoded = decode_frame(encoder.take_frame(2, 4))
+        assert decoded.trace == ((0, self.TRACE_B),)
+        assert [tuple(m) for m in decoded.messages] == [ALL_KIND_MESSAGES[0]]
